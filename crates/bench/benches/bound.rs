@@ -1,0 +1,44 @@
+//! Microbenchmark of equation (1): the OSSM upper-bound evaluation that
+//! sits on the hot path of every filtered candidate, across segment counts
+//! and pattern sizes. The paper's claim that "direct addressing into the
+//! OSSM makes the use of equation (1) very efficient" is what this bench
+//! checks stays true.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ossm_bench::workloads::Workload;
+use ossm_core::{Ossm, OssmBuilder, Strategy};
+use ossm_data::Itemset;
+
+fn build_ossm(n_user: usize) -> Ossm {
+    let store = Workload::regular(50, 500).store();
+    OssmBuilder::new(n_user).strategy(Strategy::Random).build(&store).0
+}
+
+fn bench_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upper_bound");
+    for &segments in &[1usize, 10, 50, 150] {
+        let ossm = build_ossm(segments.min(50));
+        let pair = Itemset::new([3, 250]);
+        let quad = Itemset::new([3, 99, 250, 444]);
+        group.bench_with_input(BenchmarkId::new("pair", segments), &ossm, |bench, o| {
+            bench.iter(|| black_box(o.upper_bound(black_box(&pair))))
+        });
+        group.bench_with_input(BenchmarkId::new("pair_specialized", segments), &ossm, |bench, o| {
+            bench.iter(|| {
+                black_box(o.upper_bound_pair(
+                    black_box(ossm_data::ItemId(3)),
+                    black_box(ossm_data::ItemId(250)),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("quad", segments), &ossm, |bench, o| {
+            bench.iter(|| black_box(o.upper_bound(black_box(&quad))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation A2: candidate counting back-ends — linear scan vs the
+//! classical Apriori hash tree, across candidate-set sizes.
+//!
+//! Counting dominates Apriori's cost; the OSSM's value is reducing how
+//! many candidates reach this step at all, so the baseline must use the
+//! stronger back-end for the speedups to be honest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ossm_bench::workloads::Workload;
+use ossm_data::Itemset;
+use ossm_mining::hashtree::count_hash_tree;
+use ossm_mining::support::count_linear;
+
+fn bench_counting(c: &mut Criterion) {
+    let store = Workload::regular(20, 200).store();
+    let txs = store.dataset().transactions();
+
+    let mut group = c.benchmark_group("count_pairs");
+    group.sample_size(20);
+    for &num_candidates in &[100usize, 1000, 5000] {
+        // Deterministic spread of pair candidates over the domain.
+        let mut candidates = Vec::with_capacity(num_candidates);
+        let m = store.num_items() as u32;
+        let mut a = 0u32;
+        let mut b = 1u32;
+        while candidates.len() < num_candidates {
+            candidates.push(Itemset::new([a % m, (a % m + 1 + b % (m - 1)) % m]));
+            a = a.wrapping_add(7);
+            b = b.wrapping_add(13);
+        }
+        candidates.sort();
+        candidates.dedup();
+
+        group.bench_with_input(
+            BenchmarkId::new("linear", num_candidates),
+            &candidates,
+            |bench, cands| bench.iter(|| black_box(count_linear(black_box(txs), cands))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hash_tree", num_candidates),
+            &candidates,
+            |bench, cands| bench.iter(|| black_box(count_hash_tree(black_box(txs), cands))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

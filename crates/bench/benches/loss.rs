@@ -1,0 +1,47 @@
+//! Ablation A1: equation-(2) loss evaluation — the paper's O(m²) pair loop
+//! vs our O(m log m) sorted identity, and the bubble-list scope reduction.
+//!
+//! This is the design decision that makes Greedy/RC usable at m = 1000
+//! without special hardware (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ossm_core::{Aggregate, LossCalculator};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_aggregate(rng: &mut StdRng, m: usize) -> Aggregate {
+    let v: Vec<u64> = (0..m).map(|_| rng.gen_range(0..1000)).collect();
+    let n = v.iter().sum();
+    Aggregate::new(v, n)
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_loss");
+    for &m in &[100usize, 400, 1000] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_aggregate(&mut rng, m);
+        let b = random_aggregate(&mut rng, m);
+
+        let fast = LossCalculator::all_items();
+        group.bench_with_input(BenchmarkId::new("sorted", m), &m, |bench, _| {
+            bench.iter(|| black_box(fast.merge_loss(black_box(&a), black_box(&b))))
+        });
+
+        let naive = LossCalculator::all_items().with_naive_evaluation();
+        group.bench_with_input(BenchmarkId::new("naive_pairs", m), &m, |bench, _| {
+            bench.iter(|| black_box(naive.merge_loss(black_box(&a), black_box(&b))))
+        });
+
+        // Bubble list at 10 % of the domain.
+        let bubble: Vec<u32> = (0..(m / 10) as u32).collect();
+        let scoped = LossCalculator::scoped(bubble);
+        group.bench_with_input(BenchmarkId::new("bubble_10pct", m), &m, |bench, _| {
+            bench.iter(|| black_box(scoped.merge_loss(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end miner comparison on one workload: Apriori (with/without the
+//! OSSM), DHP (with/without), DepthProject (with/without), Partition, and
+//! FP-growth. The with/without pairs are the wall-clock form of the
+//! paper's headline result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ossm_bench::workloads::Workload;
+use ossm_core::{OssmBuilder, Strategy};
+use ossm_mining::{Apriori, CountingBackend, DepthProject, Dhp, FpGrowth, OssmFilter, Partition};
+
+fn bench_miners(c: &mut Criterion) {
+    let store = Workload::regular(30, 300).store();
+    let dataset = store.dataset();
+    let min_support = dataset.absolute_threshold(0.01);
+    let (ossm, _) = OssmBuilder::new(15).strategy(Strategy::Greedy).build(&store);
+
+    let mut group = c.benchmark_group("miners_30_pages");
+    group.sample_size(10);
+
+    let apriori = Apriori::new().with_backend(CountingBackend::HashTree);
+    group.bench_function("apriori", |b| {
+        b.iter(|| black_box(apriori.mine(black_box(dataset), min_support)))
+    });
+    group.bench_function("apriori_ossm", |b| {
+        b.iter(|| {
+            black_box(apriori.mine_filtered(
+                black_box(dataset),
+                min_support,
+                &OssmFilter::new(&ossm),
+            ))
+        })
+    });
+
+    let dhp = Dhp::default();
+    group.bench_function("dhp", |b| {
+        b.iter(|| black_box(dhp.mine(black_box(dataset), min_support)))
+    });
+    group.bench_function("dhp_ossm", |b| {
+        b.iter(|| {
+            black_box(dhp.mine_filtered(black_box(dataset), min_support, &OssmFilter::new(&ossm)))
+        })
+    });
+
+    let depth = DepthProject::new();
+    group.bench_function("depthproject", |b| {
+        b.iter(|| black_box(depth.mine(black_box(dataset), min_support)))
+    });
+    group.bench_function("depthproject_ossm", |b| {
+        b.iter(|| {
+            black_box(depth.mine_filtered(
+                black_box(dataset),
+                min_support,
+                &OssmFilter::new(&ossm),
+            ))
+        })
+    });
+
+    group.bench_function("partition_4", |b| {
+        b.iter(|| black_box(Partition::new(4).mine(black_box(dataset), min_support)))
+    });
+    group.bench_function("fpgrowth", |b| {
+        b.iter(|| black_box(FpGrowth::new().mine(black_box(dataset), min_support)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

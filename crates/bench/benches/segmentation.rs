@@ -1,0 +1,52 @@
+//! Segmentation-algorithm cost comparison: Random vs RC vs Greedy vs the
+//! hybrids, with and without the bubble list — the compile-time side of
+//! the paper's Figure 5/6 trade-off, at microbenchmark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ossm_bench::workloads::Workload;
+use ossm_core::seg::{hybrid::random_greedy, hybrid::random_rc, Greedy, Random, RandomClosest};
+use ossm_core::{Aggregate, BubbleList, LossCalculator, SegmentationAlgorithm};
+
+fn bench_segmentation(c: &mut Criterion) {
+    let store = Workload::regular(60, 300).store();
+    let inputs = Aggregate::from_pages(&store);
+    let n_user = 10;
+
+    let mut group = c.benchmark_group("segment_60_pages");
+    group.sample_size(10);
+
+    let calc = LossCalculator::all_items();
+    let algos: Vec<(&str, Box<dyn SegmentationAlgorithm>)> = vec![
+        ("random", Box::new(Random::new(1))),
+        ("rc", Box::new(RandomClosest::new(calc.clone(), 1))),
+        ("greedy", Box::new(Greedy::new(calc.clone()))),
+        ("random_rc", Box::new(random_rc(calc.clone(), 30, 1))),
+        ("random_greedy", Box::new(random_greedy(calc.clone(), 30, 1))),
+    ];
+    for (name, algo) in &algos {
+        group.bench_with_input(BenchmarkId::new(*name, "full_loss"), algo, |bench, a| {
+            bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)))
+        });
+    }
+
+    // Same algorithms with a 10 % bubble list.
+    let threshold = store.dataset().absolute_threshold(0.01);
+    let bubble = BubbleList::from_store(&store, threshold, store.num_items() / 10);
+    let scoped = bubble.loss_calculator();
+    let bubbled: Vec<(&str, Box<dyn SegmentationAlgorithm>)> = vec![
+        ("rc", Box::new(RandomClosest::new(scoped.clone(), 1))),
+        ("greedy", Box::new(Greedy::new(scoped.clone()))),
+        ("random_greedy", Box::new(random_greedy(scoped.clone(), 30, 1))),
+    ];
+    for (name, algo) in &bubbled {
+        group.bench_with_input(BenchmarkId::new(*name, "bubble_10pct"), algo, |bench, a| {
+            bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segmentation);
+criterion_main!(benches);

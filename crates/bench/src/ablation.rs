@@ -1,0 +1,245 @@
+//! Ablation studies for the design decisions DESIGN.md §6 calls out.
+//!
+//! Unlike the Criterion benches (which time code), these studies measure
+//! *quality* and *work*, which Criterion cannot express:
+//!
+//! * **A1 (loss evaluation)** — wall time of the paper's O(m²) pair loop
+//!   vs the sorted O(m log m) identity, at paper-scale m, plus equality
+//!   spot-checks.
+//! * **A3 (heuristic quality)** — eq. (2) loss of Greedy / RC / Random /
+//!   hybrids against the *exhaustive optimum* on small page counts, where
+//!   the optimum is computable (Example 4's combinatorics).
+//! * **A4 (lossless pre-pass)** — effect of the Lemma 1 group-by-
+//!   configuration pre-pass on final loss.
+//! * **A5 (incremental vs rebuild)** — bound quality of the streaming
+//!   appender against a same-budget full rebuild.
+
+use std::fmt::Write as _;
+
+use ossm_core::seg::{hybrid::random_greedy, Greedy, Optimal, Random, RandomClosest, SegmentationAlgorithm};
+use ossm_core::{Aggregate, IncrementalOssm, LossCalculator, Ossm, OssmBuilder, Strategy};
+use ossm_data::Itemset;
+
+use crate::cli::Options;
+use crate::runner::timed;
+use crate::table::{fmt_duration, Table};
+use crate::workloads::{Workload, WorkloadKind};
+
+/// A1: naive vs sorted loss evaluation timing.
+pub fn loss_evaluation(opts: &Options) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Ablation A1 — equation (2) evaluation: O(m²) vs O(m log m)\n");
+    let mut table = Table::new(["m", "naive pair loop", "sorted identity", "ratio"]);
+    let seed: u64 = opts.get("seed", 7);
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    for m in [100usize, 400, 1000, 2000] {
+        let a = Aggregate::new((0..m).map(|_| rng.gen_range(0..1000)).collect(), 1000);
+        let b = Aggregate::new((0..m).map(|_| rng.gen_range(0..1000)).collect(), 1000);
+        let naive_calc = LossCalculator::all_items().with_naive_evaluation();
+        let fast_calc = LossCalculator::all_items();
+        // Repeat to get measurable times.
+        let reps = 50;
+        let (t_naive, naive) =
+            timed(|| (0..reps).map(|_| naive_calc.merge_loss(&a, &b)).max().unwrap_or(0));
+        let (t_fast, fast) =
+            timed(|| (0..reps).map(|_| fast_calc.merge_loss(&a, &b)).max().unwrap_or(0));
+        assert_eq!(naive, fast, "the two evaluations must agree");
+        table.row([
+            m.to_string(),
+            fmt_duration(t_naive / reps),
+            fmt_duration(t_fast / reps),
+            format!("{:.1}x", t_naive.as_secs_f64() / t_fast.as_secs_f64().max(1e-12)),
+        ]);
+    }
+    out.push_str(&table.to_markdown());
+    out
+}
+
+/// A3: heuristic loss vs the exhaustive optimum on small inputs.
+pub fn heuristic_quality(opts: &Options) -> String {
+    let items: usize = opts.get("items", 60);
+    let trials: usize = opts.get("trials", 8);
+    let seed: u64 = opts.get("seed", 3);
+    let calc = LossCalculator::all_items();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Ablation A3 — heuristic loss vs exhaustive optimum\n\n\
+         {trials} trials, p = 9 pages of skewed-synthetic data, n_user = 3, m = {items}. \
+         Cells: total eq. (2) loss relative to optimal (1.00 = optimal).\n"
+    );
+    let mut table = Table::new(["trial", "Optimal", "Greedy", "RC", "Random", "Random-Greedy"]);
+    let mut sums = [0.0f64; 4];
+    for t in 0..trials {
+        let w = Workload { kind: WorkloadKind::Skewed, pages: 9, items, seed: seed + t as u64 };
+        let inputs = Aggregate::from_pages(&w.store());
+        let opt_loss =
+            calc.segmentation_loss(&inputs, &Optimal::default().segment(&inputs, 3));
+        let rel = |algo: &dyn SegmentationAlgorithm| -> f64 {
+            let loss = calc.segmentation_loss(&inputs, &algo.segment(&inputs, 3));
+            if opt_loss == 0 {
+                if loss == 0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                loss as f64 / opt_loss as f64
+            }
+        };
+        let g = rel(&Greedy::default());
+        let rc = rel(&RandomClosest::new(calc.clone(), seed + t as u64));
+        let rnd = rel(&Random::new(seed + t as u64));
+        let hyb = rel(&random_greedy(calc.clone(), 6, seed + t as u64));
+        sums[0] += g;
+        sums[1] += rc;
+        sums[2] += rnd;
+        sums[3] += hyb;
+        table.row([
+            t.to_string(),
+            opt_loss.to_string(),
+            format!("{g:.2}"),
+            format!("{rc:.2}"),
+            format!("{rnd:.2}"),
+            format!("{hyb:.2}"),
+        ]);
+    }
+    table.row([
+        "mean".to_owned(),
+        "1.00".to_owned(),
+        format!("{:.2}", sums[0] / trials as f64),
+        format!("{:.2}", sums[1] / trials as f64),
+        format!("{:.2}", sums[2] / trials as f64),
+        format!("{:.2}", sums[3] / trials as f64),
+    ]);
+    out.push_str(&table.to_markdown());
+    out
+}
+
+/// A4: effect of the Lemma 1 lossless pre-pass.
+pub fn prepass_effect(opts: &Options) -> String {
+    let pages: usize = opts.get("pages", 40);
+    let items: usize = opts.get("items", 100);
+    let n_user: usize = opts.get("nuser", 6);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Ablation A4 — Lemma 1 group-by-configuration pre-pass\n\n\
+         skewed-synthetic, p = {pages}, m = {items}, n_user = {n_user}. \
+         Final eq. (2) loss with and without the lossless pre-pass.\n"
+    );
+    let mut table = Table::new(["Strategy", "Loss without pre-pass", "Loss with pre-pass"]);
+    let store = Workload::skewed(pages, items).store();
+    for strategy in [Strategy::Random, Strategy::Rc, Strategy::Greedy] {
+        let with = OssmBuilder::new(n_user)
+            .strategy(strategy)
+            .lossless_prepass(true)
+            .build(&store)
+            .1;
+        let without = OssmBuilder::new(n_user)
+            .strategy(strategy)
+            .lossless_prepass(false)
+            .build(&store)
+            .1;
+        table.row([
+            format!("{strategy:?}"),
+            without.total_loss.to_string(),
+            with.total_loss.to_string(),
+        ]);
+    }
+    out.push_str(&table.to_markdown());
+    out
+}
+
+/// A5: incremental appends vs full rebuild, at equal segment budget.
+pub fn incremental_vs_rebuild(opts: &Options) -> String {
+    let pages: usize = opts.get("pages", 60);
+    let items: usize = opts.get("items", 100);
+    let n_user: usize = opts.get("nuser", 8);
+    let store = Workload::skewed(pages, items).store();
+    let min_support = store.dataset().absolute_threshold(0.01);
+
+    let mut inc = IncrementalOssm::new(n_user, LossCalculator::all_items());
+    inc.append_store(&store);
+    let streamed = inc.snapshot();
+    let (rebuilt, _) = OssmBuilder::new(n_user).strategy(Strategy::Greedy).build(&store);
+    let single = Ossm::single_segment(&store);
+
+    // Compare total bound slack over all frequent-item pairs.
+    let totals = store.total_supports();
+    let frequent: Vec<u32> = (0..items as u32)
+        .filter(|&i| totals[i as usize] >= min_support)
+        .collect();
+    let slack = |map: &Ossm| -> u64 {
+        let mut s = 0u64;
+        for (i, &a) in frequent.iter().enumerate() {
+            for &b in &frequent[i + 1..] {
+                let x = Itemset::new([a, b]);
+                s += map.upper_bound(&x) - store.dataset().support(&x);
+            }
+        }
+        s
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Ablation A5 — incremental appends vs full rebuild\n\n\
+         skewed-synthetic, p = {pages}, m = {items}, budget {n_user} segments. \
+         Total bound slack (Σ ub − sup) over frequent-item pairs; lower is tighter.\n"
+    );
+    let mut table = Table::new(["Construction", "Total bound slack"]);
+    table.row(["single segment (no OSSM)".to_owned(), slack(&single).to_string()]);
+    table.row(["incremental appends".to_owned(), slack(&streamed).to_string()]);
+    table.row(["full Greedy rebuild".to_owned(), slack(&rebuilt).to_string()]);
+    out.push_str(&table.to_markdown());
+    out
+}
+
+/// All ablations in order.
+pub fn all(opts: &Options) -> String {
+    let mut out = String::new();
+    for section in [
+        loss_evaluation(opts),
+        heuristic_quality(opts),
+        prepass_effect(opts),
+        incremental_vs_rebuild(opts),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Options {
+        Options::parse(
+            ["--items=20", "--trials=2", "--pages=10", "--nuser=3"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+    }
+
+    #[test]
+    fn loss_evaluation_reports_agreeing_methods() {
+        let r = loss_evaluation(&tiny());
+        assert!(r.contains("O(m²) vs O(m log m)"));
+        assert!(r.contains("2000"));
+    }
+
+    #[test]
+    fn heuristic_quality_reports_relative_losses() {
+        let r = heuristic_quality(&tiny());
+        assert!(r.contains("mean"));
+        assert!(r.contains("Optimal"));
+    }
+
+    #[test]
+    fn prepass_and_incremental_sections_render() {
+        assert!(prepass_effect(&tiny()).contains("pre-pass"));
+        assert!(incremental_vs_rebuild(&tiny()).contains("bound slack"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Runs the design-decision ablation studies of DESIGN.md §6:
+//! loss-evaluation timing (A1), heuristic quality vs the exhaustive
+//! optimum (A3), the Lemma 1 pre-pass (A4), and incremental maintenance
+//! vs full rebuild (A5).
+//!
+//! Usage: `cargo run -p ossm-bench --release --bin ablation --
+//! [--items=…] [--trials=…] [--pages=…] [--nuser=…]`
+
+use ossm_bench::ablation;
+use ossm_bench::cli::Options;
+
+fn main() {
+    print!("{}", ablation::all(&Options::from_env()));
+}

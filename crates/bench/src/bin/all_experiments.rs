@@ -1,0 +1,20 @@
+//! Runs every reproduced table and figure in EXPERIMENTS.md order and
+//! prints one consolidated markdown report.
+//!
+//! Usage: `cargo run -p ossm-bench --release --bin all-experiments --
+//! [--smoke] [--pages=…] [--items=…]`
+//!
+//! `--smoke` runs everything at tiny scale (seconds, debug-build friendly);
+//! default scale matches the per-binary defaults.
+
+use ossm_bench::cli::Options;
+use ossm_bench::experiments::{fig4, fig5, fig6, sec7, smoke_options};
+
+fn main() {
+    let opts = Options::from_env();
+    let opts = if opts.flag("smoke") { smoke_options() } else { opts };
+    println!("# OSSM reproduction — experiment report\n");
+    for section in [fig4(&opts), fig5(&opts), fig6(&opts), sec7(&opts)] {
+        println!("{section}");
+    }
+}

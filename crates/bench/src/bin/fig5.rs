@@ -1,0 +1,15 @@
+//! Reproduces Figure 5 of the paper: segmentation cost and speedup for the
+//! pure strategies at p = 500 (a) and for the Random-RC / Random-Greedy
+//! hybrids at large p (b).
+//!
+//! Usage: `cargo run -p ossm-bench --release --bin fig5 -- [--pages=500]
+//! [--hybrid-pages=2500] [--full] [--items=1000] [--nuser=40] [--nmid=200]`
+//!
+//! `--full` restores the paper's 50 000 hybrid pages (5 M transactions).
+
+use ossm_bench::cli::Options;
+use ossm_bench::experiments::fig5;
+
+fn main() {
+    print!("{}", fig5(&Options::from_env()));
+}

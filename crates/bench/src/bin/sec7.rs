@@ -1,0 +1,13 @@
+//! Reproduces Section 7's preliminary table: the DHP algorithm with and
+//! without an OSSM (built by Random-RC with 40 segments), reporting
+//! runtime and the number of candidate 2-itemsets.
+//!
+//! Usage: `cargo run -p ossm-bench --release --bin sec7 -- [--pages=200]
+//! [--items=1000] [--minsup=0.01] [--nuser=40] [--buckets=32768]`
+
+use ossm_bench::cli::Options;
+use ossm_bench::experiments::sec7;
+
+fn main() {
+    print!("{}", sec7(&Options::from_env()));
+}

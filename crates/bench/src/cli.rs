@@ -1,0 +1,99 @@
+//! A tiny `--key=value` argument parser for the experiment binaries.
+//!
+//! Every binary accepts the same scaling knobs (`--pages`, `--items`,
+//! `--minsup`, `--seed`, `--full`), so paper-scale runs are one flag away
+//! while the defaults finish in seconds. Hand-rolled to keep the
+//! dependency set to the approved offline crates.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    /// Parses `--key=value` and bare `--flag` arguments.
+    ///
+    /// # Panics
+    /// Panics (with a usage hint) on arguments not starting with `--`.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Options::default();
+        for arg in args {
+            let Some(body) = arg.strip_prefix("--") else {
+                panic!("unexpected argument {arg:?}: use --key=value or --flag");
+            };
+            match body.split_once('=') {
+                Some((k, v)) => {
+                    out.values.insert(k.to_owned(), v.to_owned());
+                }
+                None => out.flags.push(body.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// Parses the process's real arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// A typed `--key=value`, or `default` if absent.
+    ///
+    /// # Panics
+    /// Panics if the value does not parse as `T`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("--{key}={v}: invalid value ({e:?})")),
+            None => default,
+        }
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let o = parse(&["--pages=500", "--minsup=0.01", "--full"]);
+        assert_eq!(o.get("pages", 0usize), 500);
+        assert!((o.get("minsup", 0.0f64) - 0.01).abs() < 1e-12);
+        assert!(o.flag("full"));
+        assert!(!o.flag("quick"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let o = parse(&[]);
+        assert_eq!(o.get("items", 1000usize), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn rejects_positional_arguments() {
+        parse(&["positional"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn rejects_bad_types() {
+        parse(&["--pages=abc"]).get("pages", 0usize);
+    }
+}

@@ -1,0 +1,376 @@
+//! The paper's experiments, one function per figure/table.
+//!
+//! Each function returns the markdown report it also expects the caller to
+//! print; `all-experiments` stitches them into `EXPERIMENTS.md` order.
+//! Scale defaults are laptop-sized; `--pages` (and `--full` where noted)
+//! move toward paper scale. See DESIGN.md §5 for the scaling rationale.
+
+use std::fmt::Write as _;
+
+use ossm_core::{OssmBuilder, Strategy};
+use ossm_mining::{Dhp, OssmFilter};
+
+use crate::cli::Options;
+use crate::runner::{ratio, run_baseline, run_with_ossm, timed};
+use crate::table::{fmt_bytes, fmt_duration, fmt_percent, fmt_speedup, Table};
+use crate::workloads::{Workload, WorkloadKind};
+
+/// Figure 4(a)/(b): Apriori speedup and candidate-2-itemset fraction vs
+/// the number of segments, for the Random, RC, and Greedy algorithms on
+/// regular-synthetic data at a 1 % support threshold.
+pub fn fig4(opts: &Options) -> String {
+    let pages: usize = opts.get("pages", 200);
+    let items: usize = opts.get("items", 1000);
+    let minsup: f64 = opts.get("minsup", 0.01);
+    let seed: u64 = opts.get("seed", 1);
+    let kind: WorkloadKind = opts.get("workload", WorkloadKind::Regular);
+    let workload = Workload::new(kind, pages, items);
+    let store = workload.store();
+    let min_support = store.dataset().absolute_threshold(minsup);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Figure 4 — OSSM effectiveness vs number of segments\n\n\
+         {kind:?} workload, p = {pages} pages ({} transactions), m = {items} items, \
+         minsup = {minsup} ({min_support} abs)\n",
+        workload.num_transactions()
+    );
+
+    let baseline = run_baseline(&store, min_support);
+    let _ = writeln!(
+        out,
+        "Apriori without the OSSM: {} ({} candidate 2-itemsets counted)\n",
+        fmt_duration(baseline.elapsed),
+        baseline.outcome.metrics.candidate_2_itemsets_counted()
+    );
+
+    let mut speedups = Table::new(["n_user", "Greedy", "RC", "Random", "OSSM size"]);
+    let mut fractions = Table::new(["n_user", "Greedy", "RC", "Random"]);
+    let sweep: Vec<usize> =
+        [20, 40, 60, 80, 100, 120, 140, 160].iter().copied().filter(|&n| n <= pages).collect();
+    for n_user in sweep {
+        let greedy = run_with_ossm(
+            &store,
+            min_support,
+            &OssmBuilder::new(n_user).strategy(Strategy::Greedy).seed(seed),
+            "Greedy",
+            &baseline,
+        );
+        let rc = run_with_ossm(
+            &store,
+            min_support,
+            &OssmBuilder::new(n_user).strategy(Strategy::Rc).seed(seed),
+            "RC",
+            &baseline,
+        );
+        let random = run_with_ossm(
+            &store,
+            min_support,
+            &OssmBuilder::new(n_user).strategy(Strategy::Random).seed(seed),
+            "Random",
+            &baseline,
+        );
+        speedups.row([
+            n_user.to_string(),
+            fmt_speedup(greedy.speedup),
+            fmt_speedup(rc.speedup),
+            fmt_speedup(random.speedup),
+            fmt_bytes(greedy.memory_bytes),
+        ]);
+        fractions.row([
+            n_user.to_string(),
+            fmt_percent(greedy.c2_fraction),
+            fmt_percent(rc.c2_fraction),
+            fmt_percent(random.c2_fraction),
+        ]);
+    }
+    let _ = writeln!(out, "### (a) Speedup relative to Apriori without the OSSM\n");
+    out.push_str(&speedups.to_markdown());
+    let _ = writeln!(out, "\n### (b) Candidate 2-itemsets still counted (fraction of baseline)\n");
+    out.push_str(&fractions.to_markdown());
+    out
+}
+
+/// Figure 5(a)/(b): segmentation cost and speedup of the pure strategies
+/// (p = 500) and the hybrid strategies (large p, Random down to n_mid).
+pub fn fig5(opts: &Options) -> String {
+    let items: usize = opts.get("items", 1000);
+    let minsup: f64 = opts.get("minsup", 0.01);
+    let n_user: usize = opts.get("nuser", 40);
+    let seed: u64 = opts.get("seed", 1);
+    let pure_pages: usize = opts.get("pages", 500);
+    // Paper: 50 000 pages for the hybrids. Default to 2 500 for a
+    // minutes-scale run; --full restores the paper's value.
+    let hybrid_pages: usize =
+        if opts.flag("full") { 50_000 } else { opts.get("hybrid-pages", 2500) };
+    let n_mid: usize = opts.get("nmid", 200);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figure 5 — Segmentation cost: pure and hybrid strategies\n");
+
+    // (a) Pure strategies at p = 500.
+    let kind: WorkloadKind = opts.get("workload", WorkloadKind::Regular);
+    let workload = Workload::new(kind, pure_pages, items);
+    let store = workload.store();
+    let min_support = store.dataset().absolute_threshold(minsup);
+    let baseline = run_baseline(&store, min_support);
+    let _ = writeln!(
+        out,
+        "### (a) Pure strategies ({kind:?}), p = {pure_pages}, n_user = {n_user} \
+         (baseline Apriori {}, {} candidate 2-itemsets)\n",
+        fmt_duration(baseline.elapsed),
+        baseline.outcome.metrics.candidate_2_itemsets_counted()
+    );
+    let mut table_a = Table::new([
+        "Pure strategy",
+        "Segmentation time",
+        "Speedup",
+        "C2 counted",
+        "Loss (eq. 2)",
+    ]);
+    for strategy in [Strategy::Random, Strategy::Rc, Strategy::Greedy] {
+        let builder = OssmBuilder::new(n_user).strategy(strategy).seed(seed);
+        let row = run_with_ossm(&store, min_support, &builder, format!("{strategy:?}"), &baseline);
+        table_a.row([
+            row.label.clone(),
+            fmt_duration(row.segmentation_time),
+            fmt_speedup(row.speedup),
+            row.c2_counted.to_string(),
+            row.loss.to_string(),
+        ]);
+    }
+    out.push_str(&table_a.to_markdown());
+
+    // (b) Hybrid strategies at large p.
+    let workload = Workload::new(kind, hybrid_pages, items);
+    let store = workload.store();
+    let min_support = store.dataset().absolute_threshold(minsup);
+    let baseline = run_baseline(&store, min_support);
+    let _ = writeln!(
+        out,
+        "\n### (b) Hybrid strategies ({kind:?}), p = {hybrid_pages} ({} transactions), \
+         n_mid = {n_mid}, n_user = {n_user} (baseline Apriori {}, {} candidate 2-itemsets)\n",
+        workload.num_transactions(),
+        fmt_duration(baseline.elapsed),
+        baseline.outcome.metrics.candidate_2_itemsets_counted()
+    );
+    let mut table_b = Table::new([
+        "Hybrid strategy",
+        "Segmentation time",
+        "Speedup",
+        "C2 counted",
+        "Loss (eq. 2)",
+    ]);
+    for strategy in [Strategy::RandomRc { n_mid }, Strategy::RandomGreedy { n_mid }] {
+        let builder = OssmBuilder::new(n_user).strategy(strategy).seed(seed);
+        let row = run_with_ossm(&store, min_support, &builder, strategy_label(strategy), &baseline);
+        table_b.row([
+            row.label.clone(),
+            fmt_duration(row.segmentation_time),
+            fmt_speedup(row.speedup),
+            row.c2_counted.to_string(),
+            row.loss.to_string(),
+        ]);
+    }
+    out.push_str(&table_b.to_markdown());
+    out
+}
+
+/// Figure 6(a)/(b): segmentation cost and speedup vs bubble-list size.
+/// The bubble list is built at a 0.25 % reference threshold while queries
+/// run at 1 % — reproducing the paper's threshold-mismatch setup.
+pub fn fig6(opts: &Options) -> String {
+    let items: usize = opts.get("items", 1000);
+    let pages: usize = if opts.flag("full") { 50_000 } else { opts.get("pages", 2500) };
+    let n_mid: usize = opts.get("nmid", 200);
+    let n_user: usize = opts.get("nuser", 40);
+    let seed: u64 = opts.get("seed", 1);
+    let bubble_threshold: f64 = opts.get("bubble-minsup", 0.0025);
+    let query_threshold: f64 = opts.get("minsup", 0.01);
+
+    let kind: WorkloadKind = opts.get("workload", WorkloadKind::Regular);
+    let workload = Workload::new(kind, pages, items);
+    let store = workload.store();
+    let min_support = store.dataset().absolute_threshold(query_threshold);
+    let baseline = run_baseline(&store, min_support);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Figure 6 — The bubble list optimization\n\n\
+         {kind:?} workload, p = {pages}, m = {items}; bubble built at \
+         {bubble_threshold} support, queries at {query_threshold} \
+         (baseline Apriori {})\n",
+        fmt_duration(baseline.elapsed)
+    );
+
+    let mut time_table =
+        Table::new(["Bubble size (% of m)", "Random-Greedy seg. time", "Random-RC seg. time"]);
+    let mut speed_table = Table::new([
+        "Bubble size (% of m)",
+        "Random-Greedy speedup",
+        "Random-RC speedup",
+        "RG C2 counted",
+        "RRC C2 counted",
+    ]);
+    for percent in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0] {
+        let rg = run_with_ossm(
+            &store,
+            min_support,
+            &OssmBuilder::new(n_user)
+                .strategy(Strategy::RandomGreedy { n_mid })
+                .bubble(bubble_threshold, percent)
+                .seed(seed),
+            "Random-Greedy",
+            &baseline,
+        );
+        let rrc = run_with_ossm(
+            &store,
+            min_support,
+            &OssmBuilder::new(n_user)
+                .strategy(Strategy::RandomRc { n_mid })
+                .bubble(bubble_threshold, percent)
+                .seed(seed),
+            "Random-RC",
+            &baseline,
+        );
+        time_table.row([
+            format!("{percent}%"),
+            fmt_duration(rg.segmentation_time),
+            fmt_duration(rrc.segmentation_time),
+        ]);
+        speed_table.row([
+            format!("{percent}%"),
+            fmt_speedup(rg.speedup),
+            fmt_speedup(rrc.speedup),
+            rg.c2_counted.to_string(),
+            rrc.c2_counted.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "### (a) Segmentation cost vs bubble-list size\n");
+    out.push_str(&time_table.to_markdown());
+    let _ = writeln!(out, "\n### (b) Speedup vs bubble-list size\n");
+    out.push_str(&speed_table.to_markdown());
+    out
+}
+
+/// Section 7's table: DHP with and without the OSSM (runtime and number of
+/// candidate 2-itemsets), OSSM built by Random-RC with 40 segments and the
+/// DHP hash table at 32 768 buckets.
+pub fn sec7(opts: &Options) -> String {
+    // Defaults follow the paper's Nokia emphasis: the preliminary table's
+    // small |C2| (292 -> 142) matches the ~5000-transaction, ~200-alarm
+    // data set, not the 1000-item regular-synthetic one. Our alarm
+    // workload reproduces that regime; pass --workload=regular to see the
+    // composition on Quest data.
+    // Bucket count: DHP's pruning power is set by the ratio of hashed
+    // pairs to buckets, and the paper does not give its hash function. At
+    // the paper's 32 768 buckets our multiplicative hash makes the table
+    // nearly collision-free on this data, leaving the OSSM nothing to add;
+    // 2048 buckets put the table in the collision-limited regime the
+    // paper's |C2| numbers (292 -> 142) imply. --buckets restores any value.
+    let pages: usize = opts.get("pages", 50);
+    let items: usize = opts.get("items", 200);
+    let minsup: f64 = opts.get("minsup", 0.02);
+    let n_user: usize = opts.get("nuser", 40);
+    let buckets: usize = opts.get("buckets", 2048);
+    let seed: u64 = opts.get("seed", 1);
+
+    let kind: WorkloadKind = opts.get("workload", WorkloadKind::Alarm);
+    let workload = Workload::new(kind, pages, items);
+    let store = workload.store();
+    let min_support = store.dataset().absolute_threshold(minsup);
+
+    let (ossm, report) = OssmBuilder::new(n_user)
+        .strategy(Strategy::RandomRc { n_mid: (pages / 2).clamp(n_user, 200) })
+        .seed(seed)
+        .build(&store);
+
+    let dhp = Dhp::new(buckets);
+    let (t_plain, plain) = timed(|| dhp.mine(store.dataset(), min_support));
+    let (t_ossm, with_ossm) =
+        timed(|| dhp.mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm)));
+    assert_eq!(plain.patterns, with_ossm.patterns, "OSSM must not change DHP's result");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Section 7 — DHP with and without the OSSM\n\n\
+         {kind:?} workload, p = {pages}, m = {items}, minsup = {minsup}; \
+         DHP buckets = {buckets}; OSSM = {} with {n_user} segments \
+         (built in {})\n",
+        report.algorithm,
+        fmt_duration(report.segmentation_time)
+    );
+    let mut table = Table::new(["Algorithm", "Runtime", "No. of C2", "Speedup vs DHP"]);
+    table.row([
+        "DHP without the OSSM".to_owned(),
+        fmt_duration(t_plain),
+        plain.metrics.candidate_2_itemsets_counted().to_string(),
+        "1.00x".to_owned(),
+    ]);
+    table.row([
+        "DHP with the OSSM".to_owned(),
+        fmt_duration(t_ossm),
+        with_ossm.metrics.candidate_2_itemsets_counted().to_string(),
+        fmt_speedup(ratio(t_plain, t_ossm)),
+    ]);
+    out.push_str(&table.to_markdown());
+    out
+}
+
+fn strategy_label(s: Strategy) -> String {
+    match s {
+        Strategy::Random => "Random".into(),
+        Strategy::Rc => "RC".into(),
+        Strategy::Greedy => "Greedy".into(),
+        Strategy::RandomRc { .. } => "Random-RC".into(),
+        Strategy::RandomGreedy { .. } => "Random-Greedy".into(),
+    }
+}
+
+/// Smoke-scale options used by the tests below and by `all-experiments
+/// --smoke`.
+pub fn smoke_options() -> Options {
+    Options::parse(
+        ["--pages=12", "--items=60", "--hybrid-pages=30", "--nmid=16", "--nuser=6"]
+            .iter()
+            .map(|s| (*s).to_owned()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_smoke() {
+        let report = fig4(&smoke_options());
+        assert!(report.contains("Figure 4"));
+        assert!(report.contains("Speedup"));
+        assert!(report.contains("| n_user"));
+    }
+
+    #[test]
+    fn fig5_smoke() {
+        let report = fig5(&smoke_options());
+        assert!(report.contains("Pure strategies"));
+        assert!(report.contains("Hybrid strategies"));
+        assert!(report.contains("Random-Greedy"));
+    }
+
+    #[test]
+    fn fig6_smoke() {
+        let report = fig6(&smoke_options());
+        assert!(report.contains("bubble"));
+        assert!(report.contains("60%"));
+    }
+
+    #[test]
+    fn sec7_smoke() {
+        let report = sec7(&smoke_options());
+        assert!(report.contains("DHP with the OSSM"));
+        assert!(report.contains("No. of C2"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # ossm-bench — experiment harness for the OSSM paper's evaluation
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md`'s
+//! per-experiment index):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig4` | Figure 4(a) speedup and 4(b) candidate-2-itemset fraction vs `n_user` |
+//! | `fig5` | Figure 5(a) pure and 5(b) hybrid segmentation cost/speedup tables |
+//! | `fig6` | Figure 6(a)/(b) bubble-list size sweeps |
+//! | `sec7` | Section 7's DHP-with/without-OSSM table |
+//! | `all-experiments` | everything above, in EXPERIMENTS.md order |
+//!
+//! Criterion ablation benches live in `benches/` (`loss`, `counting`,
+//! `bound`, `segmentation`, `miners`).
+//!
+//! All binaries accept `--pages=N --items=M --minsup=F --seed=S` plus
+//! binary-specific knobs, and print markdown tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod cli;
+pub mod experiments;
+pub mod runner;
+pub mod table;
+pub mod workloads;
+
+pub use cli::Options;
+pub use runner::{run_baseline, run_with_ossm, timed, Baseline, SpeedupRow};
+pub use table::Table;
+pub use workloads::{Workload, WorkloadKind};

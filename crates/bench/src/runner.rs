@@ -1,0 +1,174 @@
+//! Experiment runner: the measurements every figure/table binary shares.
+//!
+//! The paper's central metric is the *speedup*: "the ratio of the execution
+//! time of the Apriori algorithm without the OSSM, to that with the OSSM
+//! produced by algorithm A". We report that ratio and, alongside it, the
+//! deterministic quantity that drives it — the number of candidate
+//! 2-itemsets that still required counting (Figure 4(b)'s y-axis) — so the
+//! experiments are meaningful even under timing noise.
+
+use std::time::{Duration, Instant};
+
+use ossm_core::{Ossm, OssmBuilder};
+use ossm_data::PageStore;
+use ossm_mining::{Apriori, CountingBackend, MiningOutcome, NoFilter, OssmFilter};
+
+/// Times a closure.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// The Apriori configuration used by all timing experiments: hash-tree
+/// counting (the strongest baseline — a linear-scan baseline would flatter
+/// the OSSM).
+pub fn experiment_apriori() -> Apriori {
+    Apriori::new().with_backend(CountingBackend::HashTree)
+}
+
+/// Result of one Apriori-without-OSSM baseline run.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// Wall time of the run.
+    pub elapsed: Duration,
+    /// Full mining outcome (metrics carry candidate counts).
+    pub outcome: MiningOutcome,
+}
+
+/// Runs the no-OSSM baseline (single run).
+pub fn run_baseline(store: &PageStore, min_support: u64) -> Baseline {
+    run_baseline_repeated(store, min_support, 1)
+}
+
+/// Runs the no-OSSM baseline `repeats` times and keeps the fastest run
+/// (standard noise reduction for wall-clock comparisons).
+pub fn run_baseline_repeated(store: &PageStore, min_support: u64, repeats: u32) -> Baseline {
+    let apriori = experiment_apriori();
+    let mut best: Option<Baseline> = None;
+    for _ in 0..repeats.max(1) {
+        let (elapsed, outcome) =
+            timed(|| apriori.mine_filtered(store.dataset(), min_support, &NoFilter));
+        if best.as_ref().map_or(true, |b| elapsed < b.elapsed) {
+            best = Some(Baseline { elapsed, outcome });
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// One row of a speedup table.
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Strategy label ("Greedy", "Random-RC", …).
+    pub label: String,
+    /// Final segment count of the OSSM.
+    pub num_segments: usize,
+    /// One-time segmentation cost.
+    pub segmentation_time: Duration,
+    /// Apriori runtime with this OSSM.
+    pub mining_time: Duration,
+    /// Paper's speedup ratio (baseline time / with-OSSM time).
+    pub speedup: f64,
+    /// Fraction of the baseline's counted candidate 2-itemsets that still
+    /// required counting (Figure 4(b)'s y-axis; 1.0 = no pruning).
+    pub c2_fraction: f64,
+    /// Absolute number of candidate 2-itemsets counted with this OSSM.
+    pub c2_counted: u64,
+    /// Total equation-(2) loss of the segmentation.
+    pub loss: u64,
+    /// OSSM size in bytes.
+    pub memory_bytes: usize,
+}
+
+/// Builds an OSSM with `builder`, mines with it, and compares against
+/// `baseline`. Panics if the filtered run returns different patterns than
+/// the baseline (the OSSM must be lossless; this is a live correctness
+/// check inside every experiment).
+pub fn run_with_ossm(
+    store: &PageStore,
+    min_support: u64,
+    builder: &OssmBuilder,
+    label: impl Into<String>,
+    baseline: &Baseline,
+) -> SpeedupRow {
+    let (ossm, report) = builder.build(store);
+    let row = measure_ossm(store, min_support, &ossm, label, baseline);
+    SpeedupRow {
+        segmentation_time: report.segmentation_time,
+        loss: report.total_loss,
+        ..row
+    }
+}
+
+/// Mines with an already-built OSSM and compares against `baseline`.
+/// The wall time is the fastest of two runs, matching
+/// [`run_baseline_repeated`]'s noise reduction.
+pub fn measure_ossm(
+    store: &PageStore,
+    min_support: u64,
+    ossm: &Ossm,
+    label: impl Into<String>,
+    baseline: &Baseline,
+) -> SpeedupRow {
+    let apriori = experiment_apriori();
+    let (mut elapsed, outcome) =
+        timed(|| apriori.mine_filtered(store.dataset(), min_support, &OssmFilter::new(ossm)));
+    let (second, _) =
+        timed(|| apriori.mine_filtered(store.dataset(), min_support, &OssmFilter::new(ossm)));
+    elapsed = elapsed.min(second);
+    assert_eq!(
+        outcome.patterns, baseline.outcome.patterns,
+        "OSSM filtering changed the mining result — equation (1) violated"
+    );
+    let base_c2 = baseline.outcome.metrics.candidate_2_itemsets_counted();
+    let c2 = outcome.metrics.candidate_2_itemsets_counted();
+    SpeedupRow {
+        label: label.into(),
+        num_segments: ossm.num_segments(),
+        segmentation_time: Duration::ZERO,
+        mining_time: elapsed,
+        speedup: ratio(baseline.elapsed, elapsed),
+        c2_fraction: if base_c2 == 0 { 1.0 } else { c2 as f64 / base_c2 as f64 },
+        c2_counted: c2,
+        loss: 0,
+        memory_bytes: ossm.memory_bytes(),
+    }
+}
+
+/// `a / b` as a float, saturating sanely when `b` is ~0.
+pub fn ratio(a: Duration, b: Duration) -> f64 {
+    let (a, b) = (a.as_secs_f64(), b.as_secs_f64());
+    if b <= f64::EPSILON {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+    use ossm_core::Strategy;
+
+    #[test]
+    fn speedup_row_carries_consistent_numbers() {
+        let store = Workload::regular(10, 60).store();
+        let min_support = store.dataset().absolute_threshold(0.02);
+        let baseline = run_baseline(&store, min_support);
+        let builder = OssmBuilder::new(8).strategy(Strategy::Rc);
+        let row = run_with_ossm(&store, min_support, &builder, "RC", &baseline);
+        assert_eq!(row.label, "RC");
+        assert_eq!(row.num_segments, 8);
+        assert!(row.c2_fraction <= 1.0, "pruning cannot add candidates");
+        assert!(row.c2_fraction >= 0.0);
+        assert!(row.memory_bytes > 0);
+        assert!(row.speedup.is_finite() || row.mining_time.is_zero());
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert!(ratio(Duration::from_secs(1), Duration::ZERO).is_infinite());
+        assert!((ratio(Duration::from_secs(2), Duration::from_secs(1)) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Standard experiment workloads, paper-shaped but scalable.
+//!
+//! The paper's regular-synthetic experiments fix `m = 1000` items and vary
+//! the page count `p` from 200 to 50 000 (one 4 KB page ≈ 100
+//! transactions). Experiments here take `p` and derive the transaction
+//! count as `p × 100`, so `--pages` scales a run exactly the way the
+//! paper's key parameter does. Defaults are chosen so the full suite runs
+//! in minutes on a laptop; pass larger `--pages` to approach paper scale.
+
+use ossm_data::gen::{AlarmConfig, QuestConfig, SkewedConfig};
+use ossm_data::{Dataset, PageStore};
+
+/// Transactions per page, matching the paper's "roughly 100 transactions"
+/// per 4 KB page.
+pub const TX_PER_PAGE: usize = 100;
+
+/// Which of the paper's three data sets to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// IBM-Quest-style regular-synthetic data (Section 6.1, data set 2).
+    Regular,
+    /// Seasonal skewed-synthetic data (Section 6.1, data set 3).
+    Skewed,
+    /// Alarm-window data standing in for the Nokia set (Section 6.1,
+    /// data set 1).
+    Alarm,
+}
+
+impl std::str::FromStr for WorkloadKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "regular" => Ok(WorkloadKind::Regular),
+            "skewed" => Ok(WorkloadKind::Skewed),
+            "alarm" | "nokia" => Ok(WorkloadKind::Alarm),
+            other => Err(format!("unknown workload {other:?} (regular|skewed|alarm)")),
+        }
+    }
+}
+
+/// A fully specified experiment workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Which generator to run.
+    pub kind: WorkloadKind,
+    /// Number of pages `p` (transactions = `p × TX_PER_PAGE`).
+    pub pages: usize,
+    /// Item domain size `m`.
+    pub items: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A workload of the given kind, with the kind's default seed.
+    pub fn new(kind: WorkloadKind, pages: usize, items: usize) -> Self {
+        match kind {
+            WorkloadKind::Regular => Self::regular(pages, items),
+            WorkloadKind::Skewed => Self::skewed(pages, items),
+            WorkloadKind::Alarm => Self::alarm(pages, items),
+        }
+    }
+
+    /// The paper-shaped regular-synthetic workload at a given page count.
+    pub fn regular(pages: usize, items: usize) -> Self {
+        Workload { kind: WorkloadKind::Regular, pages, items, seed: 0x0551_2002 }
+    }
+
+    /// The skewed-synthetic workload.
+    pub fn skewed(pages: usize, items: usize) -> Self {
+        Workload { kind: WorkloadKind::Skewed, pages, items, seed: 0x5EA5 }
+    }
+
+    /// The alarm (Nokia-substitute) workload. The paper's set is ~5000
+    /// transactions over ~200 alarm types; `pages = 50`, `items = 200`
+    /// matches it.
+    pub fn alarm(pages: usize, items: usize) -> Self {
+        Workload { kind: WorkloadKind::Alarm, pages, items, seed: 0xA1A2_2002 }
+    }
+
+    /// Number of transactions this workload generates.
+    pub fn num_transactions(&self) -> usize {
+        self.pages * TX_PER_PAGE
+    }
+
+    /// Generates the dataset.
+    pub fn dataset(&self) -> Dataset {
+        let n = self.num_transactions();
+        match self.kind {
+            WorkloadKind::Regular => QuestConfig {
+                num_transactions: n,
+                num_items: self.items,
+                num_patterns: (self.items * 2).max(10),
+                seed: self.seed,
+                ..QuestConfig::default()
+            }
+            .generate(),
+            WorkloadKind::Skewed => SkewedConfig {
+                num_transactions: n,
+                num_items: self.items,
+                seed: self.seed,
+                ..SkewedConfig::default()
+            }
+            .generate(),
+            WorkloadKind::Alarm => AlarmConfig {
+                num_windows: n,
+                num_alarm_types: self.items,
+                seed: self.seed,
+                ..AlarmConfig::default()
+            }
+            .generate(),
+        }
+    }
+
+    /// Generates the dataset and pages it at exactly `self.pages` pages.
+    pub fn store(&self) -> PageStore {
+        PageStore::with_page_count(self.dataset(), self.pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_count_is_exact() {
+        let w = Workload::regular(20, 100);
+        let s = w.store();
+        assert_eq!(s.num_pages(), 20);
+        assert_eq!(s.dataset().len(), 2000);
+        assert_eq!(s.num_items(), 100);
+    }
+
+    #[test]
+    fn kinds_parse() {
+        assert_eq!("regular".parse::<WorkloadKind>().unwrap(), WorkloadKind::Regular);
+        assert_eq!("nokia".parse::<WorkloadKind>().unwrap(), WorkloadKind::Alarm);
+        assert!("bogus".parse::<WorkloadKind>().is_err());
+    }
+
+    #[test]
+    fn all_kinds_generate() {
+        for kind in [WorkloadKind::Regular, WorkloadKind::Skewed, WorkloadKind::Alarm] {
+            let w = Workload { kind, pages: 3, items: 30, seed: 1 };
+            let s = w.store();
+            assert_eq!(s.num_pages(), 3);
+            assert!(s.dataset().len() == 300);
+        }
+    }
+}

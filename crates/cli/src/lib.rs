@@ -1,0 +1,508 @@
+//! # ossm-cli — the `ossm` command-line tool
+//!
+//! A thin, scriptable front end over the whole reproduction: generate
+//! paper-shaped workloads, pack them into page files, build and persist
+//! OSSMs with any of the paper's segmentation strategies, and mine with
+//! any of the implemented algorithms — with or without the map.
+//!
+//! ```console
+//! $ ossm generate --kind=skewed --transactions=20000 --items=500 --out=data.db
+//! $ ossm pack --in=data.db --out=data.pages
+//! $ ossm segment --in=data.pages --nuser=40 --strategy=random-greedy --out=map.ossm
+//! $ ossm mine --in=data.db --minsup=0.01 --ossm=map.ossm --top=5
+//! $ ossm recipe --nuser=150 --pages=50000 --skewed
+//! ```
+//!
+//! Every subcommand is a pure function from arguments to a report string,
+//! so the whole surface is unit-testable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use ossm_bench::cli::Options;
+use ossm_bench::table::{fmt_bytes, fmt_duration, Table};
+use ossm_core::{
+    persist, recommend, ApplicationProfile, Ossm, OssmBuilder, RecommendedStrategy, Strategy,
+};
+use ossm_data::disk::DiskStore;
+use ossm_data::gen::{AlarmConfig, QuestConfig, SkewedConfig};
+use ossm_data::{Dataset, Itemset};
+use ossm_mining::{
+    Apriori, CountingBackend, DepthProject, Dhp, FpGrowth, MiningOutcome, OssmFilter, Partition,
+    StreamingApriori,
+};
+
+/// Usage text printed on errors and by `ossm help`.
+pub const USAGE: &str = "\
+usage: ossm <command> [--key=value ...]
+
+commands:
+  generate  --kind=regular|skewed|alarm --transactions=N --items=M
+            [--seed=S] --out=FILE
+  pack      --in=FILE --out=FILE.pages [--page-bytes=4096]
+  inspect   --in=FILE            (flat .db or paged .pages file)
+  segment   --in=FILE.pages --nuser=N [--strategy=greedy|rc|random|
+            random-rc|random-greedy|auto] [--nmid=200] [--seed=S]
+            [--bubble-pct=P --bubble-minsup=F] [--out=FILE.ossm]
+  mine      --in=FILE --minsup=F [--algo=apriori|dhp|partition|depth|
+            fpgrowth|eclat|charm|genmax|streaming] [--ossm=FILE.ossm]
+            [--top=K]
+  recipe    --nuser=N --pages=P [--skewed] [--cost-sensitive]
+  help";
+
+/// Runs a CLI invocation; returns the report to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = Options::parse(rest.iter().cloned());
+    match command.as_str() {
+        "generate" => generate(&opts),
+        "pack" => pack(&opts),
+        "inspect" => inspect(&opts),
+        "segment" => segment(&opts),
+        "mine" => mine(&opts),
+        "recipe" => recipe(&opts),
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn required(opts: &Options, key: &str) -> Result<String, String> {
+    let sentinel = String::new();
+    let v: String = opts.get(key, sentinel);
+    if v.is_empty() {
+        return Err(format!("--{key}=… is required"));
+    }
+    Ok(v)
+}
+
+fn generate(opts: &Options) -> Result<String, String> {
+    let kind = required(opts, "kind")?;
+    let out = PathBuf::from(required(opts, "out")?);
+    let n: usize = opts.get("transactions", 10_000);
+    let m: usize = opts.get("items", 1000);
+    let seed: u64 = opts.get("seed", 1);
+    let dataset = match kind.as_str() {
+        "regular" => QuestConfig {
+            num_transactions: n,
+            num_items: m,
+            num_patterns: (m * 2).max(10),
+            seed,
+            ..QuestConfig::default()
+        }
+        .generate(),
+        "skewed" => SkewedConfig { num_transactions: n, num_items: m, seed, ..Default::default() }
+            .generate(),
+        "alarm" | "nokia" => AlarmConfig {
+            num_windows: n,
+            num_alarm_types: m,
+            seed,
+            ..Default::default()
+        }
+        .generate(),
+        other => return Err(format!("unknown kind {other:?} (regular|skewed|alarm)")),
+    };
+    ossm_data::io::save(&out, &dataset).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    Ok(format!(
+        "generated {kind}: {} transactions over {} items -> {}\n",
+        dataset.len(),
+        dataset.num_items(),
+        out.display()
+    ))
+}
+
+fn pack(opts: &Options) -> Result<String, String> {
+    let input = PathBuf::from(required(opts, "in")?);
+    let out = PathBuf::from(required(opts, "out")?);
+    let page_bytes: usize = opts.get("page-bytes", ossm_data::page::DEFAULT_PAGE_BYTES);
+    let dataset = load_dataset(&input)?;
+    ossm_data::disk::write_paged(&out, &dataset, page_bytes)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    let store = DiskStore::open(&out, 1).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "packed {} transactions into {} pages of {} bytes -> {}\n",
+        dataset.len(),
+        store.num_pages(),
+        page_bytes,
+        out.display()
+    ))
+}
+
+fn inspect(opts: &Options) -> Result<String, String> {
+    let input = PathBuf::from(required(opts, "in")?);
+    let mut out = String::new();
+    match classify(&input)? {
+        FileKind::Paged => {
+            let store = DiskStore::open(&input, 1).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "paged dataset: {} pages, {} transactions, {} items",
+                store.num_pages(),
+                store.num_transactions(),
+                store.num_items()
+            );
+            let _ = writeln!(
+                out,
+                "aggregate index loaded with zero data-page reads (io: {:?})",
+                store.io_stats()
+            );
+        }
+        FileKind::Flat => {
+            let d = load_dataset(&input)?;
+            let avg = if d.is_empty() {
+                0.0
+            } else {
+                d.transactions().iter().map(Itemset::len).sum::<usize>() as f64 / d.len() as f64
+            };
+            let _ = writeln!(
+                out,
+                "flat dataset: {} transactions, {} items, avg basket {:.2}",
+                d.len(),
+                d.num_items(),
+                avg
+            );
+            let singles = d.singleton_supports();
+            let mut top: Vec<usize> = (0..d.num_items()).collect();
+            top.sort_by_key(|&i| std::cmp::Reverse(singles[i]));
+            let _ = writeln!(out, "top items:");
+            for &i in top.iter().take(5) {
+                let _ = writeln!(
+                    out,
+                    "  item {i}: support {} ({:.2}%)",
+                    singles[i],
+                    100.0 * singles[i] as f64 / d.len().max(1) as f64
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_strategy(
+    opts: &Options,
+    store: &ossm_data::PageStore,
+    n_user: usize,
+) -> Result<Strategy, String> {
+    let name: String = opts.get("strategy", "greedy".to_owned());
+    let n_mid: usize = opts.get("nmid", 200);
+    Ok(match name.as_str() {
+        "greedy" => Strategy::Greedy,
+        "rc" => Strategy::Rc,
+        "random" => Strategy::Random,
+        "random-rc" => Strategy::RandomRc { n_mid },
+        "random-greedy" => Strategy::RandomGreedy { n_mid },
+        // Measure the data and apply the Figure 7 recipe.
+        "auto" => ossm_core::recipe::auto_strategy(store, n_user, opts.flag("cost-sensitive")),
+        other => return Err(format!("unknown strategy {other:?}")),
+    })
+}
+
+fn segment(opts: &Options) -> Result<String, String> {
+    let input = PathBuf::from(required(opts, "in")?);
+    let n_user: usize = opts.get("nuser", 40);
+    let seed: u64 = opts.get("seed", 1);
+    let store = load_page_store(&input, opts)?;
+    let strategy = parse_strategy(opts, &store, n_user)?;
+    let mut builder = OssmBuilder::new(n_user).strategy(strategy).seed(seed);
+    let bubble_pct: f64 = opts.get("bubble-pct", 0.0);
+    if bubble_pct > 0.0 {
+        let bubble_minsup: f64 = opts.get("bubble-minsup", 0.0025);
+        builder = builder.bubble(bubble_minsup, bubble_pct);
+    }
+    let (ossm, report) = builder.build(&store);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "built {} OSSM: {} pages -> {} segments in {} ({}, eq.2 loss {})",
+        report.algorithm,
+        report.num_pages,
+        report.num_segments,
+        fmt_duration(report.segmentation_time),
+        fmt_bytes(report.memory_bytes),
+        report.total_loss
+    );
+    if let Some(len) = report.bubble_len {
+        let _ = writeln!(out, "bubble list: {len} items");
+    }
+    let save: String = opts.get("out", String::new());
+    if !save.is_empty() {
+        let path = PathBuf::from(save);
+        persist::save(&path, &ossm).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "saved -> {}", path.display());
+    }
+    Ok(out)
+}
+
+fn mine(opts: &Options) -> Result<String, String> {
+    let input = PathBuf::from(required(opts, "in")?);
+    let minsup: f64 = opts.get("minsup", 0.01);
+    let algo: String = opts.get("algo", "apriori".to_owned());
+    let top: usize = opts.get("top", 10);
+    let ossm_path: String = opts.get("ossm", String::new());
+    let ossm: Option<Ossm> = if ossm_path.is_empty() {
+        None
+    } else {
+        Some(persist::load(Path::new(&ossm_path)).map_err(|e| format!("loading OSSM: {e}"))?)
+    };
+
+    // The streaming miner works straight off a page file; everything else
+    // needs the dataset in memory.
+    if algo == "streaming" {
+        if classify(&input)? != FileKind::Paged {
+            return Err("--algo=streaming needs a paged input (see `ossm pack`)".into());
+        }
+        let mut store = DiskStore::open(&input, opts.get("pool-pages", 64))
+            .map_err(|e| e.to_string())?;
+        let min_support =
+            ((minsup * store.num_transactions() as f64).ceil() as u64).max(1);
+        let out = StreamingApriori::new()
+            .mine(&mut store, min_support, ossm.as_ref())
+            .map_err(|e| e.to_string())?;
+        let mut report = String::new();
+        let _ = writeln!(
+            report,
+            "streaming apriori: {} frequent patterns, {} passes, {} page reads",
+            out.patterns.len(),
+            out.passes,
+            out.page_reads
+        );
+        report.push_str(&top_patterns(&out.patterns, top));
+        return Ok(report);
+    }
+
+    let dataset = load_dataset(&input)?;
+    let min_support = dataset.absolute_threshold(minsup).max(1);
+    let outcome: MiningOutcome = match (algo.as_str(), &ossm) {
+        ("apriori", Some(map)) => Apriori::new()
+            .with_backend(CountingBackend::HashTree)
+            .mine_filtered(&dataset, min_support, &OssmFilter::new(map)),
+        ("apriori", None) => {
+            Apriori::new().with_backend(CountingBackend::HashTree).mine(&dataset, min_support)
+        }
+        ("dhp", Some(map)) => {
+            Dhp::default().mine_filtered(&dataset, min_support, &OssmFilter::new(map))
+        }
+        ("dhp", None) => Dhp::default().mine(&dataset, min_support),
+        ("partition", _) => {
+            Partition::new(opts.get("partitions", 4)).parallel().mine(&dataset, min_support)
+        }
+        ("depth", Some(map)) => {
+            DepthProject::new().mine_filtered(&dataset, min_support, &OssmFilter::new(map))
+        }
+        ("depth", None) => DepthProject::new().mine(&dataset, min_support),
+        ("fpgrowth", _) => FpGrowth::new().mine(&dataset, min_support),
+        ("eclat", ossm) => {
+            ossm_mining::Eclat::new().mine_filtered(&dataset, min_support, ossm.as_ref())
+        }
+        ("charm", _) => ossm_mining::Charm::new().mine(&dataset, min_support),
+        ("genmax", _) => ossm_mining::GenMax::new().mine(&dataset, min_support),
+        (other, _) => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{algo}: {} frequent patterns (min support {min_support}) in {}",
+        outcome.patterns.len(),
+        fmt_duration(outcome.metrics.elapsed)
+    );
+    if outcome.metrics.total_filtered_out() > 0 {
+        let _ = writeln!(
+            report,
+            "OSSM pruned {} candidates before counting ({} counted)",
+            outcome.metrics.total_filtered_out(),
+            outcome.metrics.total_counted()
+        );
+    }
+    report.push_str(&top_patterns(&outcome.patterns, top));
+    Ok(report)
+}
+
+fn top_patterns(patterns: &ossm_mining::FrequentPatterns, top: usize) -> String {
+    let mut rows: Vec<(&Itemset, u64)> = patterns.iter().collect();
+    rows.sort_by_key(|&(p, s)| (std::cmp::Reverse(s), p.clone()));
+    let mut table = Table::new(["pattern", "support"]);
+    for (p, s) in rows.into_iter().take(top) {
+        table.row([format!("{p}"), s.to_string()]);
+    }
+    table.to_markdown()
+}
+
+fn recipe(opts: &Options) -> Result<String, String> {
+    let n_user: usize = opts.get("nuser", 40);
+    let pages: usize = opts.get("pages", 500);
+    let profile = ApplicationProfile {
+        large_n_user: n_user >= 100,
+        skewed_data: opts.flag("skewed"),
+        segmentation_cost_an_issue: opts.flag("cost-sensitive"),
+        very_large_p: pages >= 10_000,
+    };
+    let rec: RecommendedStrategy = recommend(profile);
+    Ok(format!(
+        "profile: n_user = {n_user}, p = {pages}, skewed = {}, cost-sensitive = {}\n\
+         Figure 7 recommends: {rec}\n",
+        profile.skewed_data, profile.segmentation_cost_an_issue
+    ))
+}
+
+#[derive(PartialEq, Eq, Debug)]
+enum FileKind {
+    Flat,
+    Paged,
+}
+
+fn classify(path: &Path) -> Result<FileKind, String> {
+    let mut f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut magic = [0u8; 8];
+    use std::io::Read as _;
+    f.read_exact(&mut magic).map_err(|e| format!("{}: {e}", path.display()))?;
+    match &magic {
+        b"OSSMDATA" => Ok(FileKind::Flat),
+        b"OSSMPAGE" => Ok(FileKind::Paged),
+        _ => Err(format!("{}: unrecognized file format", path.display())),
+    }
+}
+
+fn load_dataset(path: &Path) -> Result<Dataset, String> {
+    match classify(path)? {
+        FileKind::Flat => {
+            ossm_data::io::load(path).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        FileKind::Paged => {
+            let mut store = DiskStore::open(path, 16).map_err(|e| e.to_string())?;
+            store.to_dataset().map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn load_page_store(path: &Path, opts: &Options) -> Result<ossm_data::PageStore, String> {
+    let page_bytes: usize = opts.get("page-bytes", ossm_data::page::DEFAULT_PAGE_BYTES);
+    Ok(ossm_data::PageStore::pack(load_dataset(path)?, page_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ossm-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        run(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).expect("command failed")
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_ok(&["help"]).contains("usage: ossm"));
+        assert!(run(&["bogus".to_owned()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_generate_pack_segment_mine() {
+        let db = tmp("pipe.db");
+        let pages = tmp("pipe.pages");
+        let map = tmp("pipe.ossm");
+        let db_s = db.to_str().unwrap();
+        let pages_s = pages.to_str().unwrap();
+        let map_s = map.to_str().unwrap();
+
+        let g = run_ok(&[
+            "generate",
+            "--kind=skewed",
+            "--transactions=2000",
+            "--items=100",
+            &format!("--out={db_s}"),
+        ]);
+        assert!(g.contains("2000 transactions"), "{g}");
+
+        let p = run_ok(&["pack", &format!("--in={db_s}"), &format!("--out={pages_s}")]);
+        assert!(p.contains("packed 2000 transactions"), "{p}");
+
+        let i = run_ok(&["inspect", &format!("--in={db_s}")]);
+        assert!(i.contains("flat dataset: 2000 transactions"), "{i}");
+        let ip = run_ok(&["inspect", &format!("--in={pages_s}")]);
+        assert!(ip.contains("paged dataset"), "{ip}");
+
+        let s = run_ok(&[
+            "segment",
+            &format!("--in={pages_s}"),
+            "--nuser=6",
+            "--strategy=rc",
+            &format!("--out={map_s}"),
+        ]);
+        assert!(s.contains("-> 6 segments"), "{s}");
+        assert!(s.contains("saved ->"), "{s}");
+
+        let m = run_ok(&[
+            "mine",
+            &format!("--in={db_s}"),
+            "--minsup=0.05",
+            &format!("--ossm={map_s}"),
+            "--top=3",
+        ]);
+        assert!(m.contains("frequent patterns"), "{m}");
+
+        let st = run_ok(&[
+            "mine",
+            &format!("--in={pages_s}"),
+            "--algo=streaming",
+            "--minsup=0.05",
+            &format!("--ossm={map_s}"),
+        ]);
+        assert!(st.contains("streaming apriori"), "{st}");
+
+        for f in [db, pages, map] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn miners_agree_through_the_cli() {
+        let db = tmp("agree.db");
+        let db_s = db.to_str().unwrap().to_owned();
+        run_ok(&[
+            "generate",
+            "--kind=regular",
+            "--transactions=1000",
+            "--items=50",
+            &format!("--out={db_s}"),
+        ]);
+        // "algo: N frequent patterns …" — extract N.
+        let count_of = |algo: &str| -> String {
+            let out = run_ok(&[
+                "mine",
+                &format!("--in={db_s}"),
+                "--minsup=0.02",
+                &format!("--algo={algo}"),
+            ]);
+            out.lines().next().unwrap_or("").split(' ').nth(1).unwrap_or("").to_owned()
+        };
+        let reference = count_of("apriori");
+        assert!(reference.parse::<u64>().is_ok(), "expected a count, got {reference:?}");
+        for algo in ["dhp", "partition", "depth", "fpgrowth", "eclat"] {
+            assert_eq!(count_of(algo), reference, "{algo} disagrees");
+        }
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn recipe_command() {
+        let r = run_ok(&["recipe", "--nuser=150", "--pages=50000", "--skewed"]);
+        assert!(r.contains("Random"), "{r}");
+        let r2 = run_ok(&["recipe", "--nuser=40", "--pages=50000", "--cost-sensitive"]);
+        assert!(r2.contains("Random-RC"), "{r2}");
+    }
+
+    #[test]
+    fn segment_requires_input() {
+        assert!(run(&["segment".to_owned()]).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! `ossm` — command-line front door to the OSSM reproduction.
+//!
+//! Run `ossm help` for the subcommand list.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ossm_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", ossm_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

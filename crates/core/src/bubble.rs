@@ -1,0 +1,145 @@
+//! The bubble list (Section 5.3 of the paper).
+//!
+//! The `m²` factor in Greedy's and RC's complexity comes from summing
+//! equation (2) over all item pairs. The bubble list heuristic keeps only
+//! the items "whose frequencies barely satisfy, and are the closest to,
+//! the support threshold": the OSSM's filtering matters most for itemsets
+//! whose support hovers around the threshold, so the segmentation should
+//! optimize for exactly those items.
+//!
+//! The list is built once, from the *global* singleton supports and a
+//! *reference* threshold — which need not equal the threshold later used at
+//! query time (the paper builds the list at 0.25 % and queries at 1 %, and
+//! the OSSM still helps; Figure 6 reproduces this).
+
+use ossm_data::PageStore;
+
+use crate::loss::LossCalculator;
+
+/// A bubble list: the item ids whose global support is nearest the
+/// reference threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BubbleList {
+    items: Vec<u32>,
+    threshold: u64,
+}
+
+impl BubbleList {
+    /// Selects the `size` items whose support is closest to `threshold`
+    /// (absolute distance; ties broken toward the more frequent item, then
+    /// by item id, so the selection is deterministic).
+    ///
+    /// A `size` of `0` yields an empty list; a `size ≥ m` includes every
+    /// item, making the scoped loss identical to the full loss.
+    pub fn select(global_supports: &[u64], threshold: u64, size: usize) -> Self {
+        let mut ranked: Vec<u32> = (0..global_supports.len() as u32).collect();
+        ranked.sort_by_key(|&i| {
+            let s = global_supports[i as usize];
+            let dist = s.abs_diff(threshold);
+            // Prefer items "on the bubble from above" (barely satisfying)
+            // over equally-distant items below the threshold.
+            let below = u8::from(s < threshold);
+            (dist, below, i)
+        });
+        ranked.truncate(size);
+        ranked.sort_unstable();
+        BubbleList { items: ranked, threshold }
+    }
+
+    /// Builds the list from a page store's total supports.
+    pub fn from_store(store: &PageStore, threshold: u64, size: usize) -> Self {
+        Self::select(&store.total_supports(), threshold, size)
+    }
+
+    /// Selects a list sized as a percentage of the domain (the x-axis of
+    /// Figure 6).
+    pub fn with_percentage(global_supports: &[u64], threshold: u64, percent: f64) -> Self {
+        assert!((0.0..=100.0).contains(&percent), "percentage must be in [0, 100]");
+        let size = ((global_supports.len() as f64) * percent / 100.0).round() as usize;
+        Self::select(global_supports, threshold, size)
+    }
+
+    /// The selected item ids, ascending.
+    #[inline]
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Number of items on the bubble, `k`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The reference threshold the list was built for.
+    #[inline]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// A loss calculator whose pair sum ranges only over this list.
+    pub fn loss_calculator(&self) -> LossCalculator {
+        LossCalculator::scoped(self.items.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_items_nearest_threshold() {
+        // supports: item0=100, item1=9, item2=11, item3=50, item4=10.
+        let supports = [100, 9, 11, 50, 10];
+        let b = BubbleList::select(&supports, 10, 3);
+        assert_eq!(b.items(), &[1, 2, 4], "the three items nearest 10");
+        assert_eq!(b.threshold(), 10);
+    }
+
+    #[test]
+    fn tie_prefers_barely_satisfying_items() {
+        // Items at distance 1 on both sides of threshold 10: 11 wins over 9.
+        let supports = [9, 11, 100];
+        let b = BubbleList::select(&supports, 10, 1);
+        assert_eq!(b.items(), &[1]);
+    }
+
+    #[test]
+    fn size_zero_and_full_size() {
+        let supports = [5, 6, 7];
+        assert!(BubbleList::select(&supports, 6, 0).is_empty());
+        let full = BubbleList::select(&supports, 6, 10);
+        assert_eq!(full.items(), &[0, 1, 2], "oversized request clamps to the domain");
+    }
+
+    #[test]
+    fn percentage_sizing() {
+        let supports = vec![1u64; 200];
+        assert_eq!(BubbleList::with_percentage(&supports, 1, 10.0).len(), 20);
+        assert_eq!(BubbleList::with_percentage(&supports, 1, 0.0).len(), 0);
+        assert_eq!(BubbleList::with_percentage(&supports, 1, 100.0).len(), 200);
+    }
+
+    #[test]
+    fn full_bubble_list_matches_unscoped_loss() {
+        use crate::segmentation::Aggregate;
+        let a = Aggregate::new(vec![5, 2, 1, 9], 9);
+        let b = Aggregate::new(vec![1, 2, 5, 0], 5);
+        let full = BubbleList::select(&[6, 4, 6, 9], 5, 4).loss_calculator();
+        let unscoped = LossCalculator::all_items();
+        assert_eq!(full.merge_loss(&a, &b), unscoped.merge_loss(&a, &b));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let supports = [3, 3, 3, 3];
+        let b = BubbleList::select(&supports, 3, 2);
+        assert_eq!(b.items(), &[0, 1], "all tied → lowest ids");
+    }
+}

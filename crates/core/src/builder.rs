@@ -1,0 +1,300 @@
+//! High-level OSSM construction: strategy selection, bubble list, lossless
+//! pre-pass, and a build report with the numbers the paper's tables track
+//! (segmentation time, loss, memory).
+//!
+//! ```
+//! use ossm_core::builder::{OssmBuilder, Strategy};
+//! use ossm_data::{gen::QuestConfig, PageStore};
+//!
+//! let store = PageStore::with_page_count(QuestConfig::small().generate(), 50);
+//! let (ossm, report) = OssmBuilder::new(10)
+//!     .strategy(Strategy::RandomGreedy { n_mid: 25 })
+//!     .bubble(0.01, 20.0)
+//!     .build(&store);
+//! assert_eq!(ossm.num_segments(), 10);
+//! assert_eq!(report.num_segments, 10);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ossm_data::PageStore;
+
+use crate::bubble::BubbleList;
+use crate::loss::LossCalculator;
+use crate::minimize::group_by_configuration;
+use crate::recipe::RecommendedStrategy;
+use crate::seg::{
+    hybrid::{random_greedy, random_rc},
+    Greedy, Random, RandomClosest, SegmentationAlgorithm,
+};
+use crate::segmentation::{Aggregate, Segmentation};
+use crate::ssm::Ossm;
+
+/// Which segmentation algorithm to run (Section 5's heuristics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// O(p) random partitioning.
+    Random,
+    /// Random Closest (Figure 3).
+    Rc,
+    /// Greedy minimal-loss-pair (Figure 2).
+    Greedy,
+    /// Random to `n_mid`, then RC (Section 5.4).
+    RandomRc {
+        /// Intermediate segment count for the Random phase.
+        n_mid: usize,
+    },
+    /// Random to `n_mid`, then Greedy (Section 5.4).
+    RandomGreedy {
+        /// Intermediate segment count for the Random phase.
+        n_mid: usize,
+    },
+}
+
+impl Strategy {
+    /// Maps a Figure 7 recommendation onto a concrete strategy, supplying
+    /// `n_mid` for the hybrids. (The bubble list is configured separately
+    /// on the builder.)
+    pub fn from_recommendation(rec: RecommendedStrategy, n_mid: usize) -> Strategy {
+        match rec {
+            RecommendedStrategy::Random => Strategy::Random,
+            RecommendedStrategy::GreedyWithBubble => Strategy::Greedy,
+            RecommendedStrategy::RandomRcWithBubble => Strategy::RandomRc { n_mid },
+            RecommendedStrategy::RandomGreedyWithBubble => Strategy::RandomGreedy { n_mid },
+        }
+    }
+}
+
+/// What it cost to build the OSSM, and what came out.
+#[derive(Clone, Debug)]
+pub struct BuildReport {
+    /// Display name of the algorithm that ran ("Random-Greedy", …).
+    pub algorithm: String,
+    /// Number of initial pages `p`.
+    pub num_pages: usize,
+    /// Number of final segments.
+    pub num_segments: usize,
+    /// Wall-clock segmentation time (the paper's "segmentation cost").
+    pub segmentation_time: Duration,
+    /// Total equation-(2) loss of the final segmentation, measured over
+    /// *all* item pairs (even when a bubble list scoped the optimization),
+    /// so reports are comparable across configurations.
+    pub total_loss: u64,
+    /// In-memory size of the produced OSSM.
+    pub memory_bytes: usize,
+    /// Bubble list length, if one was used.
+    pub bubble_len: Option<usize>,
+}
+
+/// Fluent builder for OSSM construction over a [`PageStore`].
+#[derive(Clone, Debug)]
+pub struct OssmBuilder {
+    n_user: usize,
+    strategy: Strategy,
+    /// `(reference support fraction, bubble size as % of m)`.
+    bubble: Option<(f64, f64)>,
+    seed: u64,
+    lossless_prepass: bool,
+}
+
+impl OssmBuilder {
+    /// Starts a builder targeting `n_user` segments (Greedy strategy, no
+    /// bubble list, lossless pre-pass on).
+    ///
+    /// # Panics
+    /// Panics if `n_user == 0`.
+    pub fn new(n_user: usize) -> Self {
+        assert!(n_user > 0, "an OSSM needs at least one segment");
+        OssmBuilder {
+            n_user,
+            strategy: Strategy::Greedy,
+            bubble: None,
+            seed: 0,
+            lossless_prepass: true,
+        }
+    }
+
+    /// Selects the segmentation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables the bubble list: the loss optimization considers only the
+    /// `percent`% of items whose global support is closest to
+    /// `threshold_fraction × N` (Section 5.3).
+    pub fn bubble(mut self, threshold_fraction: f64, percent: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold_fraction));
+        assert!((0.0..=100.0).contains(&percent));
+        self.bubble = Some((threshold_fraction, percent));
+        self
+    }
+
+    /// Seeds the randomized strategies.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the Lemma 1 pre-pass that merges same-
+    /// configuration pages for free before the heuristic runs.
+    pub fn lossless_prepass(mut self, on: bool) -> Self {
+        self.lossless_prepass = on;
+        self
+    }
+
+    /// Runs segmentation and builds the OSSM.
+    ///
+    /// # Panics
+    /// Panics if the store has no pages.
+    pub fn build(&self, store: &PageStore) -> (Ossm, BuildReport) {
+        let (ossm, _seg, report) = self.build_with_segmentation(store);
+        (ossm, report)
+    }
+
+    /// Like [`Self::build`], also returning the page-level segmentation.
+    pub fn build_with_segmentation(&self, store: &PageStore) -> (Ossm, Segmentation, BuildReport) {
+        assert!(store.num_pages() > 0, "cannot build an OSSM over zero pages");
+        let start = Instant::now();
+        let inputs = Aggregate::from_pages(store);
+
+        let bubble = self.bubble.map(|(frac, percent)| {
+            let threshold = store.dataset().absolute_threshold(frac);
+            BubbleList::with_percentage(&store.total_supports(), threshold, percent)
+        });
+        let calc = match &bubble {
+            Some(b) if !b.is_empty() => b.loss_calculator(),
+            _ => LossCalculator::all_items(),
+        };
+
+        // Lemma 1 pre-pass: merge equal-configuration pages for free.
+        let (work_inputs, prepass) = if self.lossless_prepass {
+            let pre = group_by_configuration(&inputs);
+            let merged = pre.merge_aggregates(&inputs);
+            (merged, Some(pre))
+        } else {
+            (inputs.clone(), None)
+        };
+
+        let algorithm: Box<dyn SegmentationAlgorithm> = match self.strategy {
+            Strategy::Random => Box::new(Random::new(self.seed)),
+            Strategy::Rc => Box::new(RandomClosest::new(calc.clone(), self.seed)),
+            Strategy::Greedy => Box::new(Greedy::new(calc.clone())),
+            Strategy::RandomRc { n_mid } => Box::new(random_rc(calc.clone(), n_mid, self.seed)),
+            Strategy::RandomGreedy { n_mid } => {
+                Box::new(random_greedy(calc.clone(), n_mid, self.seed))
+            }
+        };
+        let inner = algorithm.segment(&work_inputs, self.n_user);
+        let segmentation = match prepass {
+            Some(pre) => pre.compose(&inner),
+            None => inner,
+        };
+        let segmentation_time = start.elapsed();
+
+        let ossm = Ossm::from_pages(store, &segmentation);
+        let total_loss =
+            LossCalculator::all_items().segmentation_loss(&inputs, &segmentation);
+        let report = BuildReport {
+            algorithm: algorithm.name(),
+            num_pages: store.num_pages(),
+            num_segments: segmentation.num_segments(),
+            segmentation_time,
+            total_loss,
+            memory_bytes: ossm.memory_bytes(),
+            bubble_len: bubble.as_ref().map(BubbleList::len),
+        };
+        (ossm, segmentation, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossm_data::gen::{QuestConfig, SkewedConfig};
+
+    fn store() -> PageStore {
+        PageStore::with_page_count(
+            QuestConfig { num_transactions: 600, num_items: 40, ..QuestConfig::small() }
+                .generate(),
+            30,
+        )
+    }
+
+    #[test]
+    fn builds_requested_segment_count() {
+        for strategy in [
+            Strategy::Random,
+            Strategy::Rc,
+            Strategy::Greedy,
+            Strategy::RandomRc { n_mid: 15 },
+            Strategy::RandomGreedy { n_mid: 15 },
+        ] {
+            let (ossm, report) = OssmBuilder::new(8).strategy(strategy).build(&store());
+            assert_eq!(ossm.num_segments(), 8, "{strategy:?}");
+            assert_eq!(report.num_segments, 8);
+            assert_eq!(report.num_pages, 30);
+            assert!(report.memory_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn bubble_list_is_reported() {
+        let (_, report) = OssmBuilder::new(5).bubble(0.01, 25.0).build(&store());
+        assert_eq!(report.bubble_len, Some(10), "25% of 40 items");
+        let (_, no_bubble) = OssmBuilder::new(5).build(&store());
+        assert_eq!(no_bubble.bubble_len, None);
+    }
+
+    #[test]
+    fn greedy_loss_at_most_random_loss() {
+        let s = store();
+        let (_, greedy) = OssmBuilder::new(5).strategy(Strategy::Greedy).build(&s);
+        let (_, random) = OssmBuilder::new(5).strategy(Strategy::Random).build(&s);
+        assert!(
+            greedy.total_loss <= random.total_loss,
+            "greedy {} vs random {}",
+            greedy.total_loss,
+            random.total_loss
+        );
+    }
+
+    #[test]
+    fn prepass_changes_nothing_on_distinct_pages_but_helps_on_duplicates() {
+        // Build a store whose pages repeat two configurations.
+        let d = SkewedConfig {
+            num_transactions: 400,
+            num_items: 10,
+            num_seasons: 2,
+            season_boost: 50.0,
+            ..SkewedConfig::small()
+        }
+        .generate();
+        let s = PageStore::with_page_count(d, 20);
+        let with = OssmBuilder::new(4).lossless_prepass(true).build(&s).1;
+        let without = OssmBuilder::new(4).lossless_prepass(false).build(&s).1;
+        assert!(with.total_loss <= without.total_loss);
+    }
+
+    #[test]
+    fn strategy_from_recommendation_roundtrip() {
+        use crate::recipe::RecommendedStrategy as R;
+        assert_eq!(Strategy::from_recommendation(R::Random, 9), Strategy::Random);
+        assert_eq!(Strategy::from_recommendation(R::GreedyWithBubble, 9), Strategy::Greedy);
+        assert_eq!(
+            Strategy::from_recommendation(R::RandomRcWithBubble, 9),
+            Strategy::RandomRc { n_mid: 9 }
+        );
+        assert_eq!(
+            Strategy::from_recommendation(R::RandomGreedyWithBubble, 9),
+            Strategy::RandomGreedy { n_mid: 9 }
+        );
+    }
+
+    #[test]
+    fn report_names_match_strategy() {
+        let s = store();
+        let (_, r) = OssmBuilder::new(4).strategy(Strategy::RandomRc { n_mid: 10 }).build(&s);
+        assert_eq!(r.algorithm, "Random-RC");
+    }
+}

@@ -1,0 +1,260 @@
+//! The accuracy-loss quantity of equation (2) (Section 5.1 of the paper).
+//!
+//! For a set `S = {S_1, …, S_k}` of segments,
+//!
+//! ```text
+//! loss(S) = Σ_{pairs {x,y}} [ ub({x,y}, merged(S)) − ub({x,y}, S kept apart) ]
+//!         = Σ_{x<y} min(W_x, W_y)  −  Σ_s Σ_{x<y} min(u_s[x], u_s[y])
+//! ```
+//!
+//! where `W = Σ_s u_s`. Writing `f(w) = Σ_{x<y} min(w_x, w_y)`, the loss is
+//! `f(W) − Σ_s f(u_s)` — so everything reduces to evaluating `f`.
+//!
+//! The paper evaluates `f` by the obvious O(m²) pair loop, which makes `m²`
+//! the dominant factor in Greedy's and RC's complexity (Section 5.3). This
+//! module also provides an O(m log m) evaluation: sort `w` ascending; the
+//! element at sorted position `i` is the minimum of exactly `m − 1 − i`
+//! pairs, so `f(w) = Σ_i sorted(w)[i] · (m − 1 − i)`. The two are verified
+//! equal by unit and property tests, and compared in the `loss` ablation
+//! bench.
+//!
+//! The *bubble list* optimization (Section 5.3) restricts the pair sum to a
+//! chosen subset of items; [`LossCalculator`] carries that scope.
+
+use crate::segmentation::Aggregate;
+
+/// `f(w) = Σ_{x<y} min(w_x, w_y)` by the paper's O(m²) pair loop.
+pub fn pair_min_sum_naive(w: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for x in 0..w.len() {
+        for y in (x + 1)..w.len() {
+            total += w[x].min(w[y]);
+        }
+    }
+    total
+}
+
+/// `f(w)` in O(m log m) via sorting (see module docs for the identity).
+pub fn pair_min_sum(w: &[u64]) -> u64 {
+    let mut sorted = w.to_vec();
+    sorted.sort_unstable();
+    let m = sorted.len();
+    sorted.iter().enumerate().map(|(i, &v)| v * (m - 1 - i) as u64).sum()
+}
+
+/// Evaluates `f` and merge losses, optionally restricted to a bubble list.
+#[derive(Clone, Debug, Default)]
+pub struct LossCalculator {
+    /// `None` = all items; `Some(items)` = only pairs within these item ids.
+    scope: Option<Vec<u32>>,
+    /// Use the O(m²) evaluation instead of the sorted one (for the
+    /// ablation bench and cross-validation).
+    naive: bool,
+}
+
+impl LossCalculator {
+    /// A calculator summing over all item pairs (no bubble list).
+    pub fn all_items() -> Self {
+        LossCalculator { scope: None, naive: false }
+    }
+
+    /// A calculator restricted to the given item ids (the bubble list).
+    pub fn scoped(items: Vec<u32>) -> Self {
+        LossCalculator { scope: Some(items), naive: false }
+    }
+
+    /// Switches to the paper's O(m²) evaluation. Same results, slower; kept
+    /// for the ablation bench.
+    pub fn with_naive_evaluation(mut self) -> Self {
+        self.naive = true;
+        self
+    }
+
+    /// Number of items the pair sum ranges over.
+    pub fn scope_len(&self, m: usize) -> usize {
+        self.scope.as_ref().map_or(m, Vec::len)
+    }
+
+    /// Extracts the scoped support values from a full support vector.
+    fn scoped_values(&self, supports: &[u64]) -> Vec<u64> {
+        match &self.scope {
+            None => supports.to_vec(),
+            Some(items) => items.iter().map(|&i| supports[i as usize]).collect(),
+        }
+    }
+
+    /// `f(w)` over the calculator's scope.
+    pub fn pair_min_sum(&self, supports: &[u64]) -> u64 {
+        let w = self.scoped_values(supports);
+        if self.naive {
+            pair_min_sum_naive(&w)
+        } else {
+            pair_min_sum(&w)
+        }
+    }
+
+    /// Equation (2) for a pair of segments:
+    /// `loss({a, b}) = f(a + b) − f(a) − f(b)`. Always ≥ 0 (Lemma 2), and 0
+    /// when the two segments share a configuration (Lemma 1).
+    pub fn merge_loss(&self, a: &Aggregate, b: &Aggregate) -> u64 {
+        let fa = self.pair_min_sum(a.supports());
+        let fb = self.pair_min_sum(b.supports());
+        let sum: Vec<u64> =
+            a.supports().iter().zip(b.supports()).map(|(x, y)| x + y).collect();
+        let fsum = self.pair_min_sum(&sum);
+        fsum - fa - fb
+    }
+
+    /// Equation (2) for an arbitrary set of segments:
+    /// `loss(S) = f(Σ_s u_s) − Σ_s f(u_s)`.
+    pub fn set_loss<'a, I>(&self, segments: I) -> u64
+    where
+        I: IntoIterator<Item = &'a Aggregate>,
+    {
+        let mut total_f = 0u64;
+        let mut sum: Option<Vec<u64>> = None;
+        for seg in segments {
+            total_f += self.pair_min_sum(seg.supports());
+            match &mut sum {
+                None => sum = Some(seg.supports().to_vec()),
+                Some(acc) => {
+                    for (a, b) in acc.iter_mut().zip(seg.supports()) {
+                        *a += b;
+                    }
+                }
+            }
+        }
+        match sum {
+            None => 0,
+            Some(total) => self.pair_min_sum(&total) - total_f,
+        }
+    }
+
+    /// Total loss of a segmentation relative to its inputs: the sum of
+    /// [`Self::set_loss`] over every group. This is the objective the
+    /// constrained segmentation problem minimizes.
+    pub fn segmentation_loss(
+        &self,
+        inputs: &[Aggregate],
+        segmentation: &crate::segmentation::Segmentation,
+    ) -> u64 {
+        segmentation
+            .groups()
+            .iter()
+            .map(|g| self.set_loss(g.iter().map(|&i| &inputs[i])))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(counts: &[u64]) -> Aggregate {
+        Aggregate::new(counts.to_vec(), counts.iter().sum())
+    }
+
+    #[test]
+    fn pair_min_sum_small_cases() {
+        assert_eq!(pair_min_sum_naive(&[]), 0);
+        assert_eq!(pair_min_sum_naive(&[7]), 0);
+        assert_eq!(pair_min_sum_naive(&[3, 5]), 3);
+        assert_eq!(pair_min_sum_naive(&[3, 5, 1]), 1 + 1 + 3);
+        for w in [&[][..], &[7][..], &[3, 5][..], &[3, 5, 1][..], &[4, 4, 4][..]] {
+            assert_eq!(pair_min_sum(w), pair_min_sum_naive(w), "w = {w:?}");
+        }
+    }
+
+    #[test]
+    fn fast_equals_naive_on_random_vectors() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let len = rng.gen_range(0..30);
+            let w: Vec<u64> = (0..len).map(|_| rng.gen_range(0..100)).collect();
+            assert_eq!(pair_min_sum(&w), pair_min_sum_naive(&w), "w = {w:?}");
+        }
+    }
+
+    #[test]
+    fn merge_loss_matches_papers_swap_analysis() {
+        // Section 4.2: segments (x ≥ y) with (3,1) and (y ≥ x) with (1,3):
+        // merged min = min(4,4) = 4; separate = min(3,1) + min(1,3) = 2.
+        let calc = LossCalculator::all_items();
+        assert_eq!(calc.merge_loss(&agg(&[3, 1]), &agg(&[1, 3])), 2);
+    }
+
+    #[test]
+    fn lemma_2a_same_configuration_zero_loss() {
+        let calc = LossCalculator::all_items();
+        assert_eq!(calc.merge_loss(&agg(&[5, 3, 1]), &agg(&[8, 6, 2])), 0);
+        assert_eq!(calc.set_loss([&agg(&[5, 3, 1]), &agg(&[8, 6, 2]), &agg(&[2, 1, 0])]), 0);
+    }
+
+    #[test]
+    fn lemma_2b_strictly_differing_configurations_positive_loss() {
+        let calc = LossCalculator::all_items();
+        assert!(calc.merge_loss(&agg(&[5, 1]), &agg(&[1, 5])) > 0);
+        assert!(calc.set_loss([&agg(&[5, 3, 1]), &agg(&[1, 3, 5])]) > 0);
+    }
+
+    #[test]
+    fn lemma_2c_loss_is_monotone_in_the_set() {
+        let calc = LossCalculator::all_items();
+        let a = agg(&[5, 1, 2]);
+        let b = agg(&[1, 5, 0]);
+        let c = agg(&[2, 2, 9]);
+        let two = calc.set_loss([&a, &b]);
+        let three = calc.set_loss([&a, &b, &c]);
+        assert!(two <= three, "loss must not decrease when the set grows");
+    }
+
+    #[test]
+    fn set_loss_of_pair_equals_merge_loss() {
+        let calc = LossCalculator::all_items();
+        let a = agg(&[9, 4, 0, 2]);
+        let b = agg(&[1, 6, 3, 3]);
+        assert_eq!(calc.set_loss([&a, &b]), calc.merge_loss(&a, &b));
+        assert_eq!(calc.set_loss([&a]), 0, "single segment loses nothing");
+        assert_eq!(calc.set_loss(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn scoped_calculator_restricts_the_pair_sum() {
+        // Items 0 and 2 disagree in ranking; item 1 is the only bubble item
+        // → scoped loss must be 0 (no pair inside the scope).
+        let a = agg(&[5, 2, 1]);
+        let b = agg(&[1, 2, 5]);
+        let all = LossCalculator::all_items();
+        let bubble = LossCalculator::scoped(vec![1]);
+        assert!(all.merge_loss(&a, &b) > 0);
+        assert_eq!(bubble.merge_loss(&a, &b), 0);
+        // Scope {0, 2} sees exactly the disagreeing pair.
+        let pair_scope = LossCalculator::scoped(vec![0, 2]);
+        assert_eq!(pair_scope.merge_loss(&a, &b), 4); // min(6,6) − min(5,1) − min(1,5) = 4
+    }
+
+    #[test]
+    fn naive_mode_gives_identical_losses() {
+        let a = agg(&[9, 4, 0, 2, 7]);
+        let b = agg(&[1, 6, 3, 3, 2]);
+        let fast = LossCalculator::all_items();
+        let naive = LossCalculator::all_items().with_naive_evaluation();
+        assert_eq!(fast.merge_loss(&a, &b), naive.merge_loss(&a, &b));
+    }
+
+    #[test]
+    fn segmentation_loss_sums_groups() {
+        use crate::segmentation::Segmentation;
+        let inputs = vec![agg(&[5, 1]), agg(&[1, 5]), agg(&[4, 1])];
+        let calc = LossCalculator::all_items();
+        // Group {0,1}: f([6,6]) − f([5,1]) − f([1,5]) = 6 − 1 − 1 = 4; group {2} loses 0.
+        let seg = Segmentation::from_groups(vec![vec![0, 1], vec![2]], 3);
+        assert_eq!(calc.segmentation_loss(&inputs, &seg), 4);
+        // Identity loses nothing.
+        assert_eq!(calc.segmentation_loss(&inputs, &Segmentation::identity(3)), 0);
+        // Grouping the two same-configuration segments loses nothing.
+        let good = Segmentation::from_groups(vec![vec![0, 2], vec![1]], 3);
+        assert_eq!(calc.segmentation_loss(&inputs, &good), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The segment minimization problem (Section 4 of the paper).
+//!
+//! Given the collection `T`, find the minimum number of segments `n_min`
+//! such that the OSSM upper bound equals the actual support for *every*
+//! itemset. Theorem 1: allowing `T` to be rearranged,
+//! `n_min = min(|T|, 2^m − m)` in the general case — transactions whose
+//! itemsets induce the same configuration can be merged losslessly
+//! (Lemma 1), and nothing else can.
+//!
+//! Corollary 1 carries the result to page granularity: starting from the
+//! `p` per-page aggregates, pages of equal configuration merge losslessly
+//! *relative to the page-level OSSM*, and `n_min = min(p, 2^m − m)`.
+//!
+//! Both constructions are implemented here, together with analysis helpers
+//! that exhaustively verify exactness on small domains (used heavily by the
+//! property tests).
+
+use std::collections::HashMap;
+
+use ossm_data::{Dataset, Itemset, PageStore};
+
+use crate::config::{max_configurations, Configuration, TransactionConfigKey};
+use crate::segmentation::{Aggregate, Segmentation};
+use crate::ssm::Ossm;
+
+/// Result of transaction-granularity segment minimization.
+#[derive(Clone, Debug)]
+pub struct SegmentMinimization {
+    /// `assignment[i]` = segment of transaction `i`.
+    pub assignment: Vec<usize>,
+    /// Number of segments (= number of distinct configurations in `T`).
+    pub num_segments: usize,
+    /// The exact OSSM built from the assignment.
+    pub ossm: Ossm,
+}
+
+impl SegmentMinimization {
+    /// Physically rearranges `dataset` so each segment's transactions are
+    /// contiguous, in segment order — the "allow T to be rearranged" of
+    /// Theorem 1, materialized. Useful for then packing the rearranged
+    /// data into pages whose boundaries respect segments.
+    ///
+    /// # Panics
+    /// Panics if `dataset` is not the collection this minimization was
+    /// computed from (length mismatch).
+    pub fn rearranged_dataset(&self, dataset: &Dataset) -> Dataset {
+        assert_eq!(dataset.len(), self.assignment.len(), "dataset does not match assignment");
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        order.sort_by_key(|&i| (self.assignment[i], i));
+        dataset.reordered(&order)
+    }
+}
+
+/// Groups the transactions of `dataset` by configuration (Theorem 1's
+/// construction) and builds the exact OSSM.
+///
+/// The number of segments produced is the number of distinct transaction
+/// configurations present in the data, which is at most
+/// `min(|T|, 2^m − m)` ([`theorem1_bound`]).
+///
+/// # Panics
+/// Panics if the dataset is empty (an OSSM needs at least one segment).
+pub fn minimize_segments(dataset: &Dataset) -> SegmentMinimization {
+    assert!(!dataset.is_empty(), "cannot build an OSSM over zero transactions");
+    let m = dataset.num_items();
+    let mut ids: HashMap<TransactionConfigKey, usize> = HashMap::new();
+    let mut assignment = Vec::with_capacity(dataset.len());
+    for t in dataset.transactions() {
+        let key = TransactionConfigKey::of(t, m);
+        let next = ids.len();
+        let seg = *ids.entry(key).or_insert(next);
+        assignment.push(seg);
+    }
+    let num_segments = ids.len();
+    let ossm = Ossm::from_transaction_assignment(dataset, &assignment, num_segments);
+    SegmentMinimization { assignment, num_segments, ossm }
+}
+
+/// Theorem 1's general-case value of `n_min`: `min(|T|, 2^m − m)`,
+/// saturating for large `m`.
+pub fn theorem1_bound(num_transactions: u64, num_items: usize) -> u64 {
+    num_transactions.min(max_configurations(num_items))
+}
+
+/// Corollary 1's construction: groups the pages of `store` by the
+/// configuration of their aggregate support vectors. The resulting OSSM's
+/// bound equals the bound of the identity (one-segment-per-page) OSSM for
+/// every itemset — no accuracy is lost relative to page granularity.
+pub fn minimize_page_segments(store: &PageStore) -> Segmentation {
+    let aggregates = Aggregate::from_pages(store);
+    group_by_configuration(&aggregates)
+}
+
+/// Groups arbitrary aggregates by configuration (the Lemma 1 merge). Public
+/// because the constrained-segmentation pipeline uses it as a lossless
+/// pre-pass ("we assume without loss of generality that they are all of
+/// different configurations", Section 5.1).
+pub fn group_by_configuration(aggregates: &[Aggregate]) -> Segmentation {
+    let mut ids: HashMap<Configuration, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, agg) in aggregates.iter().enumerate() {
+        let cfg = Configuration::of_supports(agg.supports());
+        match ids.get(&cfg) {
+            Some(&g) => groups[g].push(i),
+            None => {
+                ids.insert(cfg, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    Segmentation::from_groups(groups, aggregates.len())
+}
+
+/// Exhaustively checks the OSSM bound against actual supports for **all**
+/// non-empty itemsets over the domain, returning the itemsets whose bound
+/// is not exact. Exponential in `m` — analysis/testing helper only.
+///
+/// # Panics
+/// Panics if `dataset.num_items() > 16`.
+pub fn exactness_violations(ossm: &Ossm, dataset: &Dataset) -> Vec<Itemset> {
+    let m = dataset.num_items();
+    assert!(m <= 16, "exhaustive check is exponential; refusing m > 16");
+    let mut violations = Vec::new();
+    for mask in 1u32..(1u32 << m) {
+        let items: Vec<u32> = (0..m as u32).filter(|&i| mask & (1 << i) != 0).collect();
+        let x = Itemset::new(items.into_iter());
+        let ub = ossm.upper_bound(&x);
+        let actual = dataset.support(&x);
+        debug_assert!(ub >= actual, "bound must never undercount");
+        if ub != actual {
+            violations.push(x);
+        }
+    }
+    violations
+}
+
+/// Like [`exactness_violations`], but compares two OSSMs over the same data
+/// (the page version's notion of accuracy: bound vs the `p`-page bound).
+/// Returns itemsets where `coarse`'s bound exceeds `fine`'s.
+///
+/// # Panics
+/// Panics if the item domain exceeds 16 items.
+pub fn relative_violations(coarse: &Ossm, fine: &Ossm) -> Vec<Itemset> {
+    let m = coarse.num_items();
+    assert_eq!(m, fine.num_items(), "OSSMs must share the item domain");
+    assert!(m <= 16, "exhaustive check is exponential; refusing m > 16");
+    let mut violations = Vec::new();
+    for mask in 1u32..(1u32 << m) {
+        let items: Vec<u32> = (0..m as u32).filter(|&i| mask & (1 << i) != 0).collect();
+        let x = Itemset::new(items.into_iter());
+        if coarse.upper_bound(&x) > fine.upper_bound(&x) {
+            violations.push(x);
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossm_data::ItemId;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    /// Example 2 from the paper: items a=0, b=1;
+    /// T = { {a}, {a,b}, {a}, {a}, {b}, {b} }.
+    fn example_2_dataset() -> Dataset {
+        Dataset::new(
+            2,
+            vec![set(&[0]), set(&[0, 1]), set(&[0]), set(&[0]), set(&[1]), set(&[1])],
+        )
+    }
+
+    #[test]
+    fn example_2_from_paper() {
+        let d = example_2_dataset();
+        let min = minimize_segments(&d);
+        // Two configurations: (a ≥ b) for t1..t4 and (b ≥ a) for t5, t6.
+        assert_eq!(min.num_segments, 2);
+        assert_eq!(min.assignment, vec![0, 0, 0, 0, 1, 1]);
+        // Segment supports match the paper's table: S'1 = (4, 1), S'2 = (0, 2).
+        assert_eq!(min.ossm.segments()[0].supports(), &[4, 1]);
+        assert_eq!(min.ossm.segments()[1].supports(), &[0, 2]);
+        // ub({a,b}) = min(4,1) + min(0,2) = 1 — the exact support.
+        assert_eq!(min.ossm.upper_bound(&set(&[0, 1])), 1);
+        assert_eq!(d.support(&set(&[0, 1])), 1);
+        assert!(exactness_violations(&min.ossm, &d).is_empty());
+    }
+
+    #[test]
+    fn example_2_bad_move_loses_exactness() {
+        // Paper: moving t1 from S'1 to S'2 gives ub = min(3,1) + min(1,2) = 2 ≠ 1.
+        let d = example_2_dataset();
+        let bad = Ossm::from_transaction_assignment(&d, &[1, 0, 0, 0, 1, 1], 2);
+        assert_eq!(bad.segments()[0].supports(), &[3, 1]);
+        assert_eq!(bad.segments()[1].supports(), &[1, 2]);
+        assert_eq!(bad.upper_bound(&set(&[0, 1])), 2);
+        assert_eq!(exactness_violations(&bad, &d), vec![set(&[0, 1])]);
+    }
+
+    #[test]
+    fn minimized_ossm_is_exact_on_correlated_data() {
+        let d = ossm_data::gen::QuestConfig {
+            num_transactions: 120,
+            num_items: 8,
+            num_patterns: 10,
+            avg_transaction_len: 3.0,
+            avg_pattern_len: 2.0,
+            ..ossm_data::gen::QuestConfig::small()
+        }
+        .generate();
+        let min = minimize_segments(&d);
+        assert!(exactness_violations(&min.ossm, &d).is_empty());
+        assert!(min.num_segments as u64 <= theorem1_bound(d.len() as u64, d.num_items()));
+    }
+
+    #[test]
+    fn theorem1_bound_takes_the_minimum() {
+        assert_eq!(theorem1_bound(10, 2), 2, "2^2 − 2 = 2 < 10");
+        assert_eq!(theorem1_bound(3, 10), 3, "fewer transactions than configurations");
+        assert_eq!(theorem1_bound(1_000_000, 1000), 1_000_000, "2^1000 − 1000 saturates");
+    }
+
+    #[test]
+    fn page_minimization_is_lossless_relative_to_pages() {
+        let d = ossm_data::gen::SkewedConfig {
+            num_transactions: 200,
+            num_items: 6,
+            avg_transaction_len: 2.0,
+            ..ossm_data::gen::SkewedConfig::small()
+        }
+        .generate();
+        let store = PageStore::with_page_count(d, 40);
+        let fine = Ossm::from_pages(&store, &Segmentation::identity(store.num_pages()));
+        let seg = minimize_page_segments(&store);
+        let coarse = Ossm::from_pages(&store, &seg);
+        assert!(seg.num_segments() <= store.num_pages());
+        assert!(relative_violations(&coarse, &fine).is_empty());
+    }
+
+    #[test]
+    fn group_by_configuration_merges_duplicates_only() {
+        let a1 = Aggregate::new(vec![5, 2, 0], 5);
+        let a2 = Aggregate::new(vec![10, 4, 1], 10); // same config (0,1,2)
+        let a3 = Aggregate::new(vec![0, 3, 1], 4); // config (1,2,0)
+        let seg = group_by_configuration(&[a1, a2, a3]);
+        assert_eq!(seg.num_segments(), 2);
+        assert_eq!(seg.groups(), &[vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn lemma_1_merge_preserves_bounds() {
+        // Two segments of the same configuration: merging changes no bound.
+        let u = Aggregate::new(vec![5, 3, 1], 5);
+        let v = Aggregate::new(vec![8, 4, 2], 8);
+        let separate = Ossm::from_aggregates(vec![u.clone(), v.clone()]);
+        let merged = Ossm::from_aggregates(vec![u.merged(&v)]);
+        for mask in 1u32..8 {
+            let items: Vec<u32> = (0..3).filter(|&i| mask & (1 << i) != 0).collect();
+            let x = set(&items);
+            assert_eq!(separate.upper_bound(&x), merged.upper_bound(&x), "itemset {x}");
+        }
+    }
+
+    #[test]
+    fn merging_different_configurations_can_lose_accuracy() {
+        // Section 4.2's swap argument: segments (x ≥ y) and (y ≥ x).
+        let u = Aggregate::new(vec![3, 1], 3);
+        let v = Aggregate::new(vec![1, 3], 3);
+        let separate = Ossm::from_aggregates(vec![u.clone(), v.clone()]);
+        let merged = Ossm::from_aggregates(vec![u.merged(&v)]);
+        let x = set(&[0, 1]);
+        assert_eq!(separate.upper_bound(&x), 2);
+        assert_eq!(merged.upper_bound(&x), 4, "merged bound is strictly looser");
+    }
+
+    #[test]
+    fn rearranged_dataset_groups_segments_contiguously() {
+        let d = example_2_dataset();
+        let min = minimize_segments(&d);
+        let r = min.rearranged_dataset(&d);
+        // Segment 0 ({a}-configurations: t1..t4) first, then segment 1.
+        assert_eq!(r.transaction(0), &set(&[0]));
+        assert_eq!(r.transaction(3), &set(&[0]));
+        assert_eq!(r.transaction(4), &set(&[1]));
+        assert_eq!(r.transaction(5), &set(&[1]));
+        // Same multiset of transactions: supports unchanged.
+        assert_eq!(r.support(&set(&[0, 1])), d.support(&set(&[0, 1])));
+        assert_eq!(r.len(), d.len());
+    }
+
+    #[test]
+    fn exactness_violation_reports_are_sound() {
+        let d = Dataset::new(2, vec![set(&[0]), set(&[1])]);
+        // Single segment: ub({0,1}) = min(1,1) = 1, actual 0.
+        let one = Ossm::from_transaction_assignment(&d, &[0, 0], 1);
+        assert_eq!(exactness_violations(&one, &d), vec![set(&[0, 1])]);
+        assert_eq!(one.singleton_support(ItemId(0)), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! OSSM persistence.
+//!
+//! The OSSM is a compile-time artifact: "a fixed structure that can be
+//! computed once at compile-time (pre-processing), and can be used
+//! regardless of how the support threshold is changed dynamically"
+//! (Section 3). That only pays off if the structure outlives the process —
+//! this module gives it a tiny self-describing binary format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "OSSM-MAP", version u32, m u32, n u64,
+//! per segment: transactions u64, m × u64 singleton supports
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::segmentation::Aggregate;
+use crate::ssm::Ossm;
+
+const MAGIC: &[u8; 8] = b"OSSM-MAP";
+const VERSION: u32 = 1;
+
+/// Serializes an OSSM to `w`.
+pub fn write_ossm<W: Write>(w: &mut W, ossm: &Ossm) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(ossm.num_items() as u32).to_le_bytes())?;
+    w.write_all(&(ossm.num_segments() as u64).to_le_bytes())?;
+    for seg in ossm.segments() {
+        w.write_all(&seg.transactions().to_le_bytes())?;
+        for &s in seg.supports() {
+            w.write_all(&s.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes an OSSM from `r`.
+pub fn read_ossm<R: Read>(r: &mut R) -> io::Result<Ossm> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an OSSM file (bad magic)"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported OSSM version {version}")));
+    }
+    let m = read_u32(r)? as usize;
+    let n = read_u64(r)?;
+    if n == 0 {
+        return Err(bad("an OSSM must have at least one segment"));
+    }
+    let n = usize::try_from(n).map_err(|_| bad("segment count overflows usize"))?;
+    let mut segments = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let transactions = read_u64(r)?;
+        let mut supports = Vec::with_capacity(m);
+        for _ in 0..m {
+            supports.push(read_u64(r)?);
+        }
+        segments.push(Aggregate::new(supports, transactions));
+    }
+    Ok(Ossm::from_aggregates(segments))
+}
+
+/// Writes an OSSM to the file at `path`.
+pub fn save(path: &Path, ossm: &Ossm) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_ossm(&mut f, ossm)?;
+    f.flush()
+}
+
+/// Reads an OSSM from the file at `path`.
+pub fn load(path: &Path) -> io::Result<Ossm> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_ossm(&mut f)
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OssmBuilder;
+    use ossm_data::gen::QuestConfig;
+    use ossm_data::PageStore;
+
+    fn sample_ossm() -> Ossm {
+        let d = QuestConfig { num_transactions: 300, num_items: 25, ..QuestConfig::small() }
+            .generate();
+        let store = PageStore::with_page_count(d, 12);
+        OssmBuilder::new(5).build(&store).0
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_map() {
+        let ossm = sample_ossm();
+        let mut buf = Vec::new();
+        write_ossm(&mut buf, &ossm).expect("write");
+        let back = read_ossm(&mut buf.as_slice()).expect("read");
+        assert_eq!(back, ossm);
+        // Bounds agree, of course.
+        let probe = ossm_data::Itemset::new([1, 7, 13]);
+        assert_eq!(back.upper_bound(&probe), ossm.upper_bound(&probe));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(read_ossm(&mut &b"NOT-OSSM\0\0\0\0"[..]).is_err());
+        let ossm = sample_ossm();
+        let mut buf = Vec::new();
+        write_ossm(&mut buf, &ossm).expect("write");
+        buf.truncate(buf.len() - 5);
+        assert!(read_ossm(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_segments() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_ossm(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ossm-persist-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("map.ossm");
+        let ossm = sample_ossm();
+        save(&path, &ossm).expect("save");
+        assert_eq!(load(&path).expect("load"), ossm);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,237 @@
+//! The recommended recipe (Figure 7 / Section 6.4 of the paper).
+//!
+//! The paper closes its evaluation with a decision tree for picking a
+//! segmentation strategy:
+//!
+//! 1. If the application can afford many segments (`n_user` large) **and**
+//!    the data is skewed, plain **Random** is sufficient.
+//! 2. Otherwise, if segmentation cost is not an issue, use **Greedy** with
+//!    the bubble list.
+//! 3. Otherwise (cost matters): for very large `p` use **Random-RC**, else
+//!    **Random-Greedy** — both with the bubble list.
+
+/// An application's answers to the recipe's three questions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApplicationProfile {
+    /// Can the OSSM occupy a lot of space, i.e. is `n_user` large?
+    pub large_n_user: bool,
+    /// Is the data skewed (seasonal/bursty, like the skewed-synthetic and
+    /// alarm workloads)?
+    pub skewed_data: bool,
+    /// Does one-time segmentation cost matter for this application?
+    pub segmentation_cost_an_issue: bool,
+    /// Is the initial page count `p` very large (tens of thousands)?
+    pub very_large_p: bool,
+}
+
+/// The strategies the recipe can recommend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecommendedStrategy {
+    /// Plain random segmentation — no loss computation at all.
+    Random,
+    /// Greedy with the bubble list.
+    GreedyWithBubble,
+    /// Random phase down to `n_mid`, then RC, with the bubble list.
+    RandomRcWithBubble,
+    /// Random phase down to `n_mid`, then Greedy, with the bubble list.
+    RandomGreedyWithBubble,
+}
+
+impl std::fmt::Display for RecommendedStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RecommendedStrategy::Random => "Random",
+            RecommendedStrategy::GreedyWithBubble => "Greedy + bubble list",
+            RecommendedStrategy::RandomRcWithBubble => "Random-RC + bubble list",
+            RecommendedStrategy::RandomGreedyWithBubble => "Random-Greedy + bubble list",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Figure 7's decision procedure.
+pub fn recommend(profile: ApplicationProfile) -> RecommendedStrategy {
+    if profile.large_n_user && profile.skewed_data {
+        RecommendedStrategy::Random
+    } else if !profile.segmentation_cost_an_issue {
+        RecommendedStrategy::GreedyWithBubble
+    } else if profile.very_large_p {
+        RecommendedStrategy::RandomRcWithBubble
+    } else {
+        RecommendedStrategy::RandomGreedyWithBubble
+    }
+}
+
+/// Heuristic thresholds for answering the recipe's questions from observed
+/// workload numbers, for callers who do not want to answer by hand. The
+/// cut-offs follow the paper's experimental ranges: `n_user ≥ 100` counts
+/// as large (Figure 4 calls 100–160 segments generous), `p ≥ 10 000` as
+/// very large (Figure 5(b) uses 50 000).
+pub fn profile_from_workload(
+    n_user: usize,
+    p: usize,
+    skewed_data: bool,
+    segmentation_cost_an_issue: bool,
+) -> ApplicationProfile {
+    ApplicationProfile {
+        large_n_user: n_user >= 100,
+        skewed_data,
+        segmentation_cost_an_issue,
+        very_large_p: p >= 10_000,
+    }
+}
+
+/// Fully data-driven profile: answers the recipe's "is the data skewed?"
+/// question by measuring inter-segment variability on the page aggregates
+/// themselves (see [`crate::variability`]). For very large stores the
+/// pages are first coalesced into at most 64 contiguous chunks —
+/// contiguity preserves exactly the temporal skew the question is about —
+/// so profiling stays cheap at any scale.
+pub fn auto_profile(
+    store: &ossm_data::PageStore,
+    n_user: usize,
+    segmentation_cost_an_issue: bool,
+) -> ApplicationProfile {
+    use crate::segmentation::Segmentation;
+    use crate::ssm::Ossm;
+    let p = store.num_pages();
+    assert!(p > 0, "cannot profile an empty store");
+    let chunks = p.min(64);
+    let base = p / chunks;
+    let extra = p % chunks;
+    let mut groups = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        groups.push((start..start + size).collect());
+        start += size;
+    }
+    let seg = Segmentation::from_groups(groups, p);
+    let probe = Ossm::from_pages(store, &seg);
+    let skewed = crate::variability::analyze(&probe).is_skewed();
+    profile_from_workload(n_user, p, skewed, segmentation_cost_an_issue)
+}
+
+/// One-call strategy selection: measure the data, apply Figure 7. The
+/// hybrids get `n_mid = min(max(4 · n_user, 100), p)`, squarely inside the
+/// paper's suggested 100–500 range for realistic inputs.
+pub fn auto_strategy(
+    store: &ossm_data::PageStore,
+    n_user: usize,
+    segmentation_cost_an_issue: bool,
+) -> crate::builder::Strategy {
+    let profile = auto_profile(store, n_user, segmentation_cost_an_issue);
+    let n_mid = (4 * n_user).max(100).min(store.num_pages().max(1)).max(n_user);
+    crate::builder::Strategy::from_recommendation(recommend(profile), n_mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(
+        large_n_user: bool,
+        skewed_data: bool,
+        cost: bool,
+        large_p: bool,
+    ) -> ApplicationProfile {
+        ApplicationProfile {
+            large_n_user,
+            skewed_data,
+            segmentation_cost_an_issue: cost,
+            very_large_p: large_p,
+        }
+    }
+
+    #[test]
+    fn skewed_and_roomy_takes_random() {
+        assert_eq!(recommend(profile(true, true, true, true)), RecommendedStrategy::Random);
+        assert_eq!(recommend(profile(true, true, false, false)), RecommendedStrategy::Random);
+    }
+
+    #[test]
+    fn cost_no_object_takes_greedy() {
+        for (large, skew) in [(false, false), (true, false), (false, true)] {
+            assert_eq!(
+                recommend(profile(large, skew, false, true)),
+                RecommendedStrategy::GreedyWithBubble
+            );
+        }
+    }
+
+    #[test]
+    fn cost_sensitive_takes_a_hybrid_split_on_p() {
+        assert_eq!(
+            recommend(profile(false, false, true, true)),
+            RecommendedStrategy::RandomRcWithBubble
+        );
+        assert_eq!(
+            recommend(profile(false, false, true, false)),
+            RecommendedStrategy::RandomGreedyWithBubble
+        );
+    }
+
+    #[test]
+    fn workload_profile_thresholds() {
+        let p = profile_from_workload(150, 50_000, true, true);
+        assert!(p.large_n_user && p.very_large_p);
+        assert_eq!(recommend(p), RecommendedStrategy::Random);
+        let q = profile_from_workload(40, 500, false, true);
+        assert!(!q.large_n_user && !q.very_large_p);
+        assert_eq!(recommend(q), RecommendedStrategy::RandomGreedyWithBubble);
+    }
+
+    #[test]
+    fn auto_profile_detects_skew_from_data() {
+        use ossm_data::gen::{QuestConfig, SkewedConfig};
+        use ossm_data::PageStore;
+        let skewed = SkewedConfig {
+            num_transactions: 2000,
+            num_items: 60,
+            season_boost: 10.0,
+            ..SkewedConfig::small()
+        }
+        .generate();
+        let store = PageStore::with_page_count(skewed, 20);
+        let p = auto_profile(&store, 150, false);
+        assert!(p.skewed_data);
+        assert!(p.large_n_user);
+        assert_eq!(
+            recommend(p),
+            RecommendedStrategy::Random,
+            "skewed + roomy should land on Random"
+        );
+        let regular =
+            QuestConfig { num_transactions: 2000, num_items: 60, ..QuestConfig::small() }
+                .generate();
+        let store = PageStore::with_page_count(regular, 20);
+        assert!(!auto_profile(&store, 150, false).skewed_data);
+    }
+
+    #[test]
+    fn auto_strategy_produces_buildable_strategies() {
+        use crate::builder::{OssmBuilder, Strategy};
+        use ossm_data::gen::QuestConfig;
+        use ossm_data::PageStore;
+        let d = QuestConfig { num_transactions: 1500, num_items: 40, ..QuestConfig::small() }
+            .generate();
+        let store = PageStore::with_page_count(d, 30);
+        for cost_sensitive in [false, true] {
+            let strategy = auto_strategy(&store, 6, cost_sensitive);
+            if let Strategy::RandomRc { n_mid } | Strategy::RandomGreedy { n_mid } = strategy {
+                assert!(n_mid >= 6 && n_mid <= 30, "n_mid {n_mid} out of range");
+            }
+            let (ossm, _) = OssmBuilder::new(6).strategy(strategy).build(&store);
+            assert_eq!(ossm.num_segments(), 6);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RecommendedStrategy::Random.to_string(), "Random");
+        assert_eq!(
+            RecommendedStrategy::RandomGreedyWithBubble.to_string(),
+            "Random-Greedy + bubble list"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The Greedy segmentation algorithm (Figure 2 of the paper).
+//!
+//! Maintains a priority queue of all pairwise merge losses; each iteration
+//! pops the globally minimal pair, merges it, and inserts the losses of the
+//! new segment against every survivor. Because the merged segment may have
+//! a *different configuration* than either parent (Example 3 of the paper),
+//! the fresh losses genuinely must be recomputed.
+//!
+//! Instead of Figure 2's step 5 ("remove all pairs in the priority queue
+//! involving S_i or S_j") — a linear scan of the heap — we use lazy
+//! deletion: every segment gets a fresh id when created, and entries whose
+//! segments have since died are skipped at pop time. The complexities
+//! match the paper's analysis: O(p²) loss computations and O(p² log p)
+//! heap traffic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::loss::LossCalculator;
+use crate::segmentation::{Aggregate, Segmentation};
+
+use super::{trivial, validate, SegmentationAlgorithm};
+
+/// Greedy minimal-loss-pair segmentation.
+#[derive(Clone, Debug)]
+pub struct Greedy {
+    calc: LossCalculator,
+}
+
+impl Greedy {
+    /// Creates the algorithm with a loss calculator (full or bubble-scoped).
+    pub fn new(calc: LossCalculator) -> Self {
+        Greedy { calc }
+    }
+}
+
+impl Default for Greedy {
+    fn default() -> Self {
+        Greedy::new(LossCalculator::all_items())
+    }
+}
+
+impl SegmentationAlgorithm for Greedy {
+    fn name(&self) -> String {
+        "Greedy".to_owned()
+    }
+
+    fn segment(&self, inputs: &[Aggregate], n_user: usize) -> Segmentation {
+        validate(inputs, n_user);
+        if let Some(t) = trivial(inputs, n_user) {
+            return t;
+        }
+        // Slab of segments by id; `None` = merged away. Ids only grow, so a
+        // heap entry is stale iff either of its ids is dead.
+        let mut slab: Vec<Option<(Aggregate, Vec<usize>)>> =
+            inputs.iter().enumerate().map(|(i, a)| Some((a.clone(), vec![i]))).collect();
+        let mut alive = slab.len();
+
+        // Step 1: all initial pairwise losses. Min-heap via Reverse; ties
+        // resolve to the smallest (a, b) ids for determinism.
+        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+        for a in 0..inputs.len() {
+            for b in (a + 1)..inputs.len() {
+                let loss = self.calc.merge_loss(&inputs[a], &inputs[b]);
+                heap.push(Reverse((loss, a, b)));
+            }
+        }
+
+        // Step 2: repeatedly merge the globally closest pair.
+        while alive > n_user {
+            let Reverse((_, a, b)) = heap.pop().expect("heap cannot drain before n_user");
+            if slab[a].is_none() || slab[b].is_none() {
+                continue; // lazy deletion: a stale pair
+            }
+            // Steps 4–5: merge S_a and S_b into a fresh segment.
+            let (agg_a, mut grp_a) = slab[a].take().expect("checked alive");
+            let (agg_b, mut grp_b) = slab[b].take().expect("checked alive");
+            let mut merged = agg_a;
+            merged.merge_in(&agg_b);
+            grp_a.append(&mut grp_b);
+            let new_id = slab.len();
+            alive -= 1; // two died, one born
+            // Step 6: losses of the new segment against all survivors.
+            if alive > n_user {
+                // (No point pushing pairs we will never pop once the target
+                // count is reached.)
+                for (id, entry) in slab.iter().enumerate() {
+                    if let Some((agg, _)) = entry {
+                        let loss = self.calc.merge_loss(&merged, agg);
+                        heap.push(Reverse((loss, id, new_id)));
+                    }
+                }
+            }
+            slab.push(Some((merged, grp_a)));
+        }
+
+        let groups: Vec<Vec<usize>> =
+            slab.into_iter().flatten().map(|(_, g)| g).collect();
+        Segmentation::from_groups(groups, inputs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::testutil;
+
+    #[test]
+    fn satisfies_the_algorithm_contract() {
+        testutil::check_contract(&Greedy::default());
+    }
+
+    #[test]
+    fn finds_the_lossless_two_way_split() {
+        assert_eq!(testutil::two_config_loss(&Greedy::default()), 0);
+    }
+
+    #[test]
+    fn merges_cheapest_pair_first() {
+        // Segments: two nearly identical configs (cheap merge) and one
+        // opposite config (expensive). With n_user = 2 Greedy must merge
+        // the cheap pair and leave the expensive segment alone.
+        let inputs = vec![
+            Aggregate::new(vec![10, 5, 1], 10),
+            Aggregate::new(vec![9, 5, 1], 9),
+            Aggregate::new(vec![1, 5, 10], 10),
+        ];
+        let seg = Greedy::default().segment(&inputs, 2);
+        let mut groups: Vec<Vec<usize>> = seg.groups().to_vec();
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort();
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn greedy_never_loses_more_than_rc_on_structured_inputs() {
+        use crate::loss::LossCalculator;
+        use crate::seg::rc::RandomClosest;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        // Random inputs drawn from 3 latent configurations.
+        let protos: [&[u64]; 3] = [&[30, 20, 10, 5], &[5, 10, 20, 30], &[20, 30, 5, 10]];
+        let inputs: Vec<Aggregate> = (0..12)
+            .map(|_| {
+                let proto = protos[rng.gen_range(0..3)];
+                let scale = rng.gen_range(1..4u64);
+                Aggregate::new(proto.iter().map(|&v| v * scale).collect(), 30 * scale)
+            })
+            .collect();
+        let calc = LossCalculator::all_items();
+        let g_loss =
+            calc.segmentation_loss(&inputs, &Greedy::default().segment(&inputs, 3));
+        assert_eq!(g_loss, 0, "three latent configurations should split losslessly");
+        let rc_loss = calc.segmentation_loss(
+            &inputs,
+            &RandomClosest::default().segment(&inputs, 3),
+        );
+        assert!(g_loss <= rc_loss);
+    }
+}

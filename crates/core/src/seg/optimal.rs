@@ -1,0 +1,233 @@
+//! Exact (brute-force) constrained segmentation, for small inputs.
+//!
+//! Example 4 of the paper illustrates why the optimal segmentation "is too
+//! expensive to be computed" in general: the number of ways to form
+//! `n_user` segments from `p` pages explodes (25 ways for p = 5 into 3,
+//! already 301 for p = 7). For *small* `p`, though, exhaustive search is
+//! perfectly feasible — and invaluable as an oracle: the heuristic-quality
+//! tests and the `segmentation` ablation bench compare Greedy/RC/Random
+//! against the true optimum this module computes.
+//!
+//! The search enumerates set partitions of `{0..p}` into exactly `n_user`
+//! non-empty blocks (restricted-growth strings) and keeps the one with
+//! minimal total equation-(2) loss. It also exposes the partition *count*
+//! (Stirling numbers of the second kind), matching Example 4's numbers.
+
+use crate::loss::LossCalculator;
+use crate::segmentation::{Aggregate, Segmentation};
+
+use super::{trivial, validate, SegmentationAlgorithm};
+
+/// Exhaustive optimal segmentation.
+///
+/// # Panics
+/// `segment` panics if the input count exceeds [`Optimal::MAX_INPUTS`]
+/// (the search is Θ(Stirling2(p, n)) and meant for oracles, not
+/// production use).
+#[derive(Clone, Debug)]
+pub struct Optimal {
+    calc: LossCalculator,
+}
+
+impl Optimal {
+    /// Largest input count the solver accepts (Bell(12) ≈ 4.2 M partitions
+    /// — a second or two; beyond that the heuristics are the only game in
+    /// town, which is the paper's point).
+    pub const MAX_INPUTS: usize = 12;
+
+    /// Creates the solver with a loss calculator.
+    pub fn new(calc: LossCalculator) -> Self {
+        Optimal { calc }
+    }
+}
+
+impl Default for Optimal {
+    fn default() -> Self {
+        Optimal::new(LossCalculator::all_items())
+    }
+}
+
+impl SegmentationAlgorithm for Optimal {
+    fn name(&self) -> String {
+        "Optimal".to_owned()
+    }
+
+    fn segment(&self, inputs: &[Aggregate], n_user: usize) -> Segmentation {
+        validate(inputs, n_user);
+        if let Some(t) = trivial(inputs, n_user) {
+            return t;
+        }
+        assert!(
+            inputs.len() <= Self::MAX_INPUTS,
+            "exhaustive search refuses p > {} inputs (got {})",
+            Self::MAX_INPUTS,
+            inputs.len()
+        );
+        let p = inputs.len();
+        let mut best: Option<(u64, Vec<usize>)> = None;
+        // Enumerate restricted-growth strings a[0..p] with exactly n_user
+        // distinct values: a[0] = 0, a[i] ≤ max(a[..i]) + 1.
+        let mut assignment = vec![0usize; p];
+        enumerate(&mut assignment, 1, 0, n_user, &mut |assignment| {
+            let groups = groups_of(assignment, n_user);
+            let seg = Segmentation::from_groups(groups, p);
+            let loss = self.calc.segmentation_loss(inputs, &seg);
+            if best.as_ref().map_or(true, |(b, _)| loss < *b) {
+                best = Some((loss, assignment.to_vec()));
+            }
+        });
+        let (_, assignment) = best.expect("n_user <= p guarantees at least one partition");
+        Segmentation::from_groups(groups_of(&assignment, n_user), p)
+    }
+}
+
+/// Recursive enumeration of restricted-growth strings whose final distinct
+/// count is exactly `target_blocks`.
+fn enumerate(
+    assignment: &mut Vec<usize>,
+    pos: usize,
+    max_used: usize,
+    target_blocks: usize,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    let p = assignment.len();
+    if pos == p {
+        if max_used + 1 == target_blocks {
+            visit(assignment);
+        }
+        return;
+    }
+    // Not enough positions left to open the remaining blocks? Prune.
+    let blocks_needed = target_blocks.saturating_sub(max_used + 1);
+    if blocks_needed > p - pos {
+        return;
+    }
+    let cap = (max_used + 1).min(target_blocks - 1);
+    for b in 0..=cap {
+        assignment[pos] = b;
+        enumerate(assignment, pos + 1, max_used.max(b), target_blocks, visit);
+    }
+}
+
+fn groups_of(assignment: &[usize], num_blocks: usize) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); num_blocks];
+    for (i, &b) in assignment.iter().enumerate() {
+        groups[b].push(i);
+    }
+    groups
+}
+
+/// Stirling number of the second kind `S(p, k)`: the number of ways to
+/// partition `p` inputs into exactly `k` non-empty segments — the count
+/// behind Example 4 of the paper.
+pub fn stirling2(p: u64, k: u64) -> u128 {
+    if k == 0 {
+        return u128::from(p == 0);
+    }
+    if k > p {
+        return 0;
+    }
+    // S(p, k) = k·S(p−1, k) + S(p−1, k−1), built bottom-up.
+    let (p, k) = (p as usize, k as usize);
+    let mut row = vec![0u128; k + 1];
+    row[0] = 1; // S(0, 0)
+    for n in 1..=p {
+        for j in (1..=k.min(n)).rev() {
+            row[j] = (j as u128) * row[j] + row[j - 1];
+        }
+        row[0] = 0; // S(n, 0) = 0 for n ≥ 1
+    }
+    row[k]
+}
+
+/// Total number of candidate segmentations for `p` pages into `n_user`
+/// segments (Example 4's headline number).
+pub fn segmentation_count(p: u64, n_user: u64) -> u128 {
+    stirling2(p, n_user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::{testutil, Greedy};
+
+    #[test]
+    fn satisfies_the_algorithm_contract() {
+        testutil::check_contract(&Optimal::default());
+    }
+
+    #[test]
+    fn example_4_counts() {
+        // "Suppose p = 5 and n_user = 3. … there are 25 possible
+        // combinations. … if p is raised to 6 and to 7, the number of
+        // combinations quickly jumps to 90 and to 301."
+        assert_eq!(segmentation_count(5, 3), 25);
+        assert_eq!(segmentation_count(6, 3), 90);
+        assert_eq!(segmentation_count(7, 3), 301);
+    }
+
+    #[test]
+    fn stirling_edge_cases() {
+        assert_eq!(stirling2(0, 0), 1);
+        assert_eq!(stirling2(5, 0), 0);
+        assert_eq!(stirling2(5, 6), 0);
+        assert_eq!(stirling2(7, 7), 1);
+        assert_eq!(stirling2(7, 1), 1);
+        assert_eq!(stirling2(4, 2), 7);
+    }
+
+    #[test]
+    fn enumeration_visits_exactly_stirling_many_partitions() {
+        for (p, k) in [(4usize, 2usize), (5, 3), (6, 3), (6, 4)] {
+            let mut count = 0u128;
+            let mut a = vec![0usize; p];
+            enumerate(&mut a, 1, 0, k, &mut |_| count += 1);
+            assert_eq!(count, stirling2(p as u64, k as u64), "p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn finds_the_lossless_split_when_one_exists() {
+        assert_eq!(testutil::two_config_loss(&Optimal::default()), 0);
+    }
+
+    #[test]
+    fn optimal_never_loses_more_than_any_heuristic() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let calc = LossCalculator::all_items();
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let p = rng.gen_range(4..=8);
+            let m = rng.gen_range(2..=5);
+            let inputs: Vec<Aggregate> = (0..p)
+                .map(|_| {
+                    let v: Vec<u64> = (0..m).map(|_| rng.gen_range(0..50)).collect();
+                    let n = v.iter().sum();
+                    Aggregate::new(v, n)
+                })
+                .collect();
+            let n_user = rng.gen_range(2..p);
+            let opt = calc
+                .segmentation_loss(&inputs, &Optimal::default().segment(&inputs, n_user));
+            for heuristic in [
+                &Greedy::default() as &dyn SegmentationAlgorithm,
+                &crate::seg::RandomClosest::default(),
+                &crate::seg::Random::default(),
+            ] {
+                let h = calc.segmentation_loss(&inputs, &heuristic.segment(&inputs, n_user));
+                assert!(
+                    opt <= h,
+                    "trial {trial}: optimal {opt} > {} {h}",
+                    heuristic.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "refuses p >")]
+    fn rejects_oversized_inputs() {
+        let inputs: Vec<Aggregate> = (0..13).map(|i| Aggregate::new(vec![i], 1)).collect();
+        Optimal::default().segment(&inputs, 2);
+    }
+}

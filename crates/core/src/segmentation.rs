@@ -1,0 +1,257 @@
+//! Segmentations: groupings of initial segments (pages) into final segments.
+//!
+//! Every segmentation algorithm in this crate consumes a slice of
+//! [`Aggregate`]s — the per-page singleton supports the page version of the
+//! problem starts from (Section 4.3 of the paper) — and produces a
+//! [`Segmentation`], a partition of the input indices into groups. Groups
+//! compose, which is exactly what the hybrid strategies of Section 5.4 do:
+//! `Random` maps `p` pages to `n_mid` groups, then `RC`/`Greedy` maps those
+//! `n_mid` merged aggregates to `n_user` groups, and the two segmentations
+//! are composed into a single page-to-segment map.
+
+use ossm_data::PageStore;
+
+/// Aggregate view of one (initial or merged) segment: the support of every
+/// singleton item inside it, plus the number of transactions it holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Aggregate {
+    supports: Vec<u64>,
+    transactions: u64,
+}
+
+impl Aggregate {
+    /// Creates an aggregate from a support vector and a transaction count.
+    pub fn new(supports: Vec<u64>, transactions: u64) -> Self {
+        Aggregate { supports, transactions }
+    }
+
+    /// An all-zero aggregate over `m` items.
+    pub fn zero(m: usize) -> Self {
+        Aggregate { supports: vec![0; m], transactions: 0 }
+    }
+
+    /// Support of every singleton (direct-addressed by item id).
+    #[inline]
+    pub fn supports(&self) -> &[u64] {
+        &self.supports
+    }
+
+    /// Number of transactions aggregated.
+    #[inline]
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Size of the item domain.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// Adds `other` into `self` (segment merge, the `S_i ∪ S_j` of Fig. 2).
+    pub fn merge_in(&mut self, other: &Aggregate) {
+        assert_eq!(self.supports.len(), other.supports.len(), "item domains must match");
+        for (a, b) in self.supports.iter_mut().zip(&other.supports) {
+            *a += b;
+        }
+        self.transactions += other.transactions;
+    }
+
+    /// The merged aggregate of `self` and `other`.
+    pub fn merged(&self, other: &Aggregate) -> Aggregate {
+        let mut out = self.clone();
+        out.merge_in(other);
+        out
+    }
+
+    /// Extracts the aggregates of every page of a [`PageStore`] — the `p`
+    /// initial segments of the constrained segmentation problem.
+    pub fn from_pages(store: &PageStore) -> Vec<Aggregate> {
+        store
+            .pages()
+            .iter()
+            .map(|p| Aggregate::new(p.supports().to_vec(), p.len() as u64))
+            .collect()
+    }
+}
+
+/// A partition of `n` input indices (pages or previously merged segments)
+/// into non-empty groups. Group order is the final segment order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segmentation {
+    groups: Vec<Vec<usize>>,
+    num_inputs: usize,
+}
+
+impl Segmentation {
+    /// Builds a segmentation from explicit groups.
+    ///
+    /// # Panics
+    /// Panics if the groups are not a partition of `0..num_inputs` (every
+    /// index exactly once, no empty group).
+    pub fn from_groups(groups: Vec<Vec<usize>>, num_inputs: usize) -> Self {
+        let mut seen = vec![false; num_inputs];
+        let mut covered = 0;
+        for g in &groups {
+            assert!(!g.is_empty(), "segments must be non-empty");
+            for &i in g {
+                assert!(i < num_inputs, "index {i} out of range 0..{num_inputs}");
+                assert!(!seen[i], "index {i} appears in two segments");
+                seen[i] = true;
+                covered += 1;
+            }
+        }
+        assert_eq!(covered, num_inputs, "every input must belong to a segment");
+        Segmentation { groups, num_inputs }
+    }
+
+    /// One group per input — the identity segmentation (`n = p`).
+    pub fn identity(num_inputs: usize) -> Self {
+        Segmentation { groups: (0..num_inputs).map(|i| vec![i]).collect(), num_inputs }
+    }
+
+    /// All inputs in a single segment (`n = 1`, the no-OSSM baseline).
+    pub fn single(num_inputs: usize) -> Self {
+        assert!(num_inputs > 0, "cannot build a segment from zero inputs");
+        Segmentation { groups: vec![(0..num_inputs).collect()], num_inputs }
+    }
+
+    /// Number of final segments.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of inputs partitioned.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The groups, each a list of input indices.
+    #[inline]
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// `assignment()[i]` = index of the segment input `i` belongs to.
+    pub fn assignment(&self) -> Vec<usize> {
+        let mut a = vec![0usize; self.num_inputs];
+        for (s, g) in self.groups.iter().enumerate() {
+            for &i in g {
+                a[i] = s;
+            }
+        }
+        a
+    }
+
+    /// Merges the aggregates of each group — the final segments' supports.
+    pub fn merge_aggregates(&self, inputs: &[Aggregate]) -> Vec<Aggregate> {
+        assert_eq!(inputs.len(), self.num_inputs, "aggregate count must match inputs");
+        self.groups
+            .iter()
+            .map(|g| {
+                let mut acc = inputs[g[0]].clone();
+                for &i in &g[1..] {
+                    acc.merge_in(&inputs[i]);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Composes with an `outer` segmentation of this segmentation's groups:
+    /// the result maps original inputs directly to `outer`'s segments.
+    /// Used by the hybrid strategies (`Random` then `RC`/`Greedy`).
+    ///
+    /// # Panics
+    /// Panics if `outer` does not partition exactly `self.num_segments()`
+    /// inputs.
+    pub fn compose(&self, outer: &Segmentation) -> Segmentation {
+        assert_eq!(
+            outer.num_inputs(),
+            self.num_segments(),
+            "outer segmentation must partition this segmentation's groups"
+        );
+        let groups = outer
+            .groups
+            .iter()
+            .map(|og| og.iter().flat_map(|&mid| self.groups[mid].iter().copied()).collect())
+            .collect();
+        Segmentation { groups, num_inputs: self.num_inputs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(counts: &[u64]) -> Aggregate {
+        Aggregate::new(counts.to_vec(), counts.iter().sum())
+    }
+
+    #[test]
+    fn merge_adds_pointwise() {
+        let mut a = agg(&[1, 2, 0]);
+        a.merge_in(&agg(&[4, 0, 1]));
+        assert_eq!(a.supports(), &[5, 2, 1]);
+        assert_eq!(a.transactions(), 8);
+    }
+
+    #[test]
+    fn identity_and_single() {
+        let id = Segmentation::identity(3);
+        assert_eq!(id.num_segments(), 3);
+        assert_eq!(id.assignment(), vec![0, 1, 2]);
+        let single = Segmentation::single(3);
+        assert_eq!(single.num_segments(), 1);
+        assert_eq!(single.assignment(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two segments")]
+    fn rejects_overlapping_groups() {
+        Segmentation::from_groups(vec![vec![0, 1], vec![1]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every input must belong")]
+    fn rejects_uncovered_inputs() {
+        Segmentation::from_groups(vec![vec![0]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_group() {
+        Segmentation::from_groups(vec![vec![0, 1], vec![]], 2);
+    }
+
+    #[test]
+    fn merge_aggregates_sums_groups() {
+        let seg = Segmentation::from_groups(vec![vec![0, 2], vec![1]], 3);
+        let merged = seg.merge_aggregates(&[agg(&[1, 0]), agg(&[0, 5]), agg(&[2, 2])]);
+        assert_eq!(merged[0].supports(), &[3, 2]);
+        assert_eq!(merged[1].supports(), &[0, 5]);
+    }
+
+    #[test]
+    fn compose_flattens_two_levels() {
+        // 4 pages → 3 mid groups → 2 final segments.
+        let inner = Segmentation::from_groups(vec![vec![0, 3], vec![1], vec![2]], 4);
+        let outer = Segmentation::from_groups(vec![vec![0, 2], vec![1]], 3);
+        let composed = inner.compose(&outer);
+        assert_eq!(composed.num_inputs(), 4);
+        assert_eq!(composed.groups(), &[vec![0, 3, 2], vec![1]]);
+        assert_eq!(composed.assignment(), vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn compose_is_equivalent_to_direct_merge() {
+        let inner = Segmentation::from_groups(vec![vec![0, 1], vec![2], vec![3]], 4);
+        let outer = Segmentation::from_groups(vec![vec![0, 1], vec![2]], 3);
+        let inputs = vec![agg(&[1, 2]), agg(&[3, 4]), agg(&[5, 6]), agg(&[7, 8])];
+        let two_step = outer.merge_aggregates(&inner.merge_aggregates(&inputs));
+        let one_step = inner.compose(&outer).merge_aggregates(&inputs);
+        assert_eq!(two_step, one_step);
+    }
+}

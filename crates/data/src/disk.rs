@@ -1,0 +1,498 @@
+//! Disk-backed page storage with a buffer pool and I/O accounting.
+//!
+//! The paper's cost model is page-oriented: transactions live in 4 KB disk
+//! pages, segmentation operates on per-page aggregates, and the reported
+//! runtimes "include all CPU and I/O costs". This module provides the
+//! matching substrate:
+//!
+//! * [`DiskStoreWriter`] packs a stream of transactions into fixed-size
+//!   pages of a data file and appends a sparse per-page aggregate index,
+//!   so a later segmentation pass can run **without touching the data
+//!   pages at all** — exactly the "higher granularity level" premise of
+//!   the page version of segment minimization (Section 4.3);
+//! * [`DiskStore`] reads pages back through a small LRU [`BufferPool`],
+//!   counting physical page reads and pool hits, which lets experiments
+//!   report I/O work the way the paper's time-sharing measurements folded
+//!   it into runtime.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! header  : magic "OSSMPAGE", version u32, m u32, page_bytes u32,
+//!           num_pages u64, index_offset u64
+//! pages   : num_pages × page_bytes, each: num_tx u32,
+//!           then per transaction: len u32, len × item u32; zero padding
+//! index   : per page: num_tx u32, num_entries u32,
+//!           then num_entries × (item u32, count u32)
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::item::{ItemId, Itemset};
+use crate::page::transaction_bytes;
+
+const MAGIC: &[u8; 8] = b"OSSMPAGE";
+const VERSION: u32 = 1;
+const HEADER_BYTES: u64 = 8 + 4 + 4 + 4 + 8 + 8;
+
+/// Sparse per-page aggregate: transaction count plus (item, support) pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageSummary {
+    /// Number of transactions on the page.
+    pub transactions: u32,
+    /// `(item, support-on-page)` pairs, ascending by item.
+    pub supports: Vec<(u32, u32)>,
+}
+
+impl PageSummary {
+    /// Densifies into a full support vector over `m` items.
+    pub fn dense(&self, m: usize) -> Vec<u64> {
+        let mut v = vec![0u64; m];
+        for &(item, count) in &self.supports {
+            v[item as usize] = u64::from(count);
+        }
+        v
+    }
+}
+
+/// Writes transactions into a paged data file.
+pub struct DiskStoreWriter {
+    file: io::BufWriter<std::fs::File>,
+    m: u32,
+    page_bytes: u32,
+    /// Current page under construction.
+    current: Vec<Itemset>,
+    current_bytes: usize,
+    summaries: Vec<PageSummary>,
+}
+
+impl DiskStoreWriter {
+    /// Creates the file at `path` for a domain of `m` items and the given
+    /// page size (4096 matches the paper).
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` cannot hold even an empty transaction.
+    pub fn create(path: &Path, m: usize, page_bytes: usize) -> io::Result<Self> {
+        assert!(page_bytes >= 16, "page size too small to hold any transaction");
+        let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+        // Header placeholder; finalize() rewrites it with real counts.
+        file.write_all(&[0u8; HEADER_BYTES as usize])?;
+        Ok(DiskStoreWriter {
+            file,
+            m: m as u32,
+            page_bytes: page_bytes as u32,
+            current: Vec::new(),
+            current_bytes: 4, // num_tx header
+            summaries: Vec::new(),
+        })
+    }
+
+    /// Appends one transaction, starting a new page when the current page
+    /// is full. A transaction larger than a page gets a page of its own.
+    ///
+    /// # Panics
+    /// Panics if the transaction references items outside the domain.
+    pub fn append(&mut self, t: &Itemset) -> io::Result<()> {
+        if let Some(max) = t.items().last() {
+            assert!((max.0) < self.m, "item {max} outside domain 0..{}", self.m);
+        }
+        let cost = transaction_bytes(t);
+        if !self.current.is_empty() && self.current_bytes + cost > self.page_bytes as usize {
+            self.flush_page()?;
+        }
+        self.current_bytes += cost;
+        self.current.push(t.clone());
+        Ok(())
+    }
+
+    fn flush_page(&mut self) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(self.page_bytes as usize);
+        buf.extend_from_slice(&(self.current.len() as u32).to_le_bytes());
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for t in &self.current {
+            buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
+            for item in t.items() {
+                buf.extend_from_slice(&item.0.to_le_bytes());
+                *counts.entry(item.0).or_insert(0) += 1;
+            }
+        }
+        // An oversized single transaction stretches its page; regular pages
+        // are padded to the fixed size so offsets stay computable. Oversize
+        // pages are rejected instead (callers pick page_bytes ≥ max tx).
+        assert!(
+            buf.len() <= self.page_bytes as usize,
+            "transaction of {} bytes exceeds the {}-byte page",
+            buf.len(),
+            self.page_bytes
+        );
+        buf.resize(self.page_bytes as usize, 0);
+        self.file.write_all(&buf)?;
+        let mut supports: Vec<(u32, u32)> = counts.into_iter().collect();
+        supports.sort_unstable();
+        self.summaries
+            .push(PageSummary { transactions: self.current.len() as u32, supports });
+        self.current.clear();
+        self.current_bytes = 4;
+        Ok(())
+    }
+
+    /// Flushes the final page, writes the aggregate index and the real
+    /// header, and closes the file.
+    pub fn finalize(mut self) -> io::Result<()> {
+        if !self.current.is_empty() {
+            self.flush_page()?;
+        }
+        let num_pages = self.summaries.len() as u64;
+        let index_offset = HEADER_BYTES + num_pages * u64::from(self.page_bytes);
+        for s in &self.summaries {
+            self.file.write_all(&s.transactions.to_le_bytes())?;
+            self.file.write_all(&(s.supports.len() as u32).to_le_bytes())?;
+            for &(item, count) in &s.supports {
+                self.file.write_all(&item.to_le_bytes())?;
+                self.file.write_all(&count.to_le_bytes())?;
+            }
+        }
+        let mut file = self.file.into_inner()?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&self.m.to_le_bytes())?;
+        file.write_all(&self.page_bytes.to_le_bytes())?;
+        file.write_all(&num_pages.to_le_bytes())?;
+        file.write_all(&index_offset.to_le_bytes())?;
+        file.sync_all()
+    }
+}
+
+/// Physical-I/O counters of a [`DiskStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages fetched from disk (buffer-pool misses).
+    pub page_reads: u64,
+    /// Page requests satisfied by the buffer pool.
+    pub pool_hits: u64,
+}
+
+/// A fixed-capacity LRU buffer pool of decoded pages.
+struct BufferPool {
+    capacity: usize,
+    /// page id → (decoded transactions, LRU stamp).
+    frames: HashMap<u64, (Vec<Itemset>, u64)>,
+    clock: u64,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    fn new(capacity: usize) -> Self {
+        BufferPool { capacity: capacity.max(1), frames: HashMap::new(), clock: 0, stats: IoStats::default() }
+    }
+
+    fn get_or_load(
+        &mut self,
+        page: u64,
+        load: impl FnOnce() -> io::Result<Vec<Itemset>>,
+    ) -> io::Result<&[Itemset]> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.frames.get_mut(&page) {
+            entry.1 = clock;
+            self.stats.pool_hits += 1;
+        } else {
+            self.stats.page_reads += 1;
+            let decoded = load()?;
+            if self.frames.len() >= self.capacity {
+                // Evict the least-recently used frame.
+                let victim = *self
+                    .frames
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(k, _)| k)
+                    .expect("pool is non-empty");
+                self.frames.remove(&victim);
+            }
+            self.frames.insert(page, (decoded, clock));
+        }
+        Ok(self.frames.get(&page).map(|(txs, _)| txs.as_slice()).expect("just inserted"))
+    }
+}
+
+/// A read handle on a paged data file.
+pub struct DiskStore {
+    file: std::fs::File,
+    m: usize,
+    page_bytes: u32,
+    summaries: Vec<PageSummary>,
+    pool: BufferPool,
+}
+
+impl DiskStore {
+    /// Opens a store written by [`DiskStoreWriter`], with a buffer pool of
+    /// `pool_pages` frames.
+    pub fn open(path: &Path, pool_pages: usize) -> io::Result<Self> {
+        let mut file = std::fs::File::open(path)?;
+        let mut header = [0u8; HEADER_BYTES as usize];
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(bad("not an OSSM page file"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed size"));
+        if version != VERSION {
+            return Err(bad(format!("unsupported page-file version {version}")));
+        }
+        let m = u32::from_le_bytes(header[12..16].try_into().expect("fixed size")) as usize;
+        let page_bytes = u32::from_le_bytes(header[16..20].try_into().expect("fixed size"));
+        let num_pages = u64::from_le_bytes(header[20..28].try_into().expect("fixed size"));
+        let index_offset = u64::from_le_bytes(header[28..36].try_into().expect("fixed size"));
+        // Load the aggregate index (summaries only — no data pages).
+        file.seek(SeekFrom::Start(index_offset))?;
+        let mut reader = io::BufReader::new(&mut file);
+        let mut summaries = Vec::with_capacity(num_pages.min(1 << 20) as usize);
+        for _ in 0..num_pages {
+            let transactions = read_u32(&mut reader)?;
+            let entries = read_u32(&mut reader)? as usize;
+            let mut supports = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                let item = read_u32(&mut reader)?;
+                let count = read_u32(&mut reader)?;
+                if item as usize >= m {
+                    return Err(bad(format!("index references item {item} outside 0..{m}")));
+                }
+                supports.push((item, count));
+            }
+            summaries.push(PageSummary { transactions, supports });
+        }
+        Ok(DiskStore { file, m, page_bytes, summaries, pool: BufferPool::new(pool_pages) })
+    }
+
+    /// Size of the item domain.
+    pub fn num_items(&self) -> usize {
+        self.m
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Total transactions across all pages (from the index).
+    pub fn num_transactions(&self) -> u64 {
+        self.summaries.iter().map(|s| u64::from(s.transactions)).sum()
+    }
+
+    /// The per-page aggregate index — everything segmentation needs,
+    /// loaded without a single data-page read.
+    pub fn summaries(&self) -> &[PageSummary] {
+        &self.summaries
+    }
+
+    /// Dense per-page aggregates for the segmentation algorithms.
+    pub fn page_aggregate_vectors(&self) -> Vec<(Vec<u64>, u64)> {
+        self.summaries
+            .iter()
+            .map(|s| (s.dense(self.m), u64::from(s.transactions)))
+            .collect()
+    }
+
+    /// Physical-I/O counters so far.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats
+    }
+
+    /// Reads page `p` through the buffer pool.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn read_page(&mut self, p: usize) -> io::Result<Vec<Itemset>> {
+        assert!(p < self.summaries.len(), "page {p} out of range");
+        let offset = HEADER_BYTES + p as u64 * u64::from(self.page_bytes);
+        let page_bytes = self.page_bytes as usize;
+        let m = self.m;
+        let file = &mut self.file;
+        let txs = self.pool.get_or_load(p as u64, || {
+            let mut buf = vec![0u8; page_bytes];
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+            decode_page(&buf, m)
+        })?;
+        Ok(txs.to_vec())
+    }
+
+    /// Streams every transaction through `visit`, page by page. Returns
+    /// the number of pages read for the pass.
+    pub fn scan(&mut self, mut visit: impl FnMut(&Itemset)) -> io::Result<u64> {
+        let pages = self.num_pages();
+        for p in 0..pages {
+            for t in self.read_page(p)? {
+                visit(&t);
+            }
+        }
+        Ok(pages as u64)
+    }
+
+    /// Materializes the whole store as an in-memory [`crate::Dataset`].
+    pub fn to_dataset(&mut self) -> io::Result<crate::Dataset> {
+        let mut transactions = Vec::with_capacity(self.num_transactions() as usize);
+        self.scan(|t| transactions.push(t.clone()))?;
+        Ok(crate::Dataset::new(self.m, transactions))
+    }
+}
+
+fn decode_page(buf: &[u8], m: usize) -> io::Result<Vec<Itemset>> {
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> io::Result<u32> {
+        let end = *pos + 4;
+        if end > buf.len() {
+            return Err(bad("page truncated"));
+        }
+        let v = u32::from_le_bytes(buf[*pos..end].try_into().expect("fixed size"));
+        *pos = end;
+        Ok(v)
+    };
+    let n = take_u32(&mut pos)?;
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let len = take_u32(&mut pos)? as usize;
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = take_u32(&mut pos)?;
+            if id as usize >= m {
+                return Err(bad(format!("page references item {id} outside 0..{m}")));
+            }
+            items.push(ItemId(id));
+        }
+        out.push(Itemset::from_sorted(items));
+    }
+    Ok(out)
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Writes an entire dataset to a paged file (convenience wrapper).
+pub fn write_paged(path: &Path, dataset: &crate::Dataset, page_bytes: usize) -> io::Result<()> {
+    let mut w = DiskStoreWriter::create(path, dataset.num_items(), page_bytes)?;
+    for t in dataset.transactions() {
+        w.append(t)?;
+    }
+    w.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::QuestConfig;
+    use crate::page::PageStore;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ossm-disk-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn sample_dataset() -> crate::Dataset {
+        QuestConfig { num_transactions: 500, num_items: 50, ..QuestConfig::small() }.generate()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_transaction() {
+        let d = sample_dataset();
+        let path = tmp("roundtrip.pages");
+        write_paged(&path, &d, 4096).expect("write");
+        let mut store = DiskStore::open(&path, 4).expect("open");
+        assert_eq!(store.num_items(), 50);
+        assert_eq!(store.num_transactions(), 500);
+        assert_eq!(store.to_dataset().expect("read"), d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn index_matches_in_memory_page_aggregates() {
+        let d = sample_dataset();
+        let path = tmp("index.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let store = DiskStore::open(&path, 2).expect("open");
+        // The same packing in memory must agree page by page.
+        let mem = PageStore::pack(d, 1024);
+        assert_eq!(store.num_pages(), mem.num_pages());
+        for (summary, page) in store.summaries().iter().zip(mem.pages()) {
+            assert_eq!(summary.transactions as usize, page.len());
+            assert_eq!(summary.dense(50), page.supports());
+        }
+        // Reading the index costs zero data-page I/O.
+        assert_eq!(store.io_stats(), IoStats::default());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn buffer_pool_counts_hits_and_misses() {
+        let d = sample_dataset();
+        let path = tmp("pool.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let mut store = DiskStore::open(&path, 2).expect("open");
+        store.read_page(0).expect("read");
+        store.read_page(0).expect("read");
+        assert_eq!(store.io_stats(), IoStats { page_reads: 1, pool_hits: 1 });
+        // Touch enough pages to evict page 0 (capacity 2).
+        store.read_page(1).expect("read");
+        store.read_page(2).expect("read");
+        store.read_page(0).expect("read");
+        assert_eq!(store.io_stats().page_reads, 4, "page 0 was evicted and re-read");
+    }
+
+    #[test]
+    fn full_scans_cost_one_read_per_page_when_pool_is_small() {
+        let d = sample_dataset();
+        let path = tmp("scan.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let mut store = DiskStore::open(&path, 1).expect("open");
+        let p = store.num_pages() as u64;
+        let mut seen = 0u64;
+        store.scan(|_| seen += 1).expect("scan");
+        store.scan(|_| ()).expect("scan");
+        assert_eq!(seen, 500);
+        assert_eq!(store.io_stats().page_reads, 2 * p, "tiny pool → every pass hits disk");
+        // A pool bigger than the file caches the second pass entirely.
+        let mut cached = DiskStore::open(&path, p as usize + 1).expect("open");
+        cached.scan(|_| ()).expect("scan");
+        cached.scan(|_| ()).expect("scan");
+        assert_eq!(cached.io_stats().page_reads, p);
+        assert_eq!(cached.io_stats().pool_hits, p);
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        let path = tmp("corrupt.pages");
+        std::fs::write(&path, b"garbage that is long enough to be a header maybe").expect("write");
+        assert!(DiskStore::open(&path, 1).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn oversized_transaction_is_rejected() {
+        let path = tmp("oversize.pages");
+        let mut w = DiskStoreWriter::create(&path, 100, 16).expect("create");
+        let t = Itemset::new(0..50u32);
+        let _ = w.append(&t);
+        let _ = w.finalize(); // the flush panics
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let path = tmp("empty.pages");
+        write_paged(&path, &crate::Dataset::empty(10), 4096).expect("write");
+        let mut store = DiskStore::open(&path, 1).expect("open");
+        assert_eq!(store.num_pages(), 0);
+        assert_eq!(store.to_dataset().expect("read"), crate::Dataset::empty(10));
+        std::fs::remove_file(&path).ok();
+    }
+}

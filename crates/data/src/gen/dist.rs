@@ -1,0 +1,176 @@
+//! Small sampling helpers on top of `rand`'s uniform primitives.
+//!
+//! The IBM Quest generation process needs Poisson, exponential, and normal
+//! variates. We implement the three classical textbook samplers here rather
+//! than pulling in a distributions crate; the means involved are small
+//! (average basket size ≈ 10), where Knuth's Poisson method is both exact
+//! and fast.
+
+use rand::Rng;
+
+/// Poisson sample by Knuth's method. Suitable for small means (O(mean) time).
+///
+/// # Panics
+/// Panics if `mean` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be finite and non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Exponential sample with the given mean, by inversion.
+///
+/// # Panics
+/// Panics if `mean` is not positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+    // 1 - gen::<f64>() is in (0, 1], so ln() is finite.
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// Normal sample by the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples an index in `0..weights.len()` proportionally to `weights`.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0 && total.is_finite(), "weights must sum to a positive finite value");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1 // floating-point slack: fall back to the last index
+}
+
+/// A cumulative-weight table for repeated weighted sampling in O(log n).
+#[derive(Clone, Debug)]
+pub struct CumulativeTable {
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeTable {
+    /// Builds the table. Zero-weight entries are never drawn.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must sum to a positive value");
+        CumulativeTable { cumulative }
+    }
+
+    /// Draws one index proportionally to the weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("table is non-empty");
+        let target = rng.gen::<f64>() * total;
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&target).expect("no NaN")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean = 7.5;
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed - mean).abs() < 0.1, "observed {observed}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 2.0)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - 2.0).abs() < 0.1, "observed {observed}");
+        assert!((0..1000).all(|_| exponential(&mut rng, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 0.5, 0.1)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "observed mean {mean}");
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "observed sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight never drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "observed ratio {ratio}");
+    }
+
+    #[test]
+    fn cumulative_table_matches_linear_sampler() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights = [2.0, 1.0, 0.0, 1.0];
+        let table = CumulativeTable::new(&weights);
+        let mut counts = [0u32; 4];
+        for _ in 0..20_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[0] as f64 / 20_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cumulative_table_rejects_all_zero() {
+        CumulativeTable::new(&[0.0, 0.0]);
+    }
+}

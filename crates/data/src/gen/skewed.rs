@@ -1,0 +1,186 @@
+//! Skewed "seasonal" synthetic generator.
+//!
+//! The paper's third data set has skewed seasonal behaviour: "50 % of the
+//! items have a higher probability of appearing in the first half of the
+//! collection of transactions, and the other 50 % have a higher probability
+//! of appearing in the second half" — e.g. a supermarket's summer-to-winter
+//! transactions. The OSSM thrives on exactly this kind of variability
+//! ("the more skewed the data, the more effective the OSSM is", Section 3).
+//!
+//! The generator draws each transaction's size from a Poisson distribution
+//! and fills it by weighted sampling without replacement, where an item's
+//! weight is its base popularity (exponentially distributed, so a few items
+//! are much more popular than the rest) times a seasonal boost that depends
+//! on the transaction's position in the collection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::dist::{exponential, poisson};
+use crate::item::Itemset;
+use crate::transaction::Dataset;
+
+/// Parameters of the seasonal generator.
+#[derive(Clone, Debug)]
+pub struct SkewedConfig {
+    /// Number of transactions to generate.
+    pub num_transactions: usize,
+    /// Size of the item domain.
+    pub num_items: usize,
+    /// Average transaction length.
+    pub avg_transaction_len: f64,
+    /// Multiplier applied to an item's weight during its own season.
+    /// `1.0` means no seasonality; the paper's data is strongly seasonal,
+    /// so the default is large.
+    pub season_boost: f64,
+    /// Number of seasons the collection is split into. The paper uses two
+    /// halves; more seasons produce more distinct per-segment behaviour.
+    pub num_seasons: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkewedConfig {
+    fn default() -> Self {
+        SkewedConfig {
+            num_transactions: 10_000,
+            num_items: 1000,
+            avg_transaction_len: 10.0,
+            season_boost: 8.0,
+            num_seasons: 2,
+            seed: 0x5EA5_0_u64,
+        }
+    }
+}
+
+impl SkewedConfig {
+    /// A small configuration for unit tests and examples.
+    pub fn small() -> Self {
+        SkewedConfig { num_transactions: 1000, num_items: 100, ..SkewedConfig::default() }
+    }
+
+    /// Generates the dataset described by this configuration.
+    pub fn generate(&self) -> Dataset {
+        generate(self)
+    }
+}
+
+/// Runs the generator. Prefer [`SkewedConfig::generate`].
+pub fn generate(cfg: &SkewedConfig) -> Dataset {
+    assert!(cfg.num_items > 0, "item domain must be non-empty");
+    assert!(cfg.num_seasons > 0, "need at least one season");
+    assert!(cfg.avg_transaction_len >= 1.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Base popularity: exponential, so supports span a wide range — items
+    // land on both sides of any support threshold (bubble-list material).
+    let base: Vec<f64> = (0..cfg.num_items).map(|_| exponential(&mut rng, 1.0) + 0.05).collect();
+    // Item i belongs to season i % num_seasons; its weight is boosted while
+    // the collection is inside that season.
+    let mut transactions = Vec::with_capacity(cfg.num_transactions);
+    let mut weights = vec![0.0f64; cfg.num_items];
+    for t in 0..cfg.num_transactions {
+        let season =
+            t * cfg.num_seasons / cfg.num_transactions.max(1); // current season index
+        for (i, w) in weights.iter_mut().enumerate() {
+            let boost = if i % cfg.num_seasons == season { cfg.season_boost } else { 1.0 };
+            *w = base[i] * boost;
+        }
+        let len = ((poisson(&mut rng, cfg.avg_transaction_len - 1.0) + 1) as usize)
+            .min(cfg.num_items);
+        let mut picked: Vec<u32> = Vec::with_capacity(len);
+        // Weighted sampling without replacement: zero out picked weights.
+        let mut local = weights.clone();
+        for _ in 0..len {
+            let total: f64 = local.iter().sum();
+            if total <= 0.0 {
+                break;
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = cfg.num_items - 1;
+            for (i, &w) in local.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            picked.push(chosen as u32);
+            local[chosen] = 0.0;
+        }
+        transactions.push(Itemset::new(picked.into_iter()));
+    }
+    Dataset::new(cfg.num_items, transactions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = SkewedConfig { num_transactions: 300, ..SkewedConfig::small() };
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn shape_matches_configuration() {
+        let cfg = SkewedConfig::small();
+        let d = cfg.generate();
+        assert_eq!(d.len(), cfg.num_transactions);
+        assert_eq!(d.num_items(), cfg.num_items);
+        let avg =
+            d.transactions().iter().map(Itemset::len).sum::<usize>() as f64 / d.len() as f64;
+        assert!((avg - cfg.avg_transaction_len).abs() < 2.0, "avg basket {avg}");
+    }
+
+    #[test]
+    fn seasonality_shifts_item_frequencies_between_halves() {
+        let cfg = SkewedConfig { num_transactions: 2000, ..SkewedConfig::small() };
+        let d = cfg.generate();
+        let half = d.len() / 2;
+        let mut first = vec![0u64; cfg.num_items];
+        let mut second = vec![0u64; cfg.num_items];
+        for (i, t) in d.transactions().iter().enumerate() {
+            let counts = if i < half { &mut first } else { &mut second };
+            for item in t.items() {
+                counts[item.index()] += 1;
+            }
+        }
+        // Season-0 items (even ids) should collectively be more frequent in
+        // the first half, season-1 items in the second half.
+        let even_first: u64 = (0..cfg.num_items).step_by(2).map(|i| first[i]).sum();
+        let even_second: u64 = (0..cfg.num_items).step_by(2).map(|i| second[i]).sum();
+        let odd_first: u64 = (1..cfg.num_items).step_by(2).map(|i| first[i]).sum();
+        let odd_second: u64 = (1..cfg.num_items).step_by(2).map(|i| second[i]).sum();
+        assert!(
+            even_first as f64 > 1.5 * even_second as f64,
+            "season-0 items not boosted in first half: {even_first} vs {even_second}"
+        );
+        assert!(
+            odd_second as f64 > 1.5 * odd_first as f64,
+            "season-1 items not boosted in second half: {odd_first} vs {odd_second}"
+        );
+    }
+
+    #[test]
+    fn single_season_is_unskewed() {
+        let cfg = SkewedConfig {
+            num_transactions: 2000,
+            num_seasons: 1,
+            ..SkewedConfig::small()
+        };
+        let d = cfg.generate();
+        let half = d.len() / 2;
+        let mut first = 0u64;
+        let mut second = 0u64;
+        for (i, t) in d.transactions().iter().enumerate() {
+            if i < half {
+                first += t.len() as u64;
+            } else {
+                second += t.len() as u64;
+            }
+        }
+        let ratio = first as f64 / second as f64;
+        assert!((ratio - 1.0).abs() < 0.1, "halves should look alike, ratio {ratio}");
+    }
+}

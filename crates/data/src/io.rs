@@ -1,0 +1,181 @@
+//! Dataset persistence: a small, self-describing binary codec.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 8 bytes  = b"OSSMDATA"
+//! version : u32      = 1
+//! m       : u32      number of items
+//! n       : u64      number of transactions
+//! per transaction: len: u32, then len × u32 item ids (strictly increasing)
+//! ```
+//!
+//! The codec exists so experiments can generate a workload once and reuse it
+//! across runs; it deliberately avoids pulling a serialization framework
+//! into the public API.
+
+use std::io::{self, Read, Write};
+
+use crate::item::{ItemId, Itemset};
+use crate::transaction::Dataset;
+
+const MAGIC: &[u8; 8] = b"OSSMDATA";
+const VERSION: u32 = 1;
+
+/// Serializes `dataset` to `w`.
+pub fn write_dataset<W: Write>(w: &mut W, dataset: &Dataset) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(dataset.num_items() as u32).to_le_bytes())?;
+    w.write_all(&(dataset.len() as u64).to_le_bytes())?;
+    for t in dataset.transactions() {
+        w.write_all(&(t.len() as u32).to_le_bytes())?;
+        for item in t.items() {
+            w.write_all(&item.0.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a dataset from `r`, validating magic, version, bounds, and
+/// per-transaction item ordering.
+pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an OSSM dataset file (bad magic)"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported version {version}")));
+    }
+    let m = read_u32(r)? as usize;
+    let n = read_u64(r)?;
+    let n = usize::try_from(n).map_err(|_| bad("transaction count overflows usize"))?;
+    let mut transactions = Vec::with_capacity(n.min(1 << 20));
+    for i in 0..n {
+        let len = read_u32(r)? as usize;
+        let mut items = Vec::with_capacity(len);
+        let mut prev: Option<u32> = None;
+        for _ in 0..len {
+            let id = read_u32(r)?;
+            if id as usize >= m {
+                return Err(bad(format!("transaction {i}: item {id} outside domain 0..{m}")));
+            }
+            if let Some(p) = prev {
+                if id <= p {
+                    return Err(bad(format!("transaction {i}: items not strictly increasing")));
+                }
+            }
+            prev = Some(id);
+            items.push(ItemId(id));
+        }
+        transactions.push(Itemset::from_sorted(items));
+    }
+    Ok(Dataset::new(m, transactions))
+}
+
+/// Writes `dataset` to the file at `path`.
+pub fn save(path: &std::path::Path, dataset: &Dataset) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_dataset(&mut f, dataset)?;
+    f.flush()
+}
+
+/// Reads a dataset from the file at `path`.
+pub fn load(path: &std::path::Path) -> io::Result<Dataset> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_dataset(&mut f)
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::QuestConfig;
+
+    fn roundtrip(d: &Dataset) -> Dataset {
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, d).unwrap();
+        read_dataset(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let d = QuestConfig { num_transactions: 150, ..QuestConfig::small() }.generate();
+        assert_eq!(roundtrip(&d), d);
+    }
+
+    #[test]
+    fn roundtrip_empty_dataset() {
+        let d = Dataset::empty(7);
+        assert_eq!(roundtrip(&d), d);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_dataset(&mut &b"NOTMAGIC\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let d = QuestConfig { num_transactions: 20, ..QuestConfig::small() }.generate();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &d).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_domain_item() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes()); // version
+        buf.extend_from_slice(&2u32.to_le_bytes()); // m = 2
+        buf.extend_from_slice(&1u64.to_le_bytes()); // n = 1
+        buf.extend_from_slice(&1u32.to_le_bytes()); // len = 1
+        buf.extend_from_slice(&5u32.to_le_bytes()); // item 5 ∉ 0..2
+        let err = read_dataset(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("outside domain"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsorted_items() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ossm-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.bin");
+        let d = QuestConfig { num_transactions: 40, ..QuestConfig::small() }.generate();
+        save(&path, &d).unwrap();
+        assert_eq!(load(&path).unwrap(), d);
+        std::fs::remove_file(&path).ok();
+    }
+}

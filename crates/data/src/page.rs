@@ -1,0 +1,265 @@
+//! Page storage: the physical organization of the transaction collection.
+//!
+//! The paper's constrained segmentation starts from the *page* granularity
+//! (Section 4.3): transactions are stored in `p` pages, and all the
+//! segmentation algorithms see only the aggregate per-page singleton
+//! supports. With the paper's 4 KB pages, one page holds roughly 100
+//! transactions, so 50 000 pages correspond to 5 million transactions.
+//!
+//! [`PageStore`] pins each page to a contiguous run of transactions and
+//! precomputes the per-page support vector of every singleton — the input
+//! to every segmentation algorithm in `ossm-core`.
+
+use crate::item::Itemset;
+use crate::transaction::Dataset;
+
+/// Default page capacity, matching the paper's 4-kilobyte pages.
+pub const DEFAULT_PAGE_BYTES: usize = 4096;
+
+/// On-page cost model of a serialized transaction: a 4-byte length header
+/// plus 4 bytes per item id. With the paper's average basket sizes this
+/// yields the paper's "roughly 100 transactions" per 4 KB page.
+#[inline]
+pub fn transaction_bytes(t: &Itemset) -> usize {
+    4 + 4 * t.len()
+}
+
+/// A contiguous run of transactions plus its aggregate singleton supports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Page {
+    /// Range of transaction indices (into the owning dataset) on this page.
+    range: std::ops::Range<usize>,
+    /// `supports[i]` = number of transactions on this page containing item `i`.
+    supports: Vec<u64>,
+}
+
+impl Page {
+    /// Range of transaction indices stored on this page.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.range.clone()
+    }
+
+    /// Number of transactions on this page.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the page holds no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Aggregate support of every singleton on this page
+    /// (direct-addressed by item id).
+    #[inline]
+    pub fn supports(&self) -> &[u64] {
+        &self.supports
+    }
+}
+
+/// A dataset physically organized into pages.
+#[derive(Clone, Debug)]
+pub struct PageStore {
+    dataset: Dataset,
+    pages: Vec<Page>,
+    page_bytes: usize,
+}
+
+impl PageStore {
+    /// Packs `dataset` into pages of at most `page_bytes` bytes each
+    /// (first-fit in storage order, at least one transaction per page so a
+    /// jumbo transaction still fits somewhere).
+    pub fn pack(dataset: Dataset, page_bytes: usize) -> Self {
+        assert!(page_bytes > 0, "page capacity must be positive");
+        let m = dataset.num_items();
+        // Each page carries a 4-byte transaction-count header — the same
+        // cost model as the on-disk layout (`crate::disk`), so both packers
+        // produce identical page boundaries.
+        const PAGE_HEADER: usize = 4;
+        let mut pages = Vec::new();
+        let mut start = 0;
+        let mut used = PAGE_HEADER;
+        let mut supports = vec![0u64; m];
+        for (i, t) in dataset.transactions().iter().enumerate() {
+            let cost = transaction_bytes(t);
+            if i > start && used + cost > page_bytes {
+                pages.push(Page { range: start..i, supports });
+                supports = vec![0u64; m];
+                start = i;
+                used = PAGE_HEADER;
+            }
+            used += cost;
+            for item in t.items() {
+                supports[item.index()] += 1;
+            }
+        }
+        if start < dataset.len() {
+            pages.push(Page { range: start..dataset.len(), supports });
+        }
+        PageStore { dataset, pages, page_bytes }
+    }
+
+    /// Packs with the paper's default 4 KB pages.
+    pub fn pack_default(dataset: Dataset) -> Self {
+        Self::pack(dataset, DEFAULT_PAGE_BYTES)
+    }
+
+    /// Splits `dataset` into exactly `p` pages of near-equal transaction
+    /// count, ignoring byte sizes. Useful for experiments that sweep the
+    /// page count `p` directly, as the paper does ("the exact number of
+    /// transactions is not important, because the key parameter is the
+    /// number of pages").
+    pub fn with_page_count(dataset: Dataset, p: usize) -> Self {
+        assert!(p > 0, "page count must be positive");
+        let m = dataset.num_items();
+        let ranges = dataset.partition_ranges(p.min(dataset.len().max(1)));
+        let pages = ranges
+            .into_iter()
+            .map(|range| {
+                let mut supports = vec![0u64; m];
+                for t in &dataset.transactions()[range.clone()] {
+                    for item in t.items() {
+                        supports[item.index()] += 1;
+                    }
+                }
+                Page { range, supports }
+            })
+            .collect();
+        PageStore { dataset, pages, page_bytes: usize::MAX }
+    }
+
+    /// The underlying dataset.
+    #[inline]
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Size of the item domain, `m`.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.dataset.num_items()
+    }
+
+    /// Number of pages, `p`.
+    #[inline]
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The pages, in storage order.
+    #[inline]
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// The byte capacity each page was packed with.
+    #[inline]
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// The transactions stored on page `p`.
+    pub fn page_transactions(&self, p: usize) -> &[Itemset] {
+        &self.dataset.transactions()[self.pages[p].range()]
+    }
+
+    /// Sum of page support vectors — equals the dataset's singleton supports.
+    pub fn total_supports(&self) -> Vec<u64> {
+        let mut total = vec![0u64; self.num_items()];
+        for page in &self.pages {
+            for (t, s) in total.iter_mut().zip(page.supports()) {
+                *t += s;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemId;
+
+    fn tx(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            3,
+            vec![tx(&[0]), tx(&[0, 1]), tx(&[1, 2]), tx(&[0, 1, 2]), tx(&[2]), tx(&[1])],
+        )
+    }
+
+    #[test]
+    fn pack_respects_capacity_and_covers_all() {
+        // Each transaction costs 4 + 4*len bytes: 8,12,12,16,8,8; every
+        // page starts with a 4-byte header.
+        let store = PageStore::pack(sample(), 24);
+        let lens: Vec<usize> = store.pages().iter().map(Page::len).collect();
+        // 4+8+12=24 fits; +12 → 36 > 24 → new page; 4+12 then +16 > 24 → new
+        // page; 4+16=20, +8 > 24 → new page; 4+8+8=20 fits.
+        assert_eq!(lens, vec![2, 1, 1, 2]);
+        let covered: usize = lens.iter().sum();
+        assert_eq!(covered, store.dataset().len());
+        for w in store.pages().windows(2) {
+            assert_eq!(w[0].range().end, w[1].range().start, "pages are contiguous");
+        }
+    }
+
+    #[test]
+    fn jumbo_transaction_gets_own_page() {
+        let d = Dataset::new(3, vec![tx(&[0, 1, 2]), tx(&[0])]);
+        let store = PageStore::pack(d, 4); // smaller than any transaction
+        assert_eq!(store.num_pages(), 2);
+        assert_eq!(store.pages()[0].len(), 1);
+    }
+
+    #[test]
+    fn page_supports_are_local_counts() {
+        let store = PageStore::with_page_count(sample(), 2);
+        assert_eq!(store.num_pages(), 2);
+        // First page: {0},{0,1},{1,2} → supports [2,2,1].
+        assert_eq!(store.pages()[0].supports(), &[2, 2, 1]);
+        // Second page: {0,1,2},{2},{1} → supports [1,2,2].
+        assert_eq!(store.pages()[1].supports(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn total_supports_matches_dataset() {
+        for p in 1..=6 {
+            let store = PageStore::with_page_count(sample(), p);
+            assert_eq!(store.total_supports(), store.dataset().singleton_supports());
+        }
+    }
+
+    #[test]
+    fn with_page_count_caps_at_transaction_count() {
+        let store = PageStore::with_page_count(sample(), 100);
+        assert_eq!(store.num_pages(), 6, "no empty pages");
+        assert!(store.pages().iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn page_transactions_returns_page_rows() {
+        let store = PageStore::with_page_count(sample(), 3);
+        assert_eq!(store.page_transactions(0), &[tx(&[0]), tx(&[0, 1])]);
+    }
+
+    #[test]
+    fn singleton_support_per_page_sums_by_item() {
+        let store = PageStore::with_page_count(sample(), 3);
+        let item1: u64 = store.pages().iter().map(|p| p.supports()[ItemId(1).index()]).sum();
+        assert_eq!(item1, 4);
+    }
+
+    #[test]
+    fn empty_dataset_packs_to_zero_pages() {
+        let store = PageStore::pack_default(Dataset::empty(5));
+        assert_eq!(store.num_pages(), 0);
+        assert_eq!(store.total_supports(), vec![0; 5]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Event sequences and window transactions — the episode framing.
+//!
+//! "Transactions may come in different forms. … In the case of episodes, a
+//! transaction corresponds to a sequence of events in a sliding time
+//! window" (footnote 1 of the paper, citing Mannila–Toivonen–Verkamo).
+//! This module provides that bridge: an [`EventSequence`] of timestamped
+//! typed events is cut into fixed-width windows, and each window's set of
+//! distinct event types becomes one transaction. Mining frequent itemsets
+//! over the resulting [`crate::Dataset`] is exactly *parallel episode*
+//! discovery, with the episode's frequency being the number of windows
+//! that contain it — and the OSSM applies unchanged.
+
+use crate::item::Itemset;
+use crate::transaction::Dataset;
+
+/// One timestamped event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// Event time (arbitrary integer clock).
+    pub time: u64,
+    /// Event type, in `0..num_kinds` (the item domain).
+    pub kind: u32,
+}
+
+/// A time-ordered sequence of typed events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventSequence {
+    num_kinds: usize,
+    events: Vec<Event>,
+}
+
+impl EventSequence {
+    /// Builds a sequence over event types `0..num_kinds`, sorting events
+    /// by time (stable for equal times).
+    ///
+    /// # Panics
+    /// Panics if any event's kind is outside the domain.
+    pub fn new(num_kinds: usize, mut events: Vec<Event>) -> Self {
+        for e in &events {
+            assert!(
+                (e.kind as usize) < num_kinds,
+                "event kind {} outside domain 0..{num_kinds}",
+                e.kind
+            );
+        }
+        events.sort_by_key(|e| e.time);
+        EventSequence { num_kinds, events }
+    }
+
+    /// Number of event types.
+    pub fn num_kinds(&self) -> usize {
+        self.num_kinds
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Time span `[first, last]` of the sequence, if non-empty.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => Some((a.time, b.time)),
+            _ => None,
+        }
+    }
+
+    /// Cuts the sequence into windows of `width` time units, sliding by
+    /// `step`, and returns one transaction per window — the set of
+    /// distinct event types whose events fall in `[start, start + width)`.
+    /// Windows are placed at `first, first + step, …` while they still
+    /// overlap the sequence span. Empty windows produce empty
+    /// transactions, preserving window counts (frequencies are fractions
+    /// of *windows*, not of events).
+    ///
+    /// `step = width` gives tumbling windows; `step < width` the
+    /// overlapping windows of the WINEPI setting.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `step == 0`.
+    pub fn windows(&self, width: u64, step: u64) -> Dataset {
+        assert!(width > 0, "window width must be positive");
+        assert!(step > 0, "window step must be positive");
+        let Some((first, last)) = self.span() else {
+            return Dataset::empty(self.num_kinds);
+        };
+        let mut transactions = Vec::new();
+        let mut start = first;
+        let mut lo = 0usize; // index of first event with time >= start
+        loop {
+            // Advance the left edge.
+            while lo < self.events.len() && self.events[lo].time < start {
+                lo += 1;
+            }
+            // Collect kinds inside [start, start + width).
+            let mut kinds: Vec<u32> = Vec::new();
+            let mut i = lo;
+            while i < self.events.len() && self.events[i].time < start + width {
+                kinds.push(self.events[i].kind);
+                i += 1;
+            }
+            transactions.push(Itemset::new(kinds.into_iter()));
+            if start > last {
+                break;
+            }
+            start += step;
+        }
+        // The loop emits one trailing window starting past `last`; drop it
+        // unless it is the only window (degenerate single-instant span).
+        if transactions.len() > 1 {
+            transactions.pop();
+        }
+        Dataset::new(self.num_kinds, transactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, kind: u32) -> Event {
+        Event { time, kind }
+    }
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let s = EventSequence::new(3, vec![ev(5, 1), ev(1, 0), ev(3, 2)]);
+        let times: Vec<u64> = s.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+        assert_eq!(s.span(), Some((1, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn rejects_out_of_domain_kinds() {
+        EventSequence::new(2, vec![ev(0, 5)]);
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_span() {
+        // Events at t = 0..6, one kind per time unit (kind = t % 3).
+        let events: Vec<Event> = (0..6).map(|t| ev(t, (t % 3) as u32)).collect();
+        let s = EventSequence::new(3, events);
+        let d = s.windows(2, 2);
+        // Windows [0,2), [2,4), [4,6): kinds {0,1}, {2,0}, {1,2}.
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.transaction(0), &set(&[0, 1]));
+        assert_eq!(d.transaction(1), &set(&[0, 2]));
+        assert_eq!(d.transaction(2), &set(&[1, 2]));
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let s = EventSequence::new(2, vec![ev(0, 0), ev(1, 1), ev(2, 0)]);
+        let d = s.windows(2, 1);
+        // Starts 0, 1, 2: {0,1}, {1,0}, {0}.
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.transaction(0), &set(&[0, 1]));
+        assert_eq!(d.transaction(1), &set(&[0, 1]));
+        assert_eq!(d.transaction(2), &set(&[0]));
+    }
+
+    #[test]
+    fn empty_windows_are_kept() {
+        // A gap between t=0 and t=10 produces empty middle windows.
+        let s = EventSequence::new(1, vec![ev(0, 0), ev(10, 0)]);
+        let d = s.windows(2, 2);
+        assert_eq!(d.len(), 6, "windows at 0,2,4,6,8,10");
+        assert!(d.transaction(1).is_empty());
+        assert_eq!(d.support(&set(&[0])), 2);
+    }
+
+    #[test]
+    fn empty_sequence_yields_empty_dataset() {
+        let s = EventSequence::new(4, vec![]);
+        assert_eq!(s.windows(5, 5), Dataset::empty(4));
+        assert_eq!(s.span(), None);
+    }
+
+    #[test]
+    fn single_instant_span_yields_one_window() {
+        let s = EventSequence::new(2, vec![ev(7, 1), ev(7, 0)]);
+        let d = s.windows(3, 3);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.transaction(0), &set(&[0, 1]));
+    }
+
+    #[test]
+    fn episode_frequency_is_window_count() {
+        // Kinds 0 and 1 co-fire at t=0 and t=4; kind 2 fires alone.
+        let s = EventSequence::new(
+            3,
+            vec![ev(0, 0), ev(0, 1), ev(2, 2), ev(4, 0), ev(4, 1)],
+        );
+        let d = s.windows(1, 1);
+        assert_eq!(d.support(&set(&[0, 1])), 2, "parallel episode {{0,1}} in 2 windows");
+        assert_eq!(d.support(&set(&[2])), 1);
+        assert_eq!(d.support(&set(&[0, 2])), 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! The classical Apriori algorithm (Agrawal–Srikant), the miner the paper's
+//! evaluation is built on.
+//!
+//! Level-wise search: frequent singletons seed candidate 2-itemsets, each
+//! level's candidates are the join of the previous level's frequent sets
+//! pruned by downward closure, and every surviving candidate is counted
+//! against the data. The [`CandidateFilter`] hook applies equation (1)
+//! *between* candidate generation and counting — the paper's "Apriori with
+//! the OSSM" is `mine_filtered(…, &OssmFilter::new(&ossm))` and its
+//! baseline is `mine(…)`.
+
+use std::time::Instant;
+
+use ossm_data::{Dataset, ItemId, Itemset};
+
+use crate::filter::{CandidateFilter, NoFilter};
+use crate::metrics::{LevelMetrics, MiningMetrics};
+use crate::support::{count_with, CountingBackend, FrequentPatterns};
+
+/// A mining result: the frequent patterns plus run metrics.
+#[derive(Clone, Debug)]
+pub struct MiningOutcome {
+    /// All frequent patterns with exact supports.
+    pub patterns: FrequentPatterns,
+    /// Candidate bookkeeping and timing.
+    pub metrics: MiningMetrics,
+}
+
+/// Apriori configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Apriori {
+    backend: CountingBackend,
+    /// Stop after this level if set (e.g. `Some(2)` mines only 1- and
+    /// 2-itemsets, useful for candidate-2 experiments).
+    max_len: Option<usize>,
+}
+
+impl Apriori {
+    /// Apriori with the linear-scan counting back-end.
+    pub fn new() -> Self {
+        Apriori::default()
+    }
+
+    /// Selects the counting back-end.
+    pub fn with_backend(mut self, backend: CountingBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Limits the maximum pattern length mined.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        assert!(max_len > 0, "maximum pattern length must be positive");
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// Mines all frequent itemsets at absolute threshold `min_support`
+    /// without any candidate filter (the "without the OSSM" baseline).
+    pub fn mine(&self, dataset: &Dataset, min_support: u64) -> MiningOutcome {
+        self.mine_filtered(dataset, min_support, &NoFilter)
+    }
+
+    /// Mines all frequent itemsets, filtering candidates through `filter`
+    /// before counting.
+    ///
+    /// # Panics
+    /// Panics if `min_support == 0` (every subset of every transaction
+    /// would be "frequent").
+    pub fn mine_filtered(
+        &self,
+        dataset: &Dataset,
+        min_support: u64,
+        filter: &dyn CandidateFilter,
+    ) -> MiningOutcome {
+        assert!(min_support > 0, "support threshold must be at least 1");
+        let start = Instant::now();
+        let mut patterns = FrequentPatterns::new();
+        let mut metrics = MiningMetrics::default();
+
+        // Level 1: every singleton is a candidate; the filter may discharge
+        // some before the counting pass (an OSSM's singleton bounds are
+        // exact, so this costs no accuracy).
+        let m = dataset.num_items();
+        let mut level = LevelMetrics { level: 1, generated: m as u64, ..Default::default() };
+        let survivors: Vec<ItemId> = (0..m as u32)
+            .map(ItemId)
+            .filter(|&i| filter.may_be_frequent(&Itemset::singleton(i), min_support))
+            .collect();
+        level.filtered_out = m as u64 - survivors.len() as u64;
+        level.counted = survivors.len() as u64;
+        let all_supports = dataset.singleton_supports();
+        let mut frequent: Vec<Itemset> = Vec::new();
+        for item in survivors {
+            let sup = all_supports[item.index()];
+            if sup >= min_support {
+                frequent.push(Itemset::singleton(item));
+                patterns.insert(Itemset::singleton(item), sup);
+            }
+        }
+        level.frequent = frequent.len() as u64;
+        metrics.push_level(level);
+
+        // Levels 2..: join, prune, filter, count.
+        let mut k = 2;
+        while !frequent.is_empty() && self.max_len.map_or(true, |max| k <= max) {
+            let generated = generate_candidates(&frequent);
+            if generated.is_empty() {
+                break;
+            }
+            let mut level =
+                LevelMetrics { level: k, generated: generated.len() as u64, ..Default::default() };
+            let candidates: Vec<Itemset> = generated
+                .into_iter()
+                .filter(|c| filter.may_be_frequent(c, min_support))
+                .collect();
+            level.filtered_out = level.generated - candidates.len() as u64;
+            level.counted = candidates.len() as u64;
+            let counts = count_with(self.backend, dataset.transactions(), &candidates);
+            let mut next = Vec::new();
+            for (c, sup) in candidates.into_iter().zip(counts) {
+                if sup >= min_support {
+                    patterns.insert(c.clone(), sup);
+                    next.push(c);
+                }
+            }
+            level.frequent = next.len() as u64;
+            metrics.push_level(level);
+            frequent = next;
+            k += 1;
+        }
+
+        metrics.elapsed = start.elapsed();
+        MiningOutcome { patterns, metrics }
+    }
+}
+
+/// The Apriori candidate generation (`apriori-gen`): joins `k`-itemsets
+/// sharing their first `k − 1` items, then prunes candidates with an
+/// infrequent `k`-subset. `frequent` must be the complete frequent set of
+/// one level; the output is sorted and duplicate-free.
+pub fn generate_candidates(frequent: &[Itemset]) -> Vec<Itemset> {
+    if frequent.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<&Itemset> = frequent.iter().collect();
+    sorted.sort();
+    let lookup: std::collections::HashSet<&Itemset> = sorted.iter().copied().collect();
+    let mut out = Vec::new();
+    // Itemsets sharing a (k−1)-prefix are adjacent once sorted.
+    for i in 0..sorted.len() {
+        for j in (i + 1)..sorted.len() {
+            match sorted[i].apriori_join(sorted[j]) {
+                Some(candidate) => {
+                    // Downward-closure prune: every k-subset must be frequent.
+                    if candidate.proper_subsets().all(|s| lookup.contains(&s)) {
+                        out.push(candidate);
+                    }
+                }
+                None => break, // prefix changed; later j cannot match either
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::OssmFilter;
+    use ossm_core::minimize_segments;
+    use ossm_data::gen::QuestConfig;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    /// The textbook 9-transaction example.
+    fn small_dataset() -> Dataset {
+        Dataset::new(
+            5,
+            vec![
+                set(&[0, 1, 4]),
+                set(&[1, 3]),
+                set(&[1, 2]),
+                set(&[0, 1, 3]),
+                set(&[0, 2]),
+                set(&[1, 2]),
+                set(&[0, 2]),
+                set(&[0, 1, 2, 4]),
+                set(&[0, 1, 2]),
+            ],
+        )
+    }
+
+    #[test]
+    fn mines_the_textbook_example() {
+        let out = Apriori::new().mine(&small_dataset(), 2);
+        let p = &out.patterns;
+        assert_eq!(p.support_of(&set(&[0])), Some(6));
+        assert_eq!(p.support_of(&set(&[1])), Some(7));
+        assert_eq!(p.support_of(&set(&[0, 1])), Some(4));
+        assert_eq!(p.support_of(&set(&[0, 1, 2])), Some(2));
+        assert_eq!(p.support_of(&set(&[0, 1, 4])), Some(2));
+        assert_eq!(p.len(), 13, "the classic example has 13 frequent itemsets");
+        assert!(p.closure_violation().is_none());
+    }
+
+    #[test]
+    fn results_match_brute_force_on_generated_data() {
+        let d = QuestConfig {
+            num_transactions: 250,
+            num_items: 12,
+            num_patterns: 8,
+            avg_transaction_len: 4.0,
+            ..QuestConfig::small()
+        }
+        .generate();
+        let min_support = 10;
+        let out = Apriori::new().mine(&d, min_support);
+        // Brute force over all non-empty itemsets of the 12-item domain.
+        let mut expected = FrequentPatterns::new();
+        for mask in 1u32..(1 << 12) {
+            let x = set(&(0..12u32).filter(|&i| mask & (1 << i) != 0).collect::<Vec<_>>());
+            let sup = d.support(&x);
+            if sup >= min_support {
+                expected.insert(x, sup);
+            }
+        }
+        assert_eq!(out.patterns, expected);
+    }
+
+    #[test]
+    fn hash_tree_backend_agrees_with_linear() {
+        let d = QuestConfig { num_transactions: 300, num_items: 40, ..QuestConfig::small() }
+            .generate();
+        let a = Apriori::new().mine(&d, 8);
+        let b = Apriori::new().with_backend(CountingBackend::HashTree).mine(&d, 8);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.metrics.total_counted(), b.metrics.total_counted());
+    }
+
+    #[test]
+    fn ossm_filter_changes_counts_not_results() {
+        let d = QuestConfig { num_transactions: 200, num_items: 30, ..QuestConfig::small() }
+            .generate();
+        let min = minimize_segments(&d);
+        let plain = Apriori::new().mine(&d, 6);
+        let filtered = Apriori::new().mine_filtered(&d, 6, &OssmFilter::new(&min.ossm));
+        assert_eq!(plain.patterns, filtered.patterns, "filtering must be lossless");
+        assert!(
+            filtered.metrics.total_counted() <= plain.metrics.total_counted(),
+            "the OSSM can only reduce counting work"
+        );
+        // The exact OSSM filters every infrequent candidate: counted equals
+        // frequent at every level ≥ 2.
+        for l in &filtered.metrics.levels {
+            if l.level >= 2 {
+                assert_eq!(l.counted, l.frequent, "level {}", l.level);
+            }
+        }
+    }
+
+    #[test]
+    fn max_len_limits_the_search() {
+        let out = Apriori::new().with_max_len(2).mine(&small_dataset(), 2);
+        assert_eq!(out.patterns.max_len(), 2);
+        assert!(out.metrics.level(3).is_none());
+    }
+
+    #[test]
+    fn generate_candidates_joins_and_prunes() {
+        // L2 = {01, 02, 12, 13}: join gives 012 (kept: all subsets present)
+        // and 123 (pruned: {2,3} missing).
+        let l2 = vec![set(&[0, 1]), set(&[0, 2]), set(&[1, 2]), set(&[1, 3])];
+        assert_eq!(generate_candidates(&l2), vec![set(&[0, 1, 2])]);
+        assert!(generate_candidates(&[]).is_empty());
+        // Singletons join into all pairs.
+        let l1 = vec![set(&[3]), set(&[1]), set(&[2])];
+        let c2 = generate_candidates(&l1);
+        assert_eq!(c2, vec![set(&[1, 2]), set(&[1, 3]), set(&[2, 3])]);
+    }
+
+    #[test]
+    fn threshold_above_data_yields_nothing() {
+        let out = Apriori::new().mine(&small_dataset(), 100);
+        assert!(out.patterns.is_empty());
+        assert_eq!(out.metrics.total_frequent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_is_rejected() {
+        Apriori::new().mine(&small_dataset(), 0);
+    }
+
+    #[test]
+    fn metrics_track_candidate_flow() {
+        let out = Apriori::new().mine(&small_dataset(), 2);
+        let l1 = out.metrics.level(1).unwrap();
+        assert_eq!(l1.generated, 5);
+        assert_eq!(l1.frequent, 5);
+        let l2 = out.metrics.level(2).unwrap();
+        assert_eq!(l2.generated, 10, "all pairs of 5 frequent singletons");
+        assert_eq!(l2.counted, 10, "no filter → all counted");
+        assert_eq!(l2.frequent, 6);
+    }
+}

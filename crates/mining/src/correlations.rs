@@ -1,0 +1,259 @@
+//! Correlation mining (Brin–Motwani–Silverstein [6]) with OSSM pruning.
+//!
+//! "Beyond market baskets": instead of asking which itemsets are frequent,
+//! ask which item *pairs* are statistically dependent — measured here by
+//! lift (observed-to-expected co-occurrence ratio) and the 2×2 chi-squared
+//! statistic. As in the original work, a support floor keeps the
+//! statistics meaningful (cells with near-zero expectation blow chi² up
+//! on noise), and that floor is exactly where the OSSM plugs in: a pair
+//! whose equation-(1) bound misses the floor can be skipped *before* its
+//! contingency table is ever counted.
+
+use std::time::Instant;
+
+use ossm_core::Ossm;
+use ossm_data::{Dataset, ItemId, Itemset};
+
+use crate::hashtree::count_hash_tree;
+use crate::metrics::{LevelMetrics, MiningMetrics};
+
+/// A dependent item pair with its statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorrelatedPair {
+    /// The smaller item.
+    pub a: ItemId,
+    /// The larger item.
+    pub b: ItemId,
+    /// Co-occurrence count `sup({a, b})`.
+    pub support: u64,
+    /// `N · sup(ab) / (sup(a) · sup(b))` — 1.0 means independence.
+    pub lift: f64,
+    /// Chi-squared statistic of the 2×2 contingency table.
+    pub chi_squared: f64,
+}
+
+/// Result of a correlation-mining run.
+#[derive(Clone, Debug)]
+pub struct CorrelationOutcome {
+    /// Dependent pairs, strongest lift first.
+    pub pairs: Vec<CorrelatedPair>,
+    /// Candidate bookkeeping (level 2 = contingency tables counted).
+    pub metrics: MiningMetrics,
+}
+
+/// Correlation miner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CorrelationMiner {
+    /// Support floor for pairs (the significance guard).
+    pub min_support: u64,
+    /// Minimum lift for a pair to be reported.
+    pub min_lift: f64,
+}
+
+impl CorrelationMiner {
+    /// A miner with the given support floor and lift threshold.
+    ///
+    /// # Panics
+    /// Panics if `min_support == 0` or `min_lift` is not positive.
+    pub fn new(min_support: u64, min_lift: f64) -> Self {
+        assert!(min_support > 0, "support floor must be at least 1");
+        assert!(min_lift > 0.0, "lift threshold must be positive");
+        CorrelationMiner { min_support, min_lift }
+    }
+
+    /// Mines dependent pairs. With `ossm: Some(_)`, pairs are discharged by
+    /// equation (1) before counting; the result is identical either way.
+    pub fn mine(&self, dataset: &Dataset, ossm: Option<&Ossm>) -> CorrelationOutcome {
+        let start = Instant::now();
+        let n = dataset.len() as u64;
+        let mut metrics = MiningMetrics::default();
+        let singles = dataset.singleton_supports();
+        let m = dataset.num_items();
+
+        // Items worth pairing: support ≥ floor (a pair cannot out-support
+        // its items).
+        let frequent: Vec<u32> =
+            (0..m as u32).filter(|&i| singles[i as usize] >= self.min_support).collect();
+        metrics.push_level(LevelMetrics {
+            level: 1,
+            generated: m as u64,
+            counted: m as u64,
+            frequent: frequent.len() as u64,
+            ..Default::default()
+        });
+
+        // Candidate pairs, OSSM-filtered.
+        let mut level2 = LevelMetrics { level: 2, ..Default::default() };
+        let mut candidates: Vec<Itemset> = Vec::new();
+        for (i, &a) in frequent.iter().enumerate() {
+            for &b in &frequent[i + 1..] {
+                level2.generated += 1;
+                let pair = Itemset::new([a, b]);
+                if let Some(map) = ossm {
+                    if map.upper_bound(&pair) < self.min_support {
+                        level2.filtered_out += 1;
+                        continue;
+                    }
+                }
+                candidates.push(pair);
+            }
+        }
+        level2.counted = candidates.len() as u64;
+
+        let counts = count_hash_tree(dataset.transactions(), &candidates);
+        let mut pairs: Vec<CorrelatedPair> = Vec::new();
+        for (pair, sup) in candidates.iter().zip(counts) {
+            if sup < self.min_support {
+                continue;
+            }
+            let (a, b) = (pair.items()[0], pair.items()[1]);
+            let (sa, sb) = (singles[a.index()], singles[b.index()]);
+            let lift = (n as f64 * sup as f64) / (sa as f64 * sb as f64);
+            if lift < self.min_lift {
+                continue;
+            }
+            level2.frequent += 1;
+            pairs.push(CorrelatedPair {
+                a,
+                b,
+                support: sup,
+                lift,
+                chi_squared: chi_squared_2x2(n, sa, sb, sup),
+            });
+        }
+        metrics.push_level(level2);
+        pairs.sort_by(|x, y| y.lift.partial_cmp(&x.lift).expect("lifts are finite"));
+        metrics.elapsed = start.elapsed();
+        CorrelationOutcome { pairs, metrics }
+    }
+}
+
+/// Chi-squared statistic of the 2×2 table for items with supports `sa`,
+/// `sb`, co-occurrence `sab`, over `n` transactions. Returns 0 when any
+/// expected cell count is zero (degenerate margins).
+pub fn chi_squared_2x2(n: u64, sa: u64, sb: u64, sab: u64) -> f64 {
+    let n = n as f64;
+    let (sa, sb, sab) = (sa as f64, sb as f64, sab as f64);
+    // Observed cells: both, a-only, b-only, neither.
+    let obs = [sab, sa - sab, sb - sab, n - sa - sb + sab];
+    let exp = [
+        sa * sb / n,
+        sa * (n - sb) / n,
+        (n - sa) * sb / n,
+        (n - sa) * (n - sb) / n,
+    ];
+    let mut chi = 0.0;
+    for (o, e) in obs.iter().zip(&exp) {
+        if *e <= 0.0 {
+            return 0.0;
+        }
+        chi += (o - e).powi(2) / e;
+    }
+    chi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossm_core::{minimize_segments, OssmBuilder};
+    use ossm_data::gen::SkewedConfig;
+    use ossm_data::PageStore;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    /// Items 0 and 1 always co-occur; item 2 is independent noise.
+    fn correlated_dataset() -> Dataset {
+        let mut txs = Vec::new();
+        for i in 0..100u32 {
+            let mut t = if i % 2 == 0 { vec![0u32, 1] } else { vec![3] };
+            if i % 3 == 0 {
+                t.push(2);
+            }
+            txs.push(set(&t));
+        }
+        Dataset::new(4, txs)
+    }
+
+    #[test]
+    fn finds_the_planted_correlation() {
+        let d = correlated_dataset();
+        let out = CorrelationMiner::new(10, 1.5).mine(&d, None);
+        assert!(!out.pairs.is_empty());
+        let top = &out.pairs[0];
+        assert_eq!((top.a, top.b), (ItemId(0), ItemId(1)));
+        // sup(0)=sup(1)=sup(01)=50, N=100 → lift = 100·50/(50·50) = 2.
+        assert!((top.lift - 2.0).abs() < 1e-9);
+        assert!(top.chi_squared > 50.0, "perfect dependence has a huge chi²");
+        // Independent pair (0, 2) must not appear at lift ≥ 1.5.
+        assert!(!out.pairs.iter().any(|p| (p.a, p.b) == (ItemId(0), ItemId(2))));
+    }
+
+    #[test]
+    fn chi_squared_formula_sanity() {
+        // Perfect independence → 0.
+        assert!((chi_squared_2x2(100, 50, 50, 25)).abs() < 1e-9);
+        // Perfect dependence on half the data → chi² = N.
+        assert!((chi_squared_2x2(100, 50, 50, 50) - 100.0).abs() < 1e-9);
+        // Degenerate margins → 0 by convention.
+        assert_eq!(chi_squared_2x2(100, 100, 50, 50), 0.0);
+        assert_eq!(chi_squared_2x2(100, 0, 50, 0), 0.0);
+    }
+
+    #[test]
+    fn ossm_pruning_never_changes_the_pairs() {
+        let d = SkewedConfig { num_transactions: 1500, num_items: 40, ..SkewedConfig::small() }
+            .generate();
+        let floor = d.absolute_threshold(0.02);
+        let miner = CorrelationMiner::new(floor, 1.2);
+        let plain = miner.mine(&d, None);
+
+        // Exact OSSM and a built one.
+        let exact = minimize_segments(&d).ossm;
+        let store = PageStore::with_page_count(d.clone(), 15);
+        let (built, _) = OssmBuilder::new(6).build(&store);
+        for map in [&exact, &built] {
+            let pruned = miner.mine(&d, Some(map));
+            assert_eq!(plain.pairs, pruned.pairs);
+            assert!(
+                pruned.metrics.level(2).expect("level 2").counted
+                    <= plain.metrics.level(2).expect("level 2").counted
+            );
+        }
+        // The exact map prunes every sub-floor pair: counted = pairs with
+        // sup ≥ floor.
+        let exact_run = miner.mine(&d, Some(&exact));
+        let l2 = exact_run.metrics.level(2).expect("level 2");
+        let truly_frequent = {
+            let singles = d.singleton_supports();
+            let freq: Vec<u32> =
+                (0..40u32).filter(|&i| singles[i as usize] >= floor).collect();
+            let mut c = 0u64;
+            for (i, &a) in freq.iter().enumerate() {
+                for &b in &freq[i + 1..] {
+                    if d.support(&set(&[a, b])) >= floor {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        assert_eq!(l2.counted, truly_frequent);
+    }
+
+    #[test]
+    fn results_are_sorted_by_lift() {
+        let d = correlated_dataset();
+        let out = CorrelationMiner::new(5, 0.1).mine(&d, None);
+        for w in out.pairs.windows(2) {
+            assert!(w[0].lift >= w[1].lift);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_floor_is_rejected() {
+        CorrelationMiner::new(0, 1.0);
+    }
+}

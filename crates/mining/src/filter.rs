@@ -1,0 +1,101 @@
+//! Candidate filters: the hook through which the OSSM plugs into miners.
+//!
+//! The OSSM's pruning is sound — equation (1) never *under*estimates a
+//! support — so filtering with it can only remove candidates that are
+//! certainly infrequent. Every miner in this crate takes a
+//! [`CandidateFilter`], which makes "Apriori with the OSSM" vs "Apriori
+//! without" a one-argument difference, exactly how the paper frames its
+//! experiments (and likewise for DHP, Partition, and DepthProject in
+//! Section 7).
+
+use ossm_core::Ossm;
+use ossm_data::Itemset;
+
+/// Decides, before counting, whether a candidate can still be frequent.
+pub trait CandidateFilter {
+    /// Returns `true` if `candidate` might reach `min_support` and must be
+    /// counted; `false` prunes it.
+    fn may_be_frequent(&self, candidate: &Itemset, min_support: u64) -> bool;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &str;
+}
+
+/// The no-op filter: every candidate is counted (the paper's "without the
+/// OSSM" baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFilter;
+
+impl CandidateFilter for NoFilter {
+    #[inline]
+    fn may_be_frequent(&self, _candidate: &Itemset, _min_support: u64) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+/// Filters through an OSSM's equation-(1) upper bound.
+#[derive(Clone, Debug)]
+pub struct OssmFilter<'a> {
+    ossm: &'a Ossm,
+}
+
+impl<'a> OssmFilter<'a> {
+    /// Wraps an OSSM as a filter.
+    pub fn new(ossm: &'a Ossm) -> Self {
+        OssmFilter { ossm }
+    }
+
+    /// The wrapped map.
+    pub fn ossm(&self) -> &Ossm {
+        self.ossm
+    }
+}
+
+impl CandidateFilter for OssmFilter<'_> {
+    #[inline]
+    fn may_be_frequent(&self, candidate: &Itemset, min_support: u64) -> bool {
+        self.ossm.upper_bound(candidate) >= min_support
+    }
+
+    fn name(&self) -> &str {
+        "OSSM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossm_core::Aggregate;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    #[test]
+    fn no_filter_keeps_everything() {
+        assert!(NoFilter.may_be_frequent(&set(&[1, 2, 3]), u64::MAX));
+        assert_eq!(NoFilter.name(), "none");
+    }
+
+    #[test]
+    fn ossm_filter_prunes_by_upper_bound() {
+        // Example 1's OSSM: ub({0,1}) = 80, ub({0,1,2}) = 60.
+        let seg = |a: u64, b: u64, c: u64| Aggregate::new(vec![a, b, c], a.max(b).max(c));
+        let ossm = Ossm::from_aggregates(vec![
+            seg(20, 40, 40),
+            seg(10, 40, 20),
+            seg(40, 40, 20),
+            seg(40, 10, 20),
+        ]);
+        let f = OssmFilter::new(&ossm);
+        assert!(f.may_be_frequent(&set(&[0, 1]), 80));
+        assert!(!f.may_be_frequent(&set(&[0, 1]), 81));
+        assert!(!f.may_be_frequent(&set(&[0, 1, 2]), 61));
+        assert!(f.may_be_frequent(&set(&[0, 1, 2]), 60));
+        assert_eq!(f.name(), "OSSM");
+    }
+}

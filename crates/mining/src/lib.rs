@@ -1,0 +1,63 @@
+//! # ossm-mining — frequent-pattern miners for the OSSM evaluation
+//!
+//! The miners the paper evaluates the OSSM with, each exposing the same
+//! [`filter::CandidateFilter`] hook so "with OSSM" vs "without OSSM" is a
+//! one-argument change:
+//!
+//! * [`apriori::Apriori`] — the classical level-wise miner (Section 6's
+//!   test vehicle), with linear-scan and hash-tree counting back-ends;
+//! * [`dhp::Dhp`] — the hash-bucket variant of Park–Chen–Yu (Section 7);
+//! * [`partition::Partition`] — two-phase partition mining with
+//!   per-partition OSSMs (Section 7);
+//! * [`depth::DepthProject`] — depth-first lexicographic-tree mining for
+//!   long patterns (Section 7);
+//! * [`fpgrowth::FpGrowth`] — the candidate-free baseline used to
+//!   cross-validate every other miner.
+//!
+//! ```
+//! use ossm_data::gen::QuestConfig;
+//! use ossm_core::minimize_segments;
+//! use ossm_mining::{apriori::Apriori, filter::OssmFilter};
+//!
+//! let data = QuestConfig::small().generate();
+//! let ossm = minimize_segments(&data).ossm; // exact OSSM
+//! let with = Apriori::new().mine_filtered(&data, 20, &OssmFilter::new(&ossm));
+//! let without = Apriori::new().mine(&data, 20);
+//! assert_eq!(with.patterns, without.patterns);           // always lossless…
+//! assert!(with.metrics.total_counted() <= without.metrics.total_counted()); // …and cheaper
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apriori;
+pub mod constraints;
+pub mod correlations;
+pub mod depth;
+pub mod episodes;
+pub mod dhp;
+pub mod filter;
+pub mod fpgrowth;
+pub mod hashtree;
+pub mod metrics;
+pub mod partition;
+pub mod patterns;
+pub mod sequences;
+pub mod streaming;
+pub mod support;
+pub mod vertical;
+
+pub use apriori::{Apriori, MiningOutcome};
+pub use constraints::{ConstrainedApriori, Constraint};
+pub use correlations::{CorrelatedPair, CorrelationMiner};
+pub use depth::DepthProject;
+pub use dhp::Dhp;
+pub use episodes::{SerialEpisode, SerialEpisodeMiner, WindowLog};
+pub use filter::{CandidateFilter, NoFilter, OssmFilter};
+pub use fpgrowth::FpGrowth;
+pub use metrics::{LevelMetrics, MiningMetrics};
+pub use partition::Partition;
+pub use sequences::{SequenceDb, SequenceMiner, SequencePattern};
+pub use streaming::{StreamingApriori, StreamingOutcome};
+pub use support::{CountingBackend, FrequentPatterns};
+pub use vertical::{Charm, Eclat, GenMax, VerticalIndex};

@@ -1,0 +1,111 @@
+//! Mining run metrics.
+//!
+//! The paper's evaluation hinges on two quantities: wall-clock runtime and
+//! the number of candidate itemsets that actually require frequency
+//! counting (Figure 4(b) plots candidate 2-itemsets; Section 7's table
+//! reports `|C2|` for DHP). Every miner in this crate fills a
+//! [`MiningMetrics`] so experiments can report both, and tests can assert
+//! on the deterministic candidate counts rather than on timing.
+
+use std::time::Duration;
+
+/// Candidate bookkeeping for one level `k` of a level-wise miner (or one
+/// extension batch of a depth-first miner).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelMetrics {
+    /// Pattern size `k` this row describes.
+    pub level: usize,
+    /// Candidates generated (after the miner's own join/prune/hash logic).
+    pub generated: u64,
+    /// Candidates removed by the candidate filter (the OSSM) *before*
+    /// counting.
+    pub filtered_out: u64,
+    /// Candidates whose frequency was actually counted against the data.
+    pub counted: u64,
+    /// Candidates found frequent.
+    pub frequent: u64,
+}
+
+/// Aggregate metrics for one mining run.
+#[derive(Clone, Debug, Default)]
+pub struct MiningMetrics {
+    /// Per-level rows, in increasing `k`.
+    pub levels: Vec<LevelMetrics>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl MiningMetrics {
+    /// Records a finished level.
+    pub fn push_level(&mut self, level: LevelMetrics) {
+        self.levels.push(level);
+    }
+
+    /// The row for pattern size `k`, if the run reached it. If a miner
+    /// reports a level more than once (depth-first miners do), the rows are
+    /// summed.
+    pub fn level(&self, k: usize) -> Option<LevelMetrics> {
+        let rows: Vec<&LevelMetrics> = self.levels.iter().filter(|l| l.level == k).collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let mut out = LevelMetrics { level: k, ..LevelMetrics::default() };
+        for r in rows {
+            out.generated += r.generated;
+            out.filtered_out += r.filtered_out;
+            out.counted += r.counted;
+            out.frequent += r.frequent;
+        }
+        Some(out)
+    }
+
+    /// Total candidates counted across all levels — the paper's proxy for
+    /// frequency-counting work.
+    pub fn total_counted(&self) -> u64 {
+        self.levels.iter().map(|l| l.counted).sum()
+    }
+
+    /// Total candidates removed by the filter across all levels.
+    pub fn total_filtered_out(&self) -> u64 {
+        self.levels.iter().map(|l| l.filtered_out).sum()
+    }
+
+    /// Total frequent patterns found.
+    pub fn total_frequent(&self) -> u64 {
+        self.levels.iter().map(|l| l.frequent).sum()
+    }
+
+    /// Candidate 2-itemsets that required counting — the y-axis of
+    /// Figure 4(b) and the `|C2|` column of Section 7's table.
+    pub fn candidate_2_itemsets_counted(&self) -> u64 {
+        self.level(2).map_or(0, |l| l.counted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_levels() {
+        let mut m = MiningMetrics::default();
+        m.push_level(LevelMetrics { level: 1, generated: 10, filtered_out: 0, counted: 10, frequent: 6 });
+        m.push_level(LevelMetrics { level: 2, generated: 15, filtered_out: 9, counted: 6, frequent: 3 });
+        m.push_level(LevelMetrics { level: 3, generated: 1, filtered_out: 0, counted: 1, frequent: 1 });
+        assert_eq!(m.total_counted(), 17);
+        assert_eq!(m.total_filtered_out(), 9);
+        assert_eq!(m.total_frequent(), 10);
+        assert_eq!(m.candidate_2_itemsets_counted(), 6);
+    }
+
+    #[test]
+    fn duplicate_levels_are_summed() {
+        let mut m = MiningMetrics::default();
+        m.push_level(LevelMetrics { level: 2, generated: 3, filtered_out: 1, counted: 2, frequent: 1 });
+        m.push_level(LevelMetrics { level: 2, generated: 4, filtered_out: 0, counted: 4, frequent: 2 });
+        let l2 = m.level(2).unwrap();
+        assert_eq!(l2.generated, 7);
+        assert_eq!(l2.counted, 6);
+        assert_eq!(m.level(5), None);
+    }
+}

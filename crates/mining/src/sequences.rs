@@ -1,0 +1,487 @@
+//! Sequential-pattern mining (Agrawal–Srikant [4]) with OSSM pruning.
+//!
+//! The paper's introduction opens its list of OSSM-applicable pattern
+//! classes with *sequential patterns*: customers' ordered transaction
+//! histories, mined for subsequences like ⟨{tv} {vcr, game}⟩ that many
+//! customers follow. We implement the standard semantics — a pattern is an
+//! ordered list of itemsets; a data sequence *contains* it if each element
+//! is a subset of a distinct, order-respecting element of the sequence;
+//! support counts containing data sequences — via depth-first prefix
+//! extension (each node extends the pattern either by starting a new
+//! element or by growing the last one, the PrefixSpan enumeration).
+//!
+//! The OSSM hook is the union-set bound: every item of a contained pattern
+//! appears *somewhere* in the data sequence, so
+//!
+//! ```text
+//! sup_seq(pattern) ≤ sup(∪ elements)   over the "union transactions"
+//! ```
+//!
+//! where each data sequence contributes one transaction holding all its
+//! items ([`SequenceDb::union_dataset`]). An OSSM over those transactions
+//! therefore soundly prunes pattern extensions before their containment
+//! scan — the same one-line integration the paper promises for this class.
+
+use std::time::Instant;
+
+use ossm_core::Ossm;
+use ossm_data::{Dataset, ItemId, Itemset};
+
+use crate::metrics::{LevelMetrics, MiningMetrics};
+
+/// An ordered list of non-empty itemsets, e.g. ⟨{1} {2,3} {2}⟩.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SequencePattern {
+    elements: Vec<Itemset>,
+}
+
+impl SequencePattern {
+    /// Builds a pattern from its elements.
+    ///
+    /// # Panics
+    /// Panics if any element is empty.
+    pub fn new(elements: Vec<Itemset>) -> Self {
+        assert!(!elements.is_empty(), "a pattern needs at least one element");
+        assert!(elements.iter().all(|e| !e.is_empty()), "pattern elements must be non-empty");
+        SequencePattern { elements }
+    }
+
+    /// The pattern's elements in order.
+    pub fn elements(&self) -> &[Itemset] {
+        &self.elements
+    }
+
+    /// Total number of items across elements (the pattern's *length* in
+    /// GSP terms — the level-wise `k`).
+    pub fn num_items(&self) -> usize {
+        self.elements.iter().map(Itemset::len).sum()
+    }
+
+    /// Union of all elements — the itemset whose OSSM bound dominates this
+    /// pattern's support.
+    pub fn union_items(&self) -> Itemset {
+        let mut acc = Itemset::empty();
+        for e in &self.elements {
+            acc = acc.union(e);
+        }
+        acc
+    }
+
+    /// Whether `sequence` contains this pattern (order-respecting subset
+    /// embedding; greedy left-to-right matching is complete because
+    /// elements are matched independently).
+    pub fn contained_in(&self, sequence: &[Itemset]) -> bool {
+        let mut si = 0;
+        for element in &self.elements {
+            loop {
+                if si >= sequence.len() {
+                    return false;
+                }
+                si += 1;
+                if element.is_subset_of(&sequence[si - 1]) {
+                    break;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for SequencePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A database of data sequences over a fixed item domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequenceDb {
+    num_items: usize,
+    sequences: Vec<Vec<Itemset>>,
+}
+
+impl SequenceDb {
+    /// Builds the database.
+    ///
+    /// # Panics
+    /// Panics if any element references an item outside `0..num_items`.
+    pub fn new(num_items: usize, sequences: Vec<Vec<Itemset>>) -> Self {
+        for s in &sequences {
+            for e in s {
+                if let Some(max) = e.items().last() {
+                    assert!(max.index() < num_items, "item {max} outside 0..{num_items}");
+                }
+            }
+        }
+        SequenceDb { num_items, sequences }
+    }
+
+    /// Number of data sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Item-domain size.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// The data sequences.
+    pub fn sequences(&self) -> &[Vec<Itemset>] {
+        &self.sequences
+    }
+
+    /// Exact support: the number of data sequences containing `pattern`.
+    pub fn support(&self, pattern: &SequencePattern) -> u64 {
+        self.sequences.iter().filter(|s| pattern.contained_in(s)).count() as u64
+    }
+
+    /// The union transactions: one itemset per data sequence holding every
+    /// item it ever mentions. This is the collection the OSSM is built
+    /// over (see module docs).
+    pub fn union_dataset(&self) -> Dataset {
+        Dataset::new(
+            self.num_items,
+            self.sequences
+                .iter()
+                .map(|s| {
+                    s.iter().fold(Itemset::empty(), |acc, e| acc.union(e))
+                })
+                .collect(),
+        )
+    }
+
+    /// Converts a relative threshold to an absolute sequence count.
+    pub fn absolute_threshold(&self, fraction: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        (fraction * self.len() as f64).ceil() as u64
+    }
+}
+
+/// Result of a sequential-pattern mining run.
+#[derive(Clone, Debug)]
+pub struct SequenceOutcome {
+    /// Frequent patterns with supports, sorted.
+    pub patterns: Vec<(SequencePattern, u64)>,
+    /// Candidate bookkeeping (level = pattern item count).
+    pub metrics: MiningMetrics,
+}
+
+/// Depth-first sequential-pattern miner with optional OSSM pruning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequenceMiner {
+    /// Stop at patterns with this many items, if set.
+    pub max_items: Option<usize>,
+}
+
+impl SequenceMiner {
+    /// A miner with no size limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits total pattern item count.
+    pub fn with_max_items(mut self, max_items: usize) -> Self {
+        assert!(max_items > 0);
+        self.max_items = Some(max_items);
+        self
+    }
+
+    /// Mines all frequent sequential patterns. With `ossm: Some(_)` (built
+    /// over [`SequenceDb::union_dataset`]), extensions whose union-set
+    /// bound misses the threshold are pruned before the containment scan.
+    ///
+    /// # Panics
+    /// Panics if `min_support == 0`, or if the OSSM's transaction count
+    /// differs from the database's sequence count.
+    pub fn mine(
+        &self,
+        db: &SequenceDb,
+        min_support: u64,
+        ossm: Option<&Ossm>,
+    ) -> SequenceOutcome {
+        assert!(min_support > 0, "support threshold must be at least 1");
+        if let Some(map) = ossm {
+            assert_eq!(
+                map.num_transactions(),
+                db.len() as u64,
+                "the OSSM must be built over this database's union transactions"
+            );
+        }
+        let start = Instant::now();
+        let mut state = State {
+            db,
+            min_support,
+            ossm,
+            max_items: self.max_items,
+            patterns: Vec::new(),
+            metrics: MiningMetrics::default(),
+        };
+
+        // Frequent single items seed the search and are the extension
+        // alphabet everywhere below.
+        let m = db.num_items();
+        let mut level1 =
+            LevelMetrics { level: 1, generated: m as u64, counted: m as u64, ..Default::default() };
+        let union = db.union_dataset();
+        let singles = union.singleton_supports();
+        let mut frequent_items: Vec<u32> = Vec::new();
+        for i in 0..m as u32 {
+            // A single-item pattern's support equals the item's support in
+            // the union transactions.
+            if singles[i as usize] >= min_support {
+                frequent_items.push(i);
+            }
+        }
+        level1.frequent = frequent_items.len() as u64;
+        state.metrics.push_level(level1);
+
+        let all_ids: Vec<u32> = (0..db.len() as u32).collect();
+        for &item in &frequent_items {
+            let pattern = SequencePattern::new(vec![Itemset::singleton(ItemId(item))]);
+            let matches: Vec<u32> = all_ids
+                .iter()
+                .copied()
+                .filter(|&s| pattern.contained_in(&db.sequences()[s as usize]))
+                .collect();
+            let support = matches.len() as u64;
+            debug_assert_eq!(support, singles[item as usize]);
+            state.patterns.push((pattern.clone(), support));
+            state.expand(&pattern, &matches, &frequent_items);
+        }
+
+        state.patterns.sort();
+        state.metrics.elapsed = start.elapsed();
+        SequenceOutcome { patterns: state.patterns, metrics: state.metrics }
+    }
+}
+
+struct State<'a> {
+    db: &'a SequenceDb,
+    min_support: u64,
+    ossm: Option<&'a Ossm>,
+    max_items: Option<usize>,
+    patterns: Vec<(SequencePattern, u64)>,
+    metrics: MiningMetrics,
+}
+
+impl State<'_> {
+    /// Expands `pattern` (whose containing sequences are `matches`) by
+    /// every canonical one-item extension.
+    fn expand(&mut self, pattern: &SequencePattern, matches: &[u32], alphabet: &[u32]) {
+        let next_items = pattern.num_items() + 1;
+        if let Some(max) = self.max_items {
+            if next_items > max {
+                return;
+            }
+        }
+        if (matches.len() as u64) < self.min_support {
+            return;
+        }
+        let last_max = pattern
+            .elements()
+            .last()
+            .and_then(|e| e.items().last())
+            .copied()
+            .expect("elements are non-empty");
+
+        let mut level = LevelMetrics { level: next_items, ..Default::default() };
+        // Canonical extensions: sequence-extend with any frequent item;
+        // itemset-extend the last element with a strictly larger item.
+        let mut extensions: Vec<SequencePattern> = Vec::new();
+        for &item in alphabet {
+            level.generated += 1;
+            let mut elements = pattern.elements().to_vec();
+            elements.push(Itemset::singleton(ItemId(item)));
+            extensions.push(SequencePattern::new(elements));
+        }
+        for &item in alphabet.iter().filter(|&&i| i > last_max.0) {
+            level.generated += 1;
+            let mut elements = pattern.elements().to_vec();
+            let last = elements.pop().expect("non-empty");
+            elements.push(last.with(ItemId(item)));
+            extensions.push(SequencePattern::new(elements));
+        }
+        // OSSM pruning on the union set, before any containment scan.
+        let extensions: Vec<SequencePattern> = match self.ossm {
+            Some(map) => extensions
+                .into_iter()
+                .filter(|e| map.upper_bound(&e.union_items()) >= self.min_support)
+                .collect(),
+            None => extensions,
+        };
+        level.filtered_out = level.generated - extensions.len() as u64;
+        level.counted = extensions.len() as u64;
+
+        let mut frequent: Vec<(SequencePattern, Vec<u32>)> = Vec::new();
+        for ext in extensions {
+            let sub_matches: Vec<u32> = matches
+                .iter()
+                .copied()
+                .filter(|&s| ext.contained_in(&self.db.sequences()[s as usize]))
+                .collect();
+            if sub_matches.len() as u64 >= self.min_support {
+                self.patterns.push((ext.clone(), sub_matches.len() as u64));
+                frequent.push((ext, sub_matches));
+            }
+        }
+        level.frequent = frequent.len() as u64;
+        self.metrics.push_level(level);
+
+        for (ext, sub_matches) in frequent {
+            self.expand(&ext, &sub_matches, alphabet);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ossm_data::PageStore;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    fn pattern(elements: &[&[u32]]) -> SequencePattern {
+        SequencePattern::new(elements.iter().map(|e| set(e)).collect())
+    }
+
+    /// The classic AprioriAll example shape: tv → vcr+game.
+    fn sample_db() -> SequenceDb {
+        // items: 0=tv, 1=vcr, 2=game, 3=bread
+        SequenceDb::new(
+            4,
+            vec![
+                vec![set(&[0]), set(&[1, 2])],
+                vec![set(&[0]), set(&[3]), set(&[1, 2])],
+                vec![set(&[0, 3]), set(&[1])],
+                vec![set(&[3]), set(&[2])],
+                vec![set(&[0]), set(&[2]), set(&[1])],
+            ],
+        )
+    }
+
+    #[test]
+    fn containment_semantics() {
+        let s = vec![set(&[0]), set(&[3]), set(&[1, 2])];
+        assert!(pattern(&[&[0], &[1, 2]]).contained_in(&s));
+        assert!(pattern(&[&[0], &[1]]).contained_in(&s));
+        assert!(pattern(&[&[3]]).contained_in(&s));
+        assert!(!pattern(&[&[1], &[0]]).contained_in(&s), "order matters");
+        assert!(!pattern(&[&[0, 1]]).contained_in(&s), "one element must hold both");
+        assert!(!pattern(&[&[0], &[0]]).contained_in(&s), "elements bind distinct positions");
+    }
+
+    #[test]
+    fn supports_match_hand_counts() {
+        let db = sample_db();
+        assert_eq!(db.support(&pattern(&[&[0], &[1]])), 4);
+        assert_eq!(db.support(&pattern(&[&[0], &[1, 2]])), 2);
+        assert_eq!(db.support(&pattern(&[&[3]])), 3);
+        assert_eq!(db.support(&pattern(&[&[0], &[2], &[1]])), 1);
+    }
+
+    #[test]
+    fn miner_finds_the_classic_pattern() {
+        let db = sample_db();
+        let out = SequenceMiner::new().mine(&db, 2, None);
+        let tv_then_vcr_game = pattern(&[&[0], &[1, 2]]);
+        assert!(out.patterns.contains(&(tv_then_vcr_game, 2)));
+        // Every reported support is exact and ≥ threshold.
+        for (p, s) in &out.patterns {
+            assert_eq!(*s, db.support(p), "support mismatch for {p}");
+            assert!(*s >= 2);
+        }
+        // And no frequent pattern of ≤ 3 items is missing (brute check of
+        // a few hand-picked ones).
+        for (els, sup) in [
+            (vec![vec![0u32]], 4u64),
+            (vec![vec![0], vec![1]], 4),
+            (vec![vec![0], vec![2]], 3),
+            (vec![vec![1, 2]], 2),
+        ] {
+            let p = SequencePattern::new(
+                els.into_iter().map(|e| set(&e)).collect(),
+            );
+            assert!(out.patterns.contains(&(p.clone(), sup)), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        let db = sample_db();
+        let out = SequenceMiner::new().mine(&db, 1, None);
+        let mut seen = std::collections::HashSet::new();
+        for (p, _) in &out.patterns {
+            assert!(seen.insert(p.clone()), "duplicate pattern {p}");
+        }
+    }
+
+    #[test]
+    fn ossm_pruning_is_lossless_for_sequences() {
+        // Two "customer populations": one buys items 0..5 over time, the
+        // other 5..10 — union transactions are seasonal, so the OSSM
+        // discharges cross-population patterns.
+        let mut sequences = Vec::new();
+        for c in 0..200u32 {
+            let base = if c < 100 { 0u32 } else { 5 };
+            sequences.push(vec![
+                set(&[base, base + 1]),
+                set(&[base + 2]),
+                set(&[base + 3, base + 4]),
+            ]);
+        }
+        let db = SequenceDb::new(10, sequences);
+        let union = db.union_dataset();
+        let store = PageStore::with_page_count(union, 8);
+        let (ossm, _) = ossm_core::OssmBuilder::new(4).build(&store);
+
+        let plain = SequenceMiner::new().with_max_items(3).mine(&db, 50, None);
+        let pruned = SequenceMiner::new().with_max_items(3).mine(&db, 50, Some(&ossm));
+        assert_eq!(plain.patterns, pruned.patterns, "OSSM changed sequence results");
+        assert!(
+            pruned.metrics.total_counted() < plain.metrics.total_counted(),
+            "cross-population extensions should be pruned before scanning"
+        );
+        // The population-0 pattern (3 items, inside the max_items cap).
+        assert!(plain.patterns.contains(&(pattern(&[&[0, 1], &[2]]), 100)));
+    }
+
+    #[test]
+    fn max_items_limits_pattern_size() {
+        let db = sample_db();
+        let out = SequenceMiner::new().with_max_items(2).mine(&db, 1, None);
+        assert!(out.patterns.iter().all(|(p, _)| p.num_items() <= 2));
+    }
+
+    #[test]
+    fn union_dataset_collects_all_items_per_sequence() {
+        let db = sample_db();
+        let u = db.union_dataset();
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.transaction(1), &set(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "union transactions")]
+    fn mismatched_ossm_is_rejected() {
+        let db = sample_db();
+        let other = Dataset::new(4, vec![set(&[0])]);
+        let store = PageStore::with_page_count(other, 1);
+        let (ossm, _) = ossm_core::OssmBuilder::new(1).build(&store);
+        SequenceMiner::new().mine(&db, 1, Some(&ossm));
+    }
+}

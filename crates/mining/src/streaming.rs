@@ -1,0 +1,271 @@
+//! Disk-resident Apriori: one buffered page pass per level, with physical
+//! I/O accounting.
+//!
+//! The paper measures "all CPU and I/O costs". Level-wise miners read the
+//! whole collection once per level; the OSSM cuts I/O two ways:
+//!
+//! 1. a level whose every candidate is discharged by equation (1) makes
+//!    **no pass at all** (and ends the run if nothing survives);
+//! 2. level 1 needs no pass either — the OSSM's singleton supports are
+//!    exact by construction, so `L1` is read straight out of the map.
+//!
+//! [`StreamingApriori::mine`] reports both the patterns and the pass/page
+//! counts, so the disk-oriented experiments can show the I/O effect the
+//! in-memory miners cannot.
+
+use std::io;
+
+use ossm_core::Ossm;
+use ossm_data::disk::DiskStore;
+use ossm_data::{ItemId, Itemset};
+
+use crate::apriori::generate_candidates;
+use crate::hashtree::HashTree;
+use crate::metrics::{LevelMetrics, MiningMetrics};
+use crate::support::FrequentPatterns;
+
+/// Result of a disk-resident mining run.
+#[derive(Clone, Debug)]
+pub struct StreamingOutcome {
+    /// All frequent patterns with exact supports.
+    pub patterns: FrequentPatterns,
+    /// Candidate bookkeeping.
+    pub metrics: MiningMetrics,
+    /// Full passes over the page file.
+    pub passes: u64,
+    /// Physical page reads (buffer-pool misses) during the run.
+    pub page_reads: u64,
+}
+
+/// Apriori over a [`DiskStore`], with an optional OSSM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamingApriori;
+
+impl StreamingApriori {
+    /// Creates the miner.
+    pub fn new() -> Self {
+        StreamingApriori
+    }
+
+    /// Mines all frequent itemsets from the page file.
+    ///
+    /// With `ossm: Some(_)`, candidates are filtered by equation (1)
+    /// before each counting pass and the level-1 pass is skipped entirely
+    /// (see module docs). The OSSM must describe exactly this store's
+    /// data; this is asserted via the transaction count.
+    ///
+    /// # Panics
+    /// Panics if `min_support == 0` or if the OSSM's transaction count
+    /// disagrees with the store's.
+    pub fn mine(
+        &self,
+        store: &mut DiskStore,
+        min_support: u64,
+        ossm: Option<&Ossm>,
+    ) -> io::Result<StreamingOutcome> {
+        assert!(min_support > 0, "support threshold must be at least 1");
+        if let Some(map) = ossm {
+            assert_eq!(
+                map.num_transactions(),
+                store.num_transactions(),
+                "the OSSM does not describe this store"
+            );
+        }
+        let start_reads = store.io_stats().page_reads;
+        let m = store.num_items();
+        let mut patterns = FrequentPatterns::new();
+        let mut metrics = MiningMetrics::default();
+        let mut passes = 0u64;
+
+        // Level 1.
+        let mut level1 = LevelMetrics { level: 1, generated: m as u64, ..Default::default() };
+        let singles: Vec<u64> = match ossm {
+            Some(map) => {
+                // The map's singleton supports are exact: zero I/O.
+                (0..m as u32).map(|i| map.singleton_support(ItemId(i))).collect()
+            }
+            None => {
+                // One pass to count singletons. (The page index would also
+                // do, but a miner without the OSSM is our I/O baseline, so
+                // it pays the pass the paper's Apriori paid.)
+                passes += 1;
+                let mut counts = vec![0u64; m];
+                store.scan(|t| {
+                    for item in t.items() {
+                        counts[item.index()] += 1;
+                    }
+                })?;
+                counts
+            }
+        };
+        level1.counted = if ossm.is_some() { 0 } else { m as u64 };
+        let mut frequent: Vec<Itemset> = Vec::new();
+        for i in 0..m as u32 {
+            if singles[i as usize] >= min_support {
+                let s = Itemset::singleton(ItemId(i));
+                patterns.insert(s.clone(), singles[i as usize]);
+                frequent.push(s);
+            }
+        }
+        level1.frequent = frequent.len() as u64;
+        metrics.push_level(level1);
+
+        // Levels ≥ 2: generate, filter, and only then pay a pass.
+        let mut k = 2;
+        while !frequent.is_empty() {
+            let generated = generate_candidates(&frequent);
+            if generated.is_empty() {
+                break;
+            }
+            let mut level =
+                LevelMetrics { level: k, generated: generated.len() as u64, ..Default::default() };
+            let candidates: Vec<Itemset> = match ossm {
+                Some(map) => generated
+                    .into_iter()
+                    .filter(|c| map.upper_bound(c) >= min_support)
+                    .collect(),
+                None => generated,
+            };
+            level.filtered_out = level.generated - candidates.len() as u64;
+            level.counted = candidates.len() as u64;
+            if candidates.is_empty() {
+                // Every candidate discharged: no pass, and the run is over
+                // (no candidate can seed level k+1 either).
+                metrics.push_level(level);
+                break;
+            }
+            passes += 1;
+            let tree = HashTree::build(&candidates);
+            let mut counts = vec![0u64; candidates.len()];
+            let pages = store.num_pages();
+            let mut batch: Vec<Itemset> = Vec::new();
+            for p in 0..pages {
+                batch.clear();
+                batch.extend(store.read_page(p)?);
+                tree.count(&batch, &mut counts);
+            }
+            let mut next = Vec::new();
+            for (c, sup) in candidates.into_iter().zip(counts) {
+                if sup >= min_support {
+                    patterns.insert(c.clone(), sup);
+                    next.push(c);
+                }
+            }
+            level.frequent = next.len() as u64;
+            metrics.push_level(level);
+            frequent = next;
+            k += 1;
+        }
+
+        Ok(StreamingOutcome {
+            patterns,
+            metrics,
+            passes,
+            page_reads: store.io_stats().page_reads - start_reads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+    use ossm_core::{OssmBuilder, Strategy};
+    use ossm_data::disk::write_paged;
+    use ossm_data::gen::QuestConfig;
+    use ossm_data::{Dataset, PageStore};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ossm-streaming-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn workload() -> Dataset {
+        QuestConfig { num_transactions: 600, num_items: 40, ..QuestConfig::small() }.generate()
+    }
+
+    #[test]
+    fn matches_in_memory_apriori() {
+        let d = workload();
+        let path = tmp("match.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let mut store = DiskStore::open(&path, 4).expect("open");
+        let disk = StreamingApriori::new().mine(&mut store, 12, None).expect("mine");
+        let mem = Apriori::new().mine(&d, 12);
+        assert_eq!(disk.patterns, mem.patterns);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ossm_skips_the_level_1_pass_and_preserves_results() {
+        let d = workload();
+        let path = tmp("skip.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let pages = PageStore::pack(d.clone(), 1024);
+        let (ossm, _) = OssmBuilder::new(8).strategy(Strategy::Greedy).build(&pages);
+
+        let mut store = DiskStore::open(&path, 4).expect("open");
+        let plain = StreamingApriori::new().mine(&mut store, 12, None).expect("mine");
+        let mut store = DiskStore::open(&path, 4).expect("open");
+        let filtered =
+            StreamingApriori::new().mine(&mut store, 12, Some(&ossm)).expect("mine");
+
+        assert_eq!(plain.patterns, filtered.patterns);
+        assert!(filtered.passes < plain.passes, "L1 pass must disappear");
+        assert!(filtered.page_reads < plain.page_reads);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fully_pruned_level_costs_no_pass() {
+        // Two items that never co-occur: with the exact OSSM, level 2 is
+        // fully discharged and the only I/O is... none at all (L1 comes
+        // from the map).
+        let d = Dataset::new(
+            2,
+            vec![Itemset::new([0u32]), Itemset::new([0u32]), Itemset::new([1u32]), Itemset::new([1u32])],
+        );
+        let path = tmp("pruned.pages");
+        write_paged(&path, &d, 4096).expect("write");
+        let min = ossm_core::minimize_segments(&d);
+        let mut store = DiskStore::open(&path, 2).expect("open");
+        let out = StreamingApriori::new().mine(&mut store, 2, Some(&min.ossm)).expect("mine");
+        assert_eq!(out.passes, 0);
+        assert_eq!(out.page_reads, 0);
+        assert_eq!(out.patterns.len(), 2, "both singletons frequent");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn passes_count_one_per_counted_level() {
+        let d = workload();
+        let path = tmp("passes.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let mut store = DiskStore::open(&path, 4).expect("open");
+        let out = StreamingApriori::new().mine(&mut store, 12, None).expect("mine");
+        let counted_levels = out
+            .metrics
+            .levels
+            .iter()
+            .filter(|l| l.level >= 2 && l.counted > 0)
+            .count() as u64;
+        assert_eq!(out.passes, 1 + counted_levels, "L1 pass + one per counted level");
+        assert_eq!(out.page_reads, out.passes * store.num_pages() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not describe")]
+    fn mismatched_ossm_is_rejected() {
+        let d = workload();
+        let path = tmp("mismatch.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let other = QuestConfig { num_transactions: 100, num_items: 40, ..QuestConfig::small() }
+            .generate();
+        let pages = PageStore::with_page_count(other, 4);
+        let (ossm, _) = OssmBuilder::new(2).build(&pages);
+        let mut store = DiskStore::open(&path, 4).expect("open");
+        let _ = StreamingApriori::new().mine(&mut store, 12, Some(&ossm));
+    }
+}

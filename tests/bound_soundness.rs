@@ -1,0 +1,129 @@
+//! Soundness and monotonicity of the equation-(1) upper bound.
+//!
+//! Whatever the segmentation — random, adversarial, or degenerate — the
+//! OSSM bound must never undercount any itemset's support (that is what
+//! makes OSSM filtering lossless), and refining a segmentation must never
+//! loosen the bound.
+
+use proptest::prelude::*;
+
+use ossm_core::{Aggregate, Ossm, Segmentation};
+use ossm_data::{Dataset, ItemId, Itemset, PageStore};
+
+/// Random dataset + random transaction-to-segment assignment.
+fn assigned_dataset() -> impl Strategy<Value = (Dataset, Vec<usize>, usize)> {
+    (2usize..=8, 1usize..=5).prop_flat_map(|(m, segs)| {
+        let tx = proptest::collection::vec((1u32..(1 << m), 0..segs), 1..40);
+        tx.prop_map(move |rows| {
+            let mut transactions = Vec::with_capacity(rows.len());
+            let mut assignment = Vec::with_capacity(rows.len());
+            for (mask, seg) in rows {
+                transactions
+                    .push(Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)));
+                assignment.push(seg);
+            }
+            (Dataset::new(m, transactions), assignment, segs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bound_never_undercounts((d, assignment, segs) in assigned_dataset()) {
+        let ossm = Ossm::from_transaction_assignment(&d, &assignment, segs);
+        let m = d.num_items();
+        for mask in 1u32..(1u32 << m) {
+            let x = Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0));
+            prop_assert!(
+                ossm.upper_bound(&x) >= d.support(&x),
+                "bound {} < support {} for {}", ossm.upper_bound(&x), d.support(&x), x
+            );
+        }
+    }
+
+    #[test]
+    fn refining_a_segmentation_tightens_bounds((d, assignment, segs) in assigned_dataset()) {
+        // Coarse = everything in one segment; fine = the random assignment.
+        let coarse = Ossm::from_transaction_assignment(&d, &vec![0; d.len()], 1);
+        let fine = Ossm::from_transaction_assignment(&d, &assignment, segs);
+        let m = d.num_items();
+        for mask in 1u32..(1u32 << m) {
+            let x = Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0));
+            prop_assert!(
+                fine.upper_bound(&x) <= coarse.upper_bound(&x),
+                "refinement loosened the bound for {}", x
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_bounds_are_exact((d, assignment, segs) in assigned_dataset()) {
+        let ossm = Ossm::from_transaction_assignment(&d, &assignment, segs);
+        for i in 0..d.num_items() as u32 {
+            let item = ItemId(i);
+            prop_assert_eq!(
+                ossm.upper_bound(&Itemset::singleton(item)),
+                d.support(&Itemset::singleton(item))
+            );
+            prop_assert_eq!(ossm.singleton_support(item), d.support(&Itemset::singleton(item)));
+        }
+    }
+
+    #[test]
+    fn pair_specialization_matches_general_bound((d, assignment, segs) in assigned_dataset()) {
+        let ossm = Ossm::from_transaction_assignment(&d, &assignment, segs);
+        let m = d.num_items() as u32;
+        for a in 0..m {
+            for b in (a + 1)..m {
+                prop_assert_eq!(
+                    ossm.upper_bound_pair(ItemId(a), ItemId(b)),
+                    ossm.upper_bound(&Itemset::new([a, b]))
+                );
+            }
+        }
+    }
+}
+
+/// Per-transaction segments give the exact support for every itemset — the
+/// paper's "hypothetical extreme case" where `n = |T|`.
+#[test]
+fn one_transaction_per_segment_is_exact() {
+    let d = Dataset::new(
+        4,
+        vec![
+            Itemset::new([0, 1]),
+            Itemset::new([1, 2, 3]),
+            Itemset::new([0, 3]),
+            Itemset::new([2]),
+        ],
+    );
+    let assignment: Vec<usize> = (0..d.len()).collect();
+    let ossm = Ossm::from_transaction_assignment(&d, &assignment, d.len());
+    for mask in 1u32..16 {
+        let x = Itemset::new((0..4u32).filter(|&i| mask & (1 << i) != 0));
+        assert_eq!(ossm.upper_bound(&x), d.support(&x), "itemset {x}");
+    }
+}
+
+/// The page-store construction and the aggregate construction agree.
+#[test]
+fn page_and_aggregate_constructions_agree() {
+    let d = ossm_data::gen::QuestConfig {
+        num_transactions: 300,
+        num_items: 20,
+        ..ossm_data::gen::QuestConfig::small()
+    }
+    .generate();
+    let store = PageStore::with_page_count(d, 12);
+    let seg = Segmentation::from_groups(
+        vec![vec![0, 3, 6, 9], vec![1, 4, 7, 10], vec![2, 5, 8, 11]],
+        12,
+    );
+    let via_pages = Ossm::from_pages(&store, &seg);
+    let via_aggregates =
+        Ossm::from_aggregates(seg.merge_aggregates(&Aggregate::from_pages(&store)));
+    assert_eq!(via_pages, via_aggregates);
+    assert_eq!(via_pages.num_transactions(), store.dataset().len() as u64);
+}

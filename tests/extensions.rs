@@ -1,0 +1,205 @@
+//! Integration tests for the extension systems built around the core
+//! reproduction: the generalized OSSM (footnote 3), incremental
+//! maintenance, disk-resident mining, the episode layer, constrained
+//! mining, and the condensed pattern representations — all composed
+//! end-to-end through the facade crate.
+
+use ossm::prelude::*;
+use ossm_core::generalized::bubble_pairs;
+use ossm_mining::patterns::{closed, maximal, support_from_closed};
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ossm-extension-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn generalized_ossm_strictly_outprunes_the_base_map_somewhere() {
+    // Seasonal data, coarse 4-segment map, bubble pairs tracked: for at
+    // least one candidate pair the generalized bound must be strictly
+    // tighter, and it must never be looser or unsound.
+    let d = SkewedConfig { num_transactions: 2000, num_items: 40, ..SkewedConfig::default() }
+        .generate();
+    let threshold = d.absolute_threshold(0.01);
+    let store = PageStore::with_page_count(d, 20);
+    let (_, seg, _) = OssmBuilder::new(4)
+        .strategy(Strategy::Greedy)
+        .build_with_segmentation(&store);
+    let bubble = BubbleList::from_store(&store, threshold, 12);
+    let g = GeneralizedOssm::from_pages(&store, &seg, bubble_pairs(&bubble));
+    let base = g.base().clone();
+
+    let mut strictly_tighter = 0usize;
+    for a in 0..40u32 {
+        for b in (a + 1)..40 {
+            let x = Itemset::new([a, b]);
+            let gb = g.upper_bound(&x);
+            assert!(gb <= base.upper_bound(&x));
+            assert!(gb >= store.dataset().support(&x));
+            if gb < base.upper_bound(&x) {
+                strictly_tighter += 1;
+            }
+        }
+    }
+    assert!(strictly_tighter > 0, "tracking pairs should tighten some bound");
+}
+
+#[test]
+fn generalized_ossm_is_a_valid_lossless_filter() {
+    struct GeneralFilter<'a>(&'a GeneralizedOssm);
+    impl CandidateFilter for GeneralFilter<'_> {
+        fn may_be_frequent(&self, candidate: &Itemset, min_support: u64) -> bool {
+            !self.0.prunes(candidate, min_support)
+        }
+        fn name(&self) -> &str {
+            "generalized-OSSM"
+        }
+    }
+    let d = QuestConfig { num_transactions: 1200, num_items: 60, ..QuestConfig::small() }
+        .generate();
+    let min_support = d.absolute_threshold(0.02);
+    let store = PageStore::with_page_count(d, 20);
+    let (_, seg, _) =
+        OssmBuilder::new(6).strategy(Strategy::Rc).build_with_segmentation(&store);
+    let bubble = BubbleList::from_store(&store, min_support, 15);
+    let g = GeneralizedOssm::from_pages(&store, &seg, bubble_pairs(&bubble));
+
+    let plain = Apriori::new().mine(store.dataset(), min_support);
+    let filtered =
+        Apriori::new().mine_filtered(store.dataset(), min_support, &GeneralFilter(&g));
+    assert_eq!(plain.patterns, filtered.patterns);
+    assert!(filtered.metrics.total_counted() <= plain.metrics.total_counted());
+}
+
+#[test]
+fn incremental_map_filters_mining_losslessly_after_streaming() {
+    let d = SkewedConfig { num_transactions: 3000, num_items: 50, ..SkewedConfig::default() }
+        .generate();
+    let min_support = d.absolute_threshold(0.015);
+    // Stream the data in 30 chunks into a 10-segment incremental map.
+    let mut inc = IncrementalOssm::new(10, LossCalculator::all_items());
+    for chunk in d.transactions().chunks(100) {
+        inc.append_transactions(50, chunk);
+    }
+    let snapshot = inc.snapshot();
+    let plain = Apriori::new().mine(&d, min_support);
+    let filtered =
+        Apriori::new().mine_filtered(&d, min_support, &OssmFilter::new(&snapshot));
+    assert_eq!(plain.patterns, filtered.patterns);
+    assert!(filtered.metrics.total_counted() <= plain.metrics.total_counted());
+}
+
+#[test]
+fn disk_pipeline_matches_memory_pipeline_with_io_savings() {
+    let d = QuestConfig { num_transactions: 3000, num_items: 80, ..QuestConfig::small() }
+        .generate();
+    let min_support = d.absolute_threshold(0.02);
+    let path = tmpdir().join("pipeline.pages");
+    ossm_data::disk::write_paged(&path, &d, 2048).expect("write");
+
+    // Segmentation straight off the on-disk aggregate index.
+    let mut store = DiskStore::open(&path, 8).expect("open");
+    let aggs: Vec<Aggregate> = store
+        .page_aggregate_vectors()
+        .into_iter()
+        .map(|(v, n)| Aggregate::new(v, n))
+        .collect();
+    assert_eq!(store.io_stats().page_reads, 0, "segmentation input needs no page I/O");
+    let seg = ossm_core::seg::Greedy::default().segment(&aggs, 8);
+    let ossm = Ossm::from_aggregates(seg.merge_aggregates(&aggs));
+
+    let plain = StreamingApriori::new().mine(&mut store, min_support, None).expect("mine");
+    let mut store2 = DiskStore::open(&path, 8).expect("open");
+    let filtered =
+        StreamingApriori::new().mine(&mut store2, min_support, Some(&ossm)).expect("mine");
+    assert_eq!(plain.patterns, filtered.patterns);
+    assert!(filtered.page_reads < plain.page_reads, "the OSSM must save physical I/O");
+
+    // And both agree with the fully in-memory reference.
+    let mem = Apriori::new().mine(&d, min_support);
+    assert_eq!(mem.patterns, plain.patterns);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn episode_mining_over_windows_with_ossm() {
+    // Build an alarm-like event sequence with a planted co-firing pair.
+    let mut events = Vec::new();
+    for t in 0..4000u64 {
+        events.push(Event { time: t, kind: (t % 17) as u32 });
+        if t % 5 == 0 {
+            // kinds 20 and 21 co-fire every 5 ticks.
+            events.push(Event { time: t, kind: 20 });
+            events.push(Event { time: t, kind: 21 });
+        }
+    }
+    let seq = EventSequence::new(22, events);
+    let windows = seq.windows(10, 10);
+    let min_support = windows.absolute_threshold(0.5);
+
+    let store = PageStore::with_page_count(windows, 16);
+    let (ossm, _) = OssmBuilder::new(8).strategy(Strategy::Rc).build(&store);
+    let plain = Apriori::new().mine(store.dataset(), min_support);
+    let filtered =
+        Apriori::new().mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm));
+    assert_eq!(plain.patterns, filtered.patterns);
+    assert!(
+        plain.patterns.contains(&Itemset::new([20, 21])),
+        "the planted parallel episode must be frequent"
+    );
+}
+
+#[test]
+fn constrained_mining_with_ossm_matches_post_filtering() {
+    let d = QuestConfig { num_transactions: 1500, num_items: 60, ..QuestConfig::small() }
+        .generate();
+    let min_support = d.absolute_threshold(0.02);
+    let store = PageStore::with_page_count(d, 15);
+    let (ossm, _) = OssmBuilder::new(6).build(&store);
+
+    let constraint = Constraint::MaxSum { values: (0..60u64).collect(), bound: 50 };
+    let mined = ConstrainedApriori::new()
+        .with_constraint(constraint.clone())
+        .mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm));
+    let reference = ossm_mining::constraints::filter_patterns(
+        &Apriori::new().mine(store.dataset(), min_support).patterns,
+        std::slice::from_ref(&constraint),
+    );
+    assert_eq!(mined.patterns, reference);
+}
+
+#[test]
+fn condensed_representations_compose_with_every_miner() {
+    let d = SkewedConfig { num_transactions: 1000, num_items: 30, ..SkewedConfig::small() }
+        .generate();
+    let min_support = d.absolute_threshold(0.03);
+    let full = FpGrowth::new().mine(&d, min_support).patterns;
+    let closed_sets = closed(&full);
+    let maximal_sets = maximal(&full);
+    assert!(closed_sets.len() <= full.len());
+    assert!(maximal_sets.len() <= closed_sets.len());
+    for (p, s) in full.iter() {
+        assert_eq!(support_from_closed(&closed_sets, p), Some(s));
+    }
+    // Every frequent set is a subset of some maximal set.
+    for (p, _) in full.iter() {
+        assert!(
+            maximal_sets.iter().any(|m| p.is_subset_of(m)),
+            "{p} not covered by any maximal set"
+        );
+    }
+}
+
+#[test]
+fn ossm_persistence_roundtrips_through_the_facade() {
+    let d = QuestConfig { num_transactions: 800, num_items: 40, ..QuestConfig::small() }
+        .generate();
+    let store = PageStore::with_page_count(d, 10);
+    let (ossm, _) = OssmBuilder::new(5).build(&store);
+    let path = tmpdir().join("facade.ossm");
+    ossm_core::persist::save(&path, &ossm).expect("save");
+    let loaded = ossm_core::persist::load(&path).expect("load");
+    assert_eq!(loaded, ossm);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,185 @@
+//! Additional property tests: counting back-ends, persistence codecs,
+//! episode/sequence semantics, and the generators' structural invariants.
+
+use proptest::prelude::*;
+
+use ossm_data::{Dataset, Itemset};
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..=10).prop_flat_map(|m| {
+        let tx = proptest::collection::vec(0u32..(1u32 << m), 0..50);
+        tx.prop_map(move |masks| {
+            let transactions = masks
+                .into_iter()
+                .map(|mask| Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)))
+                .collect();
+            Dataset::new(m, transactions)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_tree_always_matches_linear_counting(
+        d in dataset_strategy(),
+        cand_masks in proptest::collection::vec(1u32..1024, 1..30),
+    ) {
+        let m = d.num_items();
+        let candidates: Vec<Itemset> = cand_masks
+            .into_iter()
+            .map(|mask| Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)))
+            .filter(|c| !c.is_empty())
+            .collect();
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        prop_assert_eq!(
+            ossm_mining::hashtree::count_hash_tree(d.transactions(), &candidates),
+            ossm_mining::support::count_linear(d.transactions(), &candidates)
+        );
+    }
+
+    #[test]
+    fn flat_codec_roundtrips(d in dataset_strategy()) {
+        let mut buf = Vec::new();
+        ossm_data::io::write_dataset(&mut buf, &d).expect("write");
+        let back = ossm_data::io::read_dataset(&mut buf.as_slice()).expect("read");
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn paged_codec_roundtrips_and_indexes_correctly(d in dataset_strategy()) {
+        let dir = std::env::temp_dir().join("ossm-proptest-pages");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("pt-{}.pages", std::process::id()));
+        ossm_data::disk::write_paged(&path, &d, 256).expect("write");
+        let mut store = ossm_data::disk::DiskStore::open(&path, 3).expect("open");
+        prop_assert_eq!(store.num_transactions(), d.len() as u64);
+        // The sparse index must reproduce the dataset's singleton supports.
+        let mut totals = vec![0u64; d.num_items()];
+        for s in store.summaries() {
+            for &(item, count) in &s.supports {
+                totals[item as usize] += u64::from(count);
+            }
+        }
+        prop_assert_eq!(&totals, &d.singleton_supports());
+        prop_assert_eq!(store.to_dataset().expect("read"), d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ossm_persistence_roundtrips(d in dataset_strategy()) {
+        if d.is_empty() {
+            return Ok(());
+        }
+        let min = ossm_core::minimize_segments(&d);
+        let mut buf = Vec::new();
+        ossm_core::persist::write_ossm(&mut buf, &min.ossm).expect("write");
+        let back = ossm_core::persist::read_ossm(&mut buf.as_slice()).expect("read");
+        prop_assert_eq!(back, min.ossm);
+    }
+
+    #[test]
+    fn serial_episode_containment_matches_brute_force(
+        window in proptest::collection::vec(0u32..5, 0..12),
+        episode in proptest::collection::vec(0u32..5, 1..5),
+    ) {
+        use ossm_mining::SerialEpisode;
+        let e = SerialEpisode::new(episode.clone());
+        // Brute force: is `episode` a subsequence of `window`?
+        fn is_subsequence(needle: &[u32], hay: &[u32]) -> bool {
+            let mut it = hay.iter();
+            needle.iter().all(|n| it.any(|h| h == n))
+        }
+        prop_assert_eq!(e.occurs_in(&window), is_subsequence(&episode, &window));
+    }
+
+    #[test]
+    fn sequence_pattern_support_is_antitone_under_extension(
+        masks in proptest::collection::vec(
+            proptest::collection::vec(1u32..64, 1..5), 1..15),
+        ext in 0u32..6,
+    ) {
+        use ossm_mining::{SequenceDb, SequencePattern};
+        let to_sets = |seq: &Vec<u32>| -> Vec<Itemset> {
+            seq.iter()
+                .map(|&mask| Itemset::new((0..6u32).filter(|&i| mask & (1 << i) != 0)))
+                .collect()
+        };
+        let db = SequenceDb::new(6, masks.iter().map(to_sets).collect());
+        let base = SequencePattern::new(vec![Itemset::singleton(ossm_data::ItemId(ext))]);
+        let extended = SequencePattern::new(vec![
+            Itemset::singleton(ossm_data::ItemId(ext)),
+            Itemset::singleton(ossm_data::ItemId((ext + 1) % 6)),
+        ]);
+        prop_assert!(db.support(&extended) <= db.support(&base));
+        // Union-set bound sanity: support never exceeds the union dataset's
+        // support of the pattern's items.
+        let union = db.union_dataset();
+        prop_assert!(db.support(&extended) <= union.support(&extended.union_items()));
+    }
+
+    #[test]
+    fn windowing_preserves_event_mass(
+        times in proptest::collection::vec(0u64..200, 0..60),
+        width in 1u64..20,
+    ) {
+        use ossm_data::sequence::{Event, EventSequence};
+        let events: Vec<Event> = times
+            .iter()
+            .map(|&t| Event { time: t, kind: (t % 7) as u32 })
+            .collect();
+        let n = events.len();
+        let seq = EventSequence::new(7, events);
+        // Tumbling windows: every event lands in exactly one window, so
+        // summed window sizes (with multiplicity collapsed per kind) never
+        // exceed the event count, and each event's kind is present in its
+        // window.
+        let d = seq.windows(width, width);
+        let total_kinds: usize = d.transactions().iter().map(Itemset::len).sum();
+        prop_assert!(total_kinds <= n.max(1));
+        if n > 0 {
+            let occupied: usize =
+                d.transactions().iter().filter(|t| !t.is_empty()).count();
+            prop_assert!(occupied >= 1);
+        }
+    }
+
+    #[test]
+    fn generator_outputs_always_fit_their_domain(seed in 0u64..50) {
+        use ossm_data::gen::{AlarmConfig, QuestConfig, SkewedConfig};
+        let q = QuestConfig { num_transactions: 60, num_items: 15, seed, ..QuestConfig::small() }
+            .generate();
+        prop_assert_eq!(q.num_items(), 15);
+        prop_assert!(q.transactions().iter().all(|t| !t.is_empty()));
+        let s = SkewedConfig { num_transactions: 60, num_items: 15, seed, ..SkewedConfig::small() }
+            .generate();
+        prop_assert_eq!(s.len(), 60);
+        let a = AlarmConfig { num_windows: 60, num_alarm_types: 15, seed, ..AlarmConfig::small() }
+            .generate();
+        prop_assert_eq!(a.len(), 60);
+    }
+
+    #[test]
+    fn closed_and_maximal_are_consistent(d in dataset_strategy()) {
+        if d.is_empty() {
+            return Ok(());
+        }
+        let min_support = (d.len() as u64 / 4).max(1);
+        let full = ossm_mining::Apriori::new().mine(&d, min_support).patterns;
+        let closed = ossm_mining::patterns::closed(&full);
+        let maximal = ossm_mining::patterns::maximal(&full);
+        // maximal ⊆ closed ⊆ full, and closed reconstructs every support.
+        for p in &maximal {
+            prop_assert!(closed.contains(p));
+        }
+        for (p, s) in full.iter() {
+            prop_assert_eq!(
+                ossm_mining::patterns::support_from_closed(&closed, p),
+                Some(s)
+            );
+        }
+    }
+}
