@@ -13,7 +13,10 @@ use ossm_data::Itemset;
 
 fn build_ossm(n_user: usize) -> Ossm {
     let store = Workload::regular(50, 500).store();
-    OssmBuilder::new(n_user).strategy(Strategy::Random).build(&store).0
+    OssmBuilder::new(n_user)
+        .strategy(Strategy::Random)
+        .build(&store)
+        .0
 }
 
 fn bench_bound(c: &mut Criterion) {
@@ -25,14 +28,18 @@ fn bench_bound(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("pair", segments), &ossm, |bench, o| {
             bench.iter(|| black_box(o.upper_bound(black_box(&pair))))
         });
-        group.bench_with_input(BenchmarkId::new("pair_specialized", segments), &ossm, |bench, o| {
-            bench.iter(|| {
-                black_box(o.upper_bound_pair(
-                    black_box(ossm_data::ItemId(3)),
-                    black_box(ossm_data::ItemId(250)),
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pair_specialized", segments),
+            &ossm,
+            |bench, o| {
+                bench.iter(|| {
+                    black_box(o.upper_bound_pair(
+                        black_box(ossm_data::ItemId(3)),
+                        black_box(ossm_data::ItemId(250)),
+                    ))
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("quad", segments), &ossm, |bench, o| {
             bench.iter(|| black_box(o.upper_bound(black_box(&quad))))
         });

@@ -14,7 +14,9 @@ fn bench_miners(c: &mut Criterion) {
     let store = Workload::regular(30, 300).store();
     let dataset = store.dataset();
     let min_support = dataset.absolute_threshold(0.01);
-    let (ossm, _) = OssmBuilder::new(15).strategy(Strategy::Greedy).build(&store);
+    let (ossm, _) = OssmBuilder::new(15)
+        .strategy(Strategy::Greedy)
+        .build(&store);
 
     let mut group = c.benchmark_group("miners_30_pages");
     group.sample_size(10);
@@ -49,11 +51,7 @@ fn bench_miners(c: &mut Criterion) {
     });
     group.bench_function("depthproject_ossm", |b| {
         b.iter(|| {
-            black_box(depth.mine_filtered(
-                black_box(dataset),
-                min_support,
-                &OssmFilter::new(&ossm),
-            ))
+            black_box(depth.mine_filtered(black_box(dataset), min_support, &OssmFilter::new(&ossm)))
         })
     });
 

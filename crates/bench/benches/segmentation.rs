@@ -23,10 +23,13 @@ fn bench_segmentation(c: &mut Criterion) {
         ("rc", Box::new(RandomClosest::new(calc.clone(), 1))),
         ("greedy", Box::new(Greedy::new(calc.clone()))),
         ("random_rc", Box::new(random_rc(calc.clone(), 30, 1))),
-        ("random_greedy", Box::new(random_greedy(calc.clone(), 30, 1))),
+        (
+            "random_greedy",
+            Box::new(random_greedy(calc.clone(), 30, 1)),
+        ),
     ];
     for (name, algo) in &algos {
-        group.bench_with_input(BenchmarkId::new(*name, "full_loss"), algo, |bench, a| {
+        group.bench_with_input(BenchmarkId::new(name, "full_loss"), algo, |bench, a| {
             bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)))
         });
     }
@@ -38,10 +41,13 @@ fn bench_segmentation(c: &mut Criterion) {
     let bubbled: Vec<(&str, Box<dyn SegmentationAlgorithm>)> = vec![
         ("rc", Box::new(RandomClosest::new(scoped.clone(), 1))),
         ("greedy", Box::new(Greedy::new(scoped.clone()))),
-        ("random_greedy", Box::new(random_greedy(scoped.clone(), 30, 1))),
+        (
+            "random_greedy",
+            Box::new(random_greedy(scoped.clone(), 30, 1)),
+        ),
     ];
     for (name, algo) in &bubbled {
-        group.bench_with_input(BenchmarkId::new(*name, "bubble_10pct"), algo, |bench, a| {
+        group.bench_with_input(BenchmarkId::new(name, "bubble_10pct"), algo, |bench, a| {
             bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)))
         });
     }

@@ -16,7 +16,9 @@
 
 use std::fmt::Write as _;
 
-use ossm_core::seg::{hybrid::random_greedy, Greedy, Optimal, Random, RandomClosest, SegmentationAlgorithm};
+use ossm_core::seg::{
+    hybrid::random_greedy, Greedy, Optimal, Random, RandomClosest, SegmentationAlgorithm,
+};
 use ossm_core::{Aggregate, IncrementalOssm, LossCalculator, Ossm, OssmBuilder, Strategy};
 use ossm_data::Itemset;
 
@@ -28,7 +30,10 @@ use crate::workloads::{Workload, WorkloadKind};
 /// A1: naive vs sorted loss evaluation timing.
 pub fn loss_evaluation(opts: &Options) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Ablation A1 — equation (2) evaluation: O(m²) vs O(m log m)\n");
+    let _ = writeln!(
+        out,
+        "## Ablation A1 — equation (2) evaluation: O(m²) vs O(m log m)\n"
+    );
     let mut table = Table::new(["m", "naive pair loop", "sorted identity", "ratio"]);
     let seed: u64 = opts.get("seed", 7);
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -40,16 +45,27 @@ pub fn loss_evaluation(opts: &Options) -> String {
         let fast_calc = LossCalculator::all_items();
         // Repeat to get measurable times.
         let reps = 50;
-        let (t_naive, naive) =
-            timed(|| (0..reps).map(|_| naive_calc.merge_loss(&a, &b)).max().unwrap_or(0));
-        let (t_fast, fast) =
-            timed(|| (0..reps).map(|_| fast_calc.merge_loss(&a, &b)).max().unwrap_or(0));
+        let (t_naive, naive) = timed(|| {
+            (0..reps)
+                .map(|_| naive_calc.merge_loss(&a, &b))
+                .max()
+                .unwrap_or(0)
+        });
+        let (t_fast, fast) = timed(|| {
+            (0..reps)
+                .map(|_| fast_calc.merge_loss(&a, &b))
+                .max()
+                .unwrap_or(0)
+        });
         assert_eq!(naive, fast, "the two evaluations must agree");
         table.row([
             m.to_string(),
             fmt_duration(t_naive / reps),
             fmt_duration(t_fast / reps),
-            format!("{:.1}x", t_naive.as_secs_f64() / t_fast.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.1}x",
+                t_naive.as_secs_f64() / t_fast.as_secs_f64().max(1e-12)
+            ),
         ]);
     }
     out.push_str(&table.to_markdown());
@@ -69,13 +85,24 @@ pub fn heuristic_quality(opts: &Options) -> String {
          {trials} trials, p = 9 pages of skewed-synthetic data, n_user = 3, m = {items}. \
          Cells: total eq. (2) loss relative to optimal (1.00 = optimal).\n"
     );
-    let mut table = Table::new(["trial", "Optimal", "Greedy", "RC", "Random", "Random-Greedy"]);
+    let mut table = Table::new([
+        "trial",
+        "Optimal",
+        "Greedy",
+        "RC",
+        "Random",
+        "Random-Greedy",
+    ]);
     let mut sums = [0.0f64; 4];
     for t in 0..trials {
-        let w = Workload { kind: WorkloadKind::Skewed, pages: 9, items, seed: seed + t as u64 };
+        let w = Workload {
+            kind: WorkloadKind::Skewed,
+            pages: 9,
+            items,
+            seed: seed + t as u64,
+        };
         let inputs = Aggregate::from_pages(&w.store());
-        let opt_loss =
-            calc.segmentation_loss(&inputs, &Optimal::default().segment(&inputs, 3));
+        let opt_loss = calc.segmentation_loss(&inputs, &Optimal::default().segment(&inputs, 3));
         let rel = |algo: &dyn SegmentationAlgorithm| -> f64 {
             let loss = calc.segmentation_loss(&inputs, &algo.segment(&inputs, 3));
             if opt_loss == 0 {
@@ -163,7 +190,9 @@ pub fn incremental_vs_rebuild(opts: &Options) -> String {
     let mut inc = IncrementalOssm::new(n_user, LossCalculator::all_items());
     inc.append_store(&store);
     let streamed = inc.snapshot();
-    let (rebuilt, _) = OssmBuilder::new(n_user).strategy(Strategy::Greedy).build(&store);
+    let (rebuilt, _) = OssmBuilder::new(n_user)
+        .strategy(Strategy::Greedy)
+        .build(&store);
     let single = Ossm::single_segment(&store);
 
     // Compare total bound slack over all frequent-item pairs.
@@ -189,9 +218,18 @@ pub fn incremental_vs_rebuild(opts: &Options) -> String {
          Total bound slack (Σ ub − sup) over frequent-item pairs; lower is tighter.\n"
     );
     let mut table = Table::new(["Construction", "Total bound slack"]);
-    table.row(["single segment (no OSSM)".to_owned(), slack(&single).to_string()]);
-    table.row(["incremental appends".to_owned(), slack(&streamed).to_string()]);
-    table.row(["full Greedy rebuild".to_owned(), slack(&rebuilt).to_string()]);
+    table.row([
+        "single segment (no OSSM)".to_owned(),
+        slack(&single).to_string(),
+    ]);
+    table.row([
+        "incremental appends".to_owned(),
+        slack(&streamed).to_string(),
+    ]);
+    table.row([
+        "full Greedy rebuild".to_owned(),
+        slack(&rebuilt).to_string(),
+    ]);
     out.push_str(&table.to_markdown());
     out
 }

@@ -2,19 +2,47 @@
 //! prints one consolidated markdown report.
 //!
 //! Usage: `cargo run -p ossm-bench --release --bin all-experiments --
-//! [--smoke] [--pages=…] [--items=…]`
+//! [--smoke] [--pages=…] [--items=…] [--obs-out=BENCH_obs.json]`
 //!
 //! `--smoke` runs everything at tiny scale (seconds, debug-build friendly);
 //! default scale matches the per-binary defaults.
+//!
+//! Alongside the markdown, the run writes `BENCH_obs.json` (override with
+//! `--obs-out=PATH`, disable with `--obs-out=`): one self-describing JSON
+//! line per speedup row, followed by the instrumentation snapshot
+//! (counters, phase timings, histograms) — so the perf record says *why* a
+//! run was fast, not just how fast.
 
 use ossm_bench::cli::Options;
 use ossm_bench::experiments::{fig4, fig5, fig6, sec7, smoke_options};
+use ossm_obs::{Reporter, StatsFormat};
 
 fn main() {
     let opts = Options::from_env();
-    let opts = if opts.flag("smoke") { smoke_options() } else { opts };
+    let obs_out: String = opts.get("obs-out", "BENCH_obs.json".to_owned());
+    let opts = if opts.flag("smoke") {
+        smoke_options()
+    } else {
+        opts
+    };
+    ossm_obs::registry().reset();
     println!("# OSSM reproduction — experiment report\n");
+    let mut rows = Vec::new();
     for section in [fig4(&opts), fig5(&opts), fig6(&opts), sec7(&opts)] {
-        println!("{section}");
+        println!("{}", section.markdown);
+        rows.extend(section.rows);
+    }
+    if obs_out.is_empty() {
+        return;
+    }
+    let mut body = String::new();
+    for row in &rows {
+        body.push_str(&row.to_json_row());
+        body.push('\n');
+    }
+    body.push_str(&Reporter::new(StatsFormat::Json).render(&ossm_obs::registry().snapshot()));
+    match std::fs::write(&obs_out, body) {
+        Ok(()) => eprintln!("wrote instrumentation snapshot -> {obs_out}"),
+        Err(e) => eprintln!("could not write {obs_out}: {e}"),
     }
 }

@@ -11,14 +11,31 @@ use ossm_core::{OssmBuilder, Strategy};
 use ossm_mining::{Dhp, OssmFilter};
 
 use crate::cli::Options;
-use crate::runner::{ratio, run_baseline, run_with_ossm, timed};
+use crate::runner::{ratio, run_baseline, run_with_ossm, timed, SpeedupRow};
 use crate::table::{fmt_bytes, fmt_duration, fmt_percent, fmt_speedup, Table};
 use crate::workloads::{Workload, WorkloadKind};
+
+/// One experiment's output: the markdown report plus the stamped speedup
+/// rows behind it, so callers (the `all-experiments` binary) can also emit
+/// the rows as self-describing JSON.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// The human-readable report.
+    pub markdown: String,
+    /// Every measured row, stamped with workload/strategy/`n_user`.
+    pub rows: Vec<SpeedupRow>,
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.markdown)
+    }
+}
 
 /// Figure 4(a)/(b): Apriori speedup and candidate-2-itemset fraction vs
 /// the number of segments, for the Random, RC, and Greedy algorithms on
 /// regular-synthetic data at a 1 % support threshold.
-pub fn fig4(opts: &Options) -> String {
+pub fn fig4(opts: &Options) -> Section {
     let pages: usize = opts.get("pages", 200);
     let items: usize = opts.get("items", 1000);
     let minsup: f64 = opts.get("minsup", 0.01);
@@ -45,32 +62,47 @@ pub fn fig4(opts: &Options) -> String {
         baseline.outcome.metrics.candidate_2_itemsets_counted()
     );
 
+    let mut rows: Vec<SpeedupRow> = Vec::new();
     let mut speedups = Table::new(["n_user", "Greedy", "RC", "Random", "OSSM size"]);
     let mut fractions = Table::new(["n_user", "Greedy", "RC", "Random"]);
-    let sweep: Vec<usize> =
-        [20, 40, 60, 80, 100, 120, 140, 160].iter().copied().filter(|&n| n <= pages).collect();
+    let mut sweep: Vec<usize> = [20, 40, 60, 80, 100, 120, 140, 160]
+        .iter()
+        .copied()
+        .filter(|&n| n <= pages)
+        .collect();
+    if sweep.is_empty() {
+        // Tiny (smoke-scale) runs: still measure one point.
+        sweep.push((pages / 2).max(1));
+    }
     for n_user in sweep {
         let greedy = run_with_ossm(
             &store,
             min_support,
-            &OssmBuilder::new(n_user).strategy(Strategy::Greedy).seed(seed),
+            &OssmBuilder::new(n_user)
+                .strategy(Strategy::Greedy)
+                .seed(seed),
             "Greedy",
             &baseline,
-        );
+        )
+        .stamped(format!("{kind:?}"));
         let rc = run_with_ossm(
             &store,
             min_support,
             &OssmBuilder::new(n_user).strategy(Strategy::Rc).seed(seed),
             "RC",
             &baseline,
-        );
+        )
+        .stamped(format!("{kind:?}"));
         let random = run_with_ossm(
             &store,
             min_support,
-            &OssmBuilder::new(n_user).strategy(Strategy::Random).seed(seed),
+            &OssmBuilder::new(n_user)
+                .strategy(Strategy::Random)
+                .seed(seed),
             "Random",
             &baseline,
-        );
+        )
+        .stamped(format!("{kind:?}"));
         speedups.row([
             n_user.to_string(),
             fmt_speedup(greedy.speedup),
@@ -84,17 +116,27 @@ pub fn fig4(opts: &Options) -> String {
             fmt_percent(rc.c2_fraction),
             fmt_percent(random.c2_fraction),
         ]);
+        rows.extend([greedy, rc, random]);
     }
-    let _ = writeln!(out, "### (a) Speedup relative to Apriori without the OSSM\n");
+    let _ = writeln!(
+        out,
+        "### (a) Speedup relative to Apriori without the OSSM\n"
+    );
     out.push_str(&speedups.to_markdown());
-    let _ = writeln!(out, "\n### (b) Candidate 2-itemsets still counted (fraction of baseline)\n");
+    let _ = writeln!(
+        out,
+        "\n### (b) Candidate 2-itemsets still counted (fraction of baseline)\n"
+    );
     out.push_str(&fractions.to_markdown());
-    out
+    Section {
+        markdown: out,
+        rows,
+    }
 }
 
 /// Figure 5(a)/(b): segmentation cost and speedup of the pure strategies
 /// (p = 500) and the hybrid strategies (large p, Random down to n_mid).
-pub fn fig5(opts: &Options) -> String {
+pub fn fig5(opts: &Options) -> Section {
     let items: usize = opts.get("items", 1000);
     let minsup: f64 = opts.get("minsup", 0.01);
     let n_user: usize = opts.get("nuser", 40);
@@ -102,12 +144,18 @@ pub fn fig5(opts: &Options) -> String {
     let pure_pages: usize = opts.get("pages", 500);
     // Paper: 50 000 pages for the hybrids. Default to 2 500 for a
     // minutes-scale run; --full restores the paper's value.
-    let hybrid_pages: usize =
-        if opts.flag("full") { 50_000 } else { opts.get("hybrid-pages", 2500) };
+    let hybrid_pages: usize = if opts.flag("full") {
+        50_000
+    } else {
+        opts.get("hybrid-pages", 2500)
+    };
     let n_mid: usize = opts.get("nmid", 200);
 
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 5 — Segmentation cost: pure and hybrid strategies\n");
+    let _ = writeln!(
+        out,
+        "## Figure 5 — Segmentation cost: pure and hybrid strategies\n"
+    );
 
     // (a) Pure strategies at p = 500.
     let kind: WorkloadKind = opts.get("workload", WorkloadKind::Regular);
@@ -129,9 +177,17 @@ pub fn fig5(opts: &Options) -> String {
         "C2 counted",
         "Loss (eq. 2)",
     ]);
+    let mut rows: Vec<SpeedupRow> = Vec::new();
     for strategy in [Strategy::Random, Strategy::Rc, Strategy::Greedy] {
         let builder = OssmBuilder::new(n_user).strategy(strategy).seed(seed);
-        let row = run_with_ossm(&store, min_support, &builder, format!("{strategy:?}"), &baseline);
+        let row = run_with_ossm(
+            &store,
+            min_support,
+            &builder,
+            format!("{strategy:?}"),
+            &baseline,
+        )
+        .stamped(format!("{kind:?}"));
         table_a.row([
             row.label.clone(),
             fmt_duration(row.segmentation_time),
@@ -139,6 +195,7 @@ pub fn fig5(opts: &Options) -> String {
             row.c2_counted.to_string(),
             row.loss.to_string(),
         ]);
+        rows.push(row);
     }
     out.push_str(&table_a.to_markdown());
 
@@ -162,9 +219,19 @@ pub fn fig5(opts: &Options) -> String {
         "C2 counted",
         "Loss (eq. 2)",
     ]);
-    for strategy in [Strategy::RandomRc { n_mid }, Strategy::RandomGreedy { n_mid }] {
+    for strategy in [
+        Strategy::RandomRc { n_mid },
+        Strategy::RandomGreedy { n_mid },
+    ] {
         let builder = OssmBuilder::new(n_user).strategy(strategy).seed(seed);
-        let row = run_with_ossm(&store, min_support, &builder, strategy_label(strategy), &baseline);
+        let row = run_with_ossm(
+            &store,
+            min_support,
+            &builder,
+            strategy_label(strategy),
+            &baseline,
+        )
+        .stamped(format!("{kind:?}"));
         table_b.row([
             row.label.clone(),
             fmt_duration(row.segmentation_time),
@@ -172,17 +239,25 @@ pub fn fig5(opts: &Options) -> String {
             row.c2_counted.to_string(),
             row.loss.to_string(),
         ]);
+        rows.push(row);
     }
     out.push_str(&table_b.to_markdown());
-    out
+    Section {
+        markdown: out,
+        rows,
+    }
 }
 
 /// Figure 6(a)/(b): segmentation cost and speedup vs bubble-list size.
 /// The bubble list is built at a 0.25 % reference threshold while queries
 /// run at 1 % — reproducing the paper's threshold-mismatch setup.
-pub fn fig6(opts: &Options) -> String {
+pub fn fig6(opts: &Options) -> Section {
     let items: usize = opts.get("items", 1000);
-    let pages: usize = if opts.flag("full") { 50_000 } else { opts.get("pages", 2500) };
+    let pages: usize = if opts.flag("full") {
+        50_000
+    } else {
+        opts.get("pages", 2500)
+    };
     let n_mid: usize = opts.get("nmid", 200);
     let n_user: usize = opts.get("nuser", 40);
     let seed: u64 = opts.get("seed", 1);
@@ -205,8 +280,11 @@ pub fn fig6(opts: &Options) -> String {
         fmt_duration(baseline.elapsed)
     );
 
-    let mut time_table =
-        Table::new(["Bubble size (% of m)", "Random-Greedy seg. time", "Random-RC seg. time"]);
+    let mut time_table = Table::new([
+        "Bubble size (% of m)",
+        "Random-Greedy seg. time",
+        "Random-RC seg. time",
+    ]);
     let mut speed_table = Table::new([
         "Bubble size (% of m)",
         "Random-Greedy speedup",
@@ -214,6 +292,7 @@ pub fn fig6(opts: &Options) -> String {
         "RG C2 counted",
         "RRC C2 counted",
     ]);
+    let mut rows: Vec<SpeedupRow> = Vec::new();
     for percent in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0] {
         let rg = run_with_ossm(
             &store,
@@ -222,9 +301,10 @@ pub fn fig6(opts: &Options) -> String {
                 .strategy(Strategy::RandomGreedy { n_mid })
                 .bubble(bubble_threshold, percent)
                 .seed(seed),
-            "Random-Greedy",
+            format!("Random-Greedy bubble {percent}%"),
             &baseline,
-        );
+        )
+        .stamped(format!("{kind:?}"));
         let rrc = run_with_ossm(
             &store,
             min_support,
@@ -232,9 +312,10 @@ pub fn fig6(opts: &Options) -> String {
                 .strategy(Strategy::RandomRc { n_mid })
                 .bubble(bubble_threshold, percent)
                 .seed(seed),
-            "Random-RC",
+            format!("Random-RC bubble {percent}%"),
             &baseline,
-        );
+        )
+        .stamped(format!("{kind:?}"));
         time_table.row([
             format!("{percent}%"),
             fmt_duration(rg.segmentation_time),
@@ -247,18 +328,22 @@ pub fn fig6(opts: &Options) -> String {
             rg.c2_counted.to_string(),
             rrc.c2_counted.to_string(),
         ]);
+        rows.extend([rg, rrc]);
     }
     let _ = writeln!(out, "### (a) Segmentation cost vs bubble-list size\n");
     out.push_str(&time_table.to_markdown());
     let _ = writeln!(out, "\n### (b) Speedup vs bubble-list size\n");
     out.push_str(&speed_table.to_markdown());
-    out
+    Section {
+        markdown: out,
+        rows,
+    }
 }
 
 /// Section 7's table: DHP with and without the OSSM (runtime and number of
 /// candidate 2-itemsets), OSSM built by Random-RC with 40 segments and the
 /// DHP hash table at 32 768 buckets.
-pub fn sec7(opts: &Options) -> String {
+pub fn sec7(opts: &Options) -> Section {
     // Defaults follow the paper's Nokia emphasis: the preliminary table's
     // small |C2| (292 -> 142) matches the ~5000-transaction, ~200-alarm
     // data set, not the 1000-item regular-synthetic one. Our alarm
@@ -283,7 +368,9 @@ pub fn sec7(opts: &Options) -> String {
     let min_support = store.dataset().absolute_threshold(minsup);
 
     let (ossm, report) = OssmBuilder::new(n_user)
-        .strategy(Strategy::RandomRc { n_mid: (pages / 2).clamp(n_user, 200) })
+        .strategy(Strategy::RandomRc {
+            n_mid: (pages / 2).clamp(n_user, 200),
+        })
         .seed(seed)
         .build(&store);
 
@@ -291,7 +378,10 @@ pub fn sec7(opts: &Options) -> String {
     let (t_plain, plain) = timed(|| dhp.mine(store.dataset(), min_support));
     let (t_ossm, with_ossm) =
         timed(|| dhp.mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm)));
-    assert_eq!(plain.patterns, with_ossm.patterns, "OSSM must not change DHP's result");
+    assert_eq!(
+        plain.patterns, with_ossm.patterns,
+        "OSSM must not change DHP's result"
+    );
 
     let mut out = String::new();
     let _ = writeln!(
@@ -317,7 +407,11 @@ pub fn sec7(opts: &Options) -> String {
         fmt_speedup(ratio(t_plain, t_ossm)),
     ]);
     out.push_str(&table.to_markdown());
-    out
+    // DHP timing doesn't flow through SpeedupRow; the markdown is the record.
+    Section {
+        markdown: out,
+        rows: Vec::new(),
+    }
 }
 
 fn strategy_label(s: Strategy) -> String {
@@ -334,9 +428,15 @@ fn strategy_label(s: Strategy) -> String {
 /// --smoke`.
 pub fn smoke_options() -> Options {
     Options::parse(
-        ["--pages=12", "--items=60", "--hybrid-pages=30", "--nmid=16", "--nuser=6"]
-            .iter()
-            .map(|s| (*s).to_owned()),
+        [
+            "--pages=12",
+            "--items=60",
+            "--hybrid-pages=30",
+            "--nmid=16",
+            "--nuser=6",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned()),
     )
 }
 
@@ -346,31 +446,38 @@ mod tests {
 
     #[test]
     fn fig4_smoke() {
-        let report = fig4(&smoke_options());
-        assert!(report.contains("Figure 4"));
-        assert!(report.contains("Speedup"));
-        assert!(report.contains("| n_user"));
+        let section = fig4(&smoke_options());
+        assert!(section.markdown.contains("Figure 4"));
+        assert!(section.markdown.contains("Speedup"));
+        assert!(section.markdown.contains("| n_user"));
+        assert!(!section.rows.is_empty());
+        for row in &section.rows {
+            assert_eq!(row.workload, "Regular", "rows must be stamped");
+            assert!(row.to_json_row().contains("\"workload\":\"Regular\""));
+        }
     }
 
     #[test]
     fn fig5_smoke() {
-        let report = fig5(&smoke_options());
-        assert!(report.contains("Pure strategies"));
-        assert!(report.contains("Hybrid strategies"));
-        assert!(report.contains("Random-Greedy"));
+        let section = fig5(&smoke_options());
+        assert!(section.markdown.contains("Pure strategies"));
+        assert!(section.markdown.contains("Hybrid strategies"));
+        assert!(section.markdown.contains("Random-Greedy"));
+        assert_eq!(section.rows.len(), 5, "3 pure + 2 hybrid strategies");
     }
 
     #[test]
     fn fig6_smoke() {
-        let report = fig6(&smoke_options());
-        assert!(report.contains("bubble"));
-        assert!(report.contains("60%"));
+        let section = fig6(&smoke_options());
+        assert!(section.markdown.contains("bubble"));
+        assert!(section.markdown.contains("60%"));
+        assert_eq!(section.rows.len(), 14, "2 strategies × 7 bubble sizes");
     }
 
     #[test]
     fn sec7_smoke() {
-        let report = sec7(&smoke_options());
-        assert!(report.contains("DHP with the OSSM"));
-        assert!(report.contains("No. of C2"));
+        let section = sec7(&smoke_options());
+        assert!(section.markdown.contains("DHP with the OSSM"));
+        assert!(section.markdown.contains("No. of C2"));
     }
 }

@@ -59,6 +59,9 @@ pub fn run_baseline_repeated(store: &PageStore, min_support: u64, repeats: u32) 
 /// One row of a speedup table.
 #[derive(Clone, Debug)]
 pub struct SpeedupRow {
+    /// Workload name ("Regular", "Skewed", "Alarm"); set via
+    /// [`Self::stamped`] so serialized rows say where they came from.
+    pub workload: String,
     /// Strategy label ("Greedy", "Random-RC", …).
     pub label: String,
     /// Final segment count of the OSSM.
@@ -123,15 +126,56 @@ pub fn measure_ossm(
     let base_c2 = baseline.outcome.metrics.candidate_2_itemsets_counted();
     let c2 = outcome.metrics.candidate_2_itemsets_counted();
     SpeedupRow {
+        workload: String::new(),
         label: label.into(),
         num_segments: ossm.num_segments(),
         segmentation_time: Duration::ZERO,
         mining_time: elapsed,
         speedup: ratio(baseline.elapsed, elapsed),
-        c2_fraction: if base_c2 == 0 { 1.0 } else { c2 as f64 / base_c2 as f64 },
+        c2_fraction: if base_c2 == 0 {
+            1.0
+        } else {
+            c2 as f64 / base_c2 as f64
+        },
         c2_counted: c2,
         loss: 0,
         memory_bytes: ossm.memory_bytes(),
+    }
+}
+
+impl SpeedupRow {
+    /// Stamps the row with its workload name.
+    pub fn stamped(mut self, workload: impl Into<String>) -> Self {
+        self.workload = workload.into();
+        self
+    }
+
+    /// One self-describing JSON object (no trailing newline): every field
+    /// is keyed, so rows from different sweeps can be concatenated into one
+    /// stream and still identify their workload, strategy, and `n_user`.
+    pub fn to_json_row(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        // JSON has no Infinity; an unmeasurably fast run serializes as null.
+        let speedup = if self.speedup.is_finite() {
+            format!("{:.4}", self.speedup)
+        } else {
+            "null".to_owned()
+        };
+        format!(
+            "{{\"type\":\"speedup\",\"workload\":\"{}\",\"strategy\":\"{}\",\
+             \"n_user\":{},\"segmentation_nanos\":{},\"mining_nanos\":{},\
+             \"speedup\":{speedup},\"c2_counted\":{},\"c2_fraction\":{:.6},\
+             \"loss\":{},\"memory_bytes\":{}}}",
+            esc(&self.workload),
+            esc(&self.label),
+            self.num_segments,
+            self.segmentation_time.as_nanos(),
+            self.mining_time.as_nanos(),
+            self.c2_counted,
+            self.c2_fraction,
+            self.loss,
+            self.memory_bytes,
+        )
     }
 }
 
@@ -157,13 +201,46 @@ mod tests {
         let min_support = store.dataset().absolute_threshold(0.02);
         let baseline = run_baseline(&store, min_support);
         let builder = OssmBuilder::new(8).strategy(Strategy::Rc);
-        let row = run_with_ossm(&store, min_support, &builder, "RC", &baseline);
+        let row = run_with_ossm(&store, min_support, &builder, "RC", &baseline).stamped("Regular");
         assert_eq!(row.label, "RC");
+        assert_eq!(row.workload, "Regular");
         assert_eq!(row.num_segments, 8);
         assert!(row.c2_fraction <= 1.0, "pruning cannot add candidates");
         assert!(row.c2_fraction >= 0.0);
         assert!(row.memory_bytes > 0);
         assert!(row.speedup.is_finite() || row.mining_time.is_zero());
+    }
+
+    #[test]
+    fn json_rows_are_self_describing() {
+        let row = SpeedupRow {
+            workload: "Skewed".into(),
+            label: "Random-RC".into(),
+            num_segments: 40,
+            segmentation_time: Duration::from_millis(3),
+            mining_time: Duration::from_millis(7),
+            speedup: 1.5,
+            c2_fraction: 0.25,
+            c2_counted: 120,
+            loss: 9,
+            memory_bytes: 4096,
+        };
+        let json = row.to_json_row();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in [
+            "\"workload\":\"Skewed\"",
+            "\"strategy\":\"Random-RC\"",
+            "\"n_user\":40",
+            "\"speedup\":1.5000",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+        // Infinite speedups must stay valid JSON.
+        let inf = SpeedupRow {
+            speedup: f64::INFINITY,
+            ..row
+        };
+        assert!(inf.to_json_row().contains("\"speedup\":null"));
     }
 
     #[test]

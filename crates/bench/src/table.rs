@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -25,7 +28,11 @@ impl Table {
     /// Panics if the cell count differs from the header's.
     pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
         self
     }

@@ -63,19 +63,34 @@ impl Workload {
 
     /// The paper-shaped regular-synthetic workload at a given page count.
     pub fn regular(pages: usize, items: usize) -> Self {
-        Workload { kind: WorkloadKind::Regular, pages, items, seed: 0x0551_2002 }
+        Workload {
+            kind: WorkloadKind::Regular,
+            pages,
+            items,
+            seed: 0x0551_2002,
+        }
     }
 
     /// The skewed-synthetic workload.
     pub fn skewed(pages: usize, items: usize) -> Self {
-        Workload { kind: WorkloadKind::Skewed, pages, items, seed: 0x5EA5 }
+        Workload {
+            kind: WorkloadKind::Skewed,
+            pages,
+            items,
+            seed: 0x5EA5,
+        }
     }
 
     /// The alarm (Nokia-substitute) workload. The paper's set is ~5000
     /// transactions over ~200 alarm types; `pages = 50`, `items = 200`
     /// matches it.
     pub fn alarm(pages: usize, items: usize) -> Self {
-        Workload { kind: WorkloadKind::Alarm, pages, items, seed: 0xA1A2_2002 }
+        Workload {
+            kind: WorkloadKind::Alarm,
+            pages,
+            items,
+            seed: 0xA1A2_2002,
+        }
     }
 
     /// Number of transactions this workload generates.
@@ -133,15 +148,30 @@ mod tests {
 
     #[test]
     fn kinds_parse() {
-        assert_eq!("regular".parse::<WorkloadKind>().unwrap(), WorkloadKind::Regular);
-        assert_eq!("nokia".parse::<WorkloadKind>().unwrap(), WorkloadKind::Alarm);
+        assert_eq!(
+            "regular".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Regular
+        );
+        assert_eq!(
+            "nokia".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Alarm
+        );
         assert!("bogus".parse::<WorkloadKind>().is_err());
     }
 
     #[test]
     fn all_kinds_generate() {
-        for kind in [WorkloadKind::Regular, WorkloadKind::Skewed, WorkloadKind::Alarm] {
-            let w = Workload { kind, pages: 3, items: 30, seed: 1 };
+        for kind in [
+            WorkloadKind::Regular,
+            WorkloadKind::Skewed,
+            WorkloadKind::Alarm,
+        ] {
+            let w = Workload {
+                kind,
+                pages: 3,
+                items: 30,
+                seed: 1,
+            };
             let s = w.store();
             assert_eq!(s.num_pages(), 3);
             assert!(s.dataset().len() == 300);

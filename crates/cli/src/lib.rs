@@ -34,6 +34,7 @@ use ossm_mining::{
     Apriori, CountingBackend, DepthProject, Dhp, FpGrowth, MiningOutcome, OssmFilter, Partition,
     StreamingApriori,
 };
+use ossm_obs::{Reporter, StatsFormat};
 
 /// Usage text printed on errors and by `ossm help`.
 pub const USAGE: &str = "\
@@ -51,7 +52,13 @@ commands:
             fpgrowth|eclat|charm|genmax|streaming] [--ossm=FILE.ossm]
             [--top=K]
   recipe    --nuser=N --pages=P [--skewed] [--cost-sensitive]
-  help";
+  help
+
+global flags:
+  --stats=table|json   append an instrumentation report (bound
+                       evaluations, pruned candidates, phase timings)
+                       to the command's output; bare --stats means
+                       --stats=table. Needs the default `obs` feature.";
 
 /// Runs a CLI invocation; returns the report to print.
 pub fn run(args: &[String]) -> Result<String, String> {
@@ -59,7 +66,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return Err("missing command".into());
     };
     let opts = Options::parse(rest.iter().cloned());
-    match command.as_str() {
+    let stats = stats_format(&opts)?;
+    if stats.is_some() {
+        // Report only what *this* invocation records.
+        ossm_obs::registry().reset();
+    }
+    let report = match command.as_str() {
         "generate" => generate(&opts),
         "pack" => pack(&opts),
         "inspect" => inspect(&opts),
@@ -68,7 +80,36 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "recipe" => recipe(&opts),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown command {other:?}")),
+    }?;
+    match stats {
+        None => Ok(report),
+        Some(format) => {
+            let snapshot = ossm_obs::registry().snapshot();
+            let rendered = Reporter::new(format).render(&snapshot);
+            if rendered.is_empty() {
+                let note = if ossm_obs::ENABLED {
+                    "-- stats: nothing recorded --\n"
+                } else {
+                    "-- stats: instrumentation compiled out (rebuild with the `obs` feature) --\n"
+                };
+                Ok(format!("{report}{note}"))
+            } else if format == StatsFormat::Table {
+                Ok(format!("{report}\n-- stats --\n{rendered}"))
+            } else {
+                Ok(format!("{report}{rendered}"))
+            }
+        }
     }
+}
+
+/// Resolves the `--stats` flag: `--stats=table|json`, or bare `--stats`
+/// for the table format. `None` when absent.
+fn stats_format(opts: &Options) -> Result<Option<StatsFormat>, String> {
+    let value: String = opts.get("stats", String::new());
+    if !value.is_empty() {
+        return value.parse().map(Some);
+    }
+    Ok(opts.flag("stats").then_some(StatsFormat::Table))
 }
 
 fn required(opts: &Options, key: &str) -> Result<String, String> {
@@ -95,8 +136,13 @@ fn generate(opts: &Options) -> Result<String, String> {
             ..QuestConfig::default()
         }
         .generate(),
-        "skewed" => SkewedConfig { num_transactions: n, num_items: m, seed, ..Default::default() }
-            .generate(),
+        "skewed" => SkewedConfig {
+            num_transactions: n,
+            num_items: m,
+            seed,
+            ..Default::default()
+        }
+        .generate(),
         "alarm" | "nokia" => AlarmConfig {
             num_windows: n,
             num_alarm_types: m,
@@ -255,10 +301,9 @@ fn mine(opts: &Options) -> Result<String, String> {
         if classify(&input)? != FileKind::Paged {
             return Err("--algo=streaming needs a paged input (see `ossm pack`)".into());
         }
-        let mut store = DiskStore::open(&input, opts.get("pool-pages", 64))
-            .map_err(|e| e.to_string())?;
-        let min_support =
-            ((minsup * store.num_transactions() as f64).ceil() as u64).max(1);
+        let mut store =
+            DiskStore::open(&input, opts.get("pool-pages", 64)).map_err(|e| e.to_string())?;
+        let min_support = ((minsup * store.num_transactions() as f64).ceil() as u64).max(1);
         let out = StreamingApriori::new()
             .mine(&mut store, min_support, ossm.as_ref())
             .map_err(|e| e.to_string())?;
@@ -280,16 +325,16 @@ fn mine(opts: &Options) -> Result<String, String> {
         ("apriori", Some(map)) => Apriori::new()
             .with_backend(CountingBackend::HashTree)
             .mine_filtered(&dataset, min_support, &OssmFilter::new(map)),
-        ("apriori", None) => {
-            Apriori::new().with_backend(CountingBackend::HashTree).mine(&dataset, min_support)
-        }
+        ("apriori", None) => Apriori::new()
+            .with_backend(CountingBackend::HashTree)
+            .mine(&dataset, min_support),
         ("dhp", Some(map)) => {
             Dhp::default().mine_filtered(&dataset, min_support, &OssmFilter::new(map))
         }
         ("dhp", None) => Dhp::default().mine(&dataset, min_support),
-        ("partition", _) => {
-            Partition::new(opts.get("partitions", 4)).parallel().mine(&dataset, min_support)
-        }
+        ("partition", _) => Partition::new(opts.get("partitions", 4))
+            .parallel()
+            .mine(&dataset, min_support),
         ("depth", Some(map)) => {
             DepthProject::new().mine_filtered(&dataset, min_support, &OssmFilter::new(map))
         }
@@ -359,7 +404,8 @@ fn classify(path: &Path) -> Result<FileKind, String> {
     let mut f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut magic = [0u8; 8];
     use std::io::Read as _;
-    f.read_exact(&mut magic).map_err(|e| format!("{}: {e}", path.display()))?;
+    f.read_exact(&mut magic)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
     match &magic {
         b"OSSMDATA" => Ok(FileKind::Flat),
         b"OSSMPAGE" => Ok(FileKind::Paged),
@@ -369,9 +415,7 @@ fn classify(path: &Path) -> Result<FileKind, String> {
 
 fn load_dataset(path: &Path) -> Result<Dataset, String> {
     match classify(path)? {
-        FileKind::Flat => {
-            ossm_data::io::load(path).map_err(|e| format!("{}: {e}", path.display()))
-        }
+        FileKind::Flat => ossm_data::io::load(path).map_err(|e| format!("{}: {e}", path.display())),
         FileKind::Paged => {
             let mut store = DiskStore::open(path, 16).map_err(|e| e.to_string())?;
             store.to_dataset().map_err(|e| e.to_string())
@@ -483,14 +527,96 @@ mod tests {
                 "--minsup=0.02",
                 &format!("--algo={algo}"),
             ]);
-            out.lines().next().unwrap_or("").split(' ').nth(1).unwrap_or("").to_owned()
+            out.lines()
+                .next()
+                .unwrap_or("")
+                .split(' ')
+                .nth(1)
+                .unwrap_or("")
+                .to_owned()
         };
         let reference = count_of("apriori");
-        assert!(reference.parse::<u64>().is_ok(), "expected a count, got {reference:?}");
+        assert!(
+            reference.parse::<u64>().is_ok(),
+            "expected a count, got {reference:?}"
+        );
         for algo in ["dhp", "partition", "depth", "fpgrowth", "eclat"] {
             assert_eq!(count_of(algo), reference, "{algo} disagrees");
         }
         std::fs::remove_file(db).ok();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn stats_table_reports_nonzero_instrumentation() {
+        let db = tmp("stats.db");
+        let pages = tmp("stats.pages");
+        let db_s = db.to_str().unwrap();
+        let pages_s = pages.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--kind=regular",
+            "--transactions=1500",
+            "--items=60",
+            &format!("--out={db_s}"),
+        ]);
+        run_ok(&["pack", &format!("--in={db_s}"), &format!("--out={pages_s}")]);
+
+        let s = run_ok(&[
+            "segment",
+            &format!("--in={pages_s}"),
+            "--nuser=5",
+            "--strategy=greedy",
+            "--stats=table",
+        ]);
+        assert!(s.contains("-- stats --"), "{s}");
+        assert!(s.contains("core.seg.greedy.merges"), "{s}");
+        assert!(s.contains("core.build.segment"), "{s}");
+
+        let m = run_ok(&[
+            "mine",
+            &format!("--in={db_s}"),
+            "--minsup=0.02",
+            "--stats", // bare flag defaults to the table format
+        ]);
+        assert!(m.contains("mining.apriori.level2.generated"), "{m}");
+
+        for f in [db, pages] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn stats_json_lines_are_machine_parseable() {
+        let db = tmp("stats-json.db");
+        let db_s = db.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--kind=skewed",
+            "--transactions=800",
+            "--items=40",
+            &format!("--out={db_s}"),
+        ]);
+        let m = run_ok(&[
+            "mine",
+            &format!("--in={db_s}"),
+            "--minsup=0.05",
+            "--stats=json",
+        ]);
+        let json_lines: Vec<&str> = m.lines().filter(|l| l.starts_with('{')).collect();
+        assert!(!json_lines.is_empty(), "{m}");
+        for line in json_lines {
+            assert!(line.ends_with('}'), "{line}");
+            assert!(line.contains(r#""type":"#), "{line}");
+            assert!(line.contains(r#""name":"#), "{line}");
+        }
+        std::fs::remove_file(db).ok();
+    }
+
+    #[test]
+    fn stats_rejects_unknown_formats() {
+        assert!(run(&["help".to_owned(), "--stats=xml".to_owned()]).is_err());
     }
 
     #[test]

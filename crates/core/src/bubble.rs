@@ -43,7 +43,10 @@ impl BubbleList {
         });
         ranked.truncate(size);
         ranked.sort_unstable();
-        BubbleList { items: ranked, threshold }
+        BubbleList {
+            items: ranked,
+            threshold,
+        }
     }
 
     /// Builds the list from a page store's total supports.
@@ -54,7 +57,10 @@ impl BubbleList {
     /// Selects a list sized as a percentage of the domain (the x-axis of
     /// Figure 6).
     pub fn with_percentage(global_supports: &[u64], threshold: u64, percent: f64) -> Self {
-        assert!((0.0..=100.0).contains(&percent), "percentage must be in [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "percentage must be in [0, 100]"
+        );
         let size = ((global_supports.len() as f64) * percent / 100.0).round() as usize;
         Self::select(global_supports, threshold, size)
     }
@@ -115,7 +121,11 @@ mod tests {
         let supports = [5, 6, 7];
         assert!(BubbleList::select(&supports, 6, 0).is_empty());
         let full = BubbleList::select(&supports, 6, 10);
-        assert_eq!(full.items(), &[0, 1, 2], "oversized request clamps to the domain");
+        assert_eq!(
+            full.items(),
+            &[0, 1, 2],
+            "oversized request clamps to the domain"
+        );
     }
 
     #[test]

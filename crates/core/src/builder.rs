@@ -154,14 +154,23 @@ impl OssmBuilder {
 
     /// Like [`Self::build`], also returning the page-level segmentation.
     pub fn build_with_segmentation(&self, store: &PageStore) -> (Ossm, Segmentation, BuildReport) {
-        assert!(store.num_pages() > 0, "cannot build an OSSM over zero pages");
+        assert!(
+            store.num_pages() > 0,
+            "cannot build an OSSM over zero pages"
+        );
         let start = Instant::now();
-        let inputs = Aggregate::from_pages(store);
+        let inputs = {
+            let _span = ossm_obs::phase("core.build.aggregate");
+            Aggregate::from_pages(store)
+        };
 
-        let bubble = self.bubble.map(|(frac, percent)| {
-            let threshold = store.dataset().absolute_threshold(frac);
-            BubbleList::with_percentage(&store.total_supports(), threshold, percent)
-        });
+        let bubble = {
+            let _span = ossm_obs::phase("core.build.bubble");
+            self.bubble.map(|(frac, percent)| {
+                let threshold = store.dataset().absolute_threshold(frac);
+                BubbleList::with_percentage(&store.total_supports(), threshold, percent)
+            })
+        };
         let calc = match &bubble {
             Some(b) if !b.is_empty() => b.loss_calculator(),
             _ => LossCalculator::all_items(),
@@ -169,6 +178,7 @@ impl OssmBuilder {
 
         // Lemma 1 pre-pass: merge equal-configuration pages for free.
         let (work_inputs, prepass) = if self.lossless_prepass {
+            let _span = ossm_obs::phase("core.build.prepass");
             let pre = group_by_configuration(&inputs);
             let merged = pre.merge_aggregates(&inputs);
             (merged, Some(pre))
@@ -185,7 +195,10 @@ impl OssmBuilder {
                 Box::new(random_greedy(calc.clone(), n_mid, self.seed))
             }
         };
-        let inner = algorithm.segment(&work_inputs, self.n_user);
+        let inner = {
+            let _span = ossm_obs::phase("core.build.segment");
+            algorithm.segment(&work_inputs, self.n_user)
+        };
         let segmentation = match prepass {
             Some(pre) => pre.compose(&inner),
             None => inner,
@@ -193,8 +206,10 @@ impl OssmBuilder {
         let segmentation_time = start.elapsed();
 
         let ossm = Ossm::from_pages(store, &segmentation);
-        let total_loss =
-            LossCalculator::all_items().segmentation_loss(&inputs, &segmentation);
+        let total_loss = {
+            let _span = ossm_obs::phase("core.build.loss");
+            LossCalculator::all_items().segmentation_loss(&inputs, &segmentation)
+        };
         let report = BuildReport {
             algorithm: algorithm.name(),
             num_pages: store.num_pages(),
@@ -215,8 +230,12 @@ mod tests {
 
     fn store() -> PageStore {
         PageStore::with_page_count(
-            QuestConfig { num_transactions: 600, num_items: 40, ..QuestConfig::small() }
-                .generate(),
+            QuestConfig {
+                num_transactions: 600,
+                num_items: 40,
+                ..QuestConfig::small()
+            }
+            .generate(),
             30,
         )
     }
@@ -279,8 +298,14 @@ mod tests {
     #[test]
     fn strategy_from_recommendation_roundtrip() {
         use crate::recipe::RecommendedStrategy as R;
-        assert_eq!(Strategy::from_recommendation(R::Random, 9), Strategy::Random);
-        assert_eq!(Strategy::from_recommendation(R::GreedyWithBubble, 9), Strategy::Greedy);
+        assert_eq!(
+            Strategy::from_recommendation(R::Random, 9),
+            Strategy::Random
+        );
+        assert_eq!(
+            Strategy::from_recommendation(R::GreedyWithBubble, 9),
+            Strategy::Greedy
+        );
         assert_eq!(
             Strategy::from_recommendation(R::RandomRcWithBubble, 9),
             Strategy::RandomRc { n_mid: 9 }
@@ -294,7 +319,9 @@ mod tests {
     #[test]
     fn report_names_match_strategy() {
         let s = store();
-        let (_, r) = OssmBuilder::new(4).strategy(Strategy::RandomRc { n_mid: 10 }).build(&s);
+        let (_, r) = OssmBuilder::new(4)
+            .strategy(Strategy::RandomRc { n_mid: 10 })
+            .build(&s);
         assert_eq!(r.algorithm, "Random-RC");
     }
 }

@@ -98,8 +98,11 @@ pub enum TransactionConfigKey {
 impl TransactionConfigKey {
     /// Computes the key for a transaction over the domain `0..m`.
     pub fn of(t: &Itemset, _m: usize) -> Self {
-        let is_prefix =
-            t.items().iter().enumerate().all(|(pos, item)| item.index() == pos);
+        let is_prefix = t
+            .items()
+            .iter()
+            .enumerate()
+            .all(|(pos, item)| item.index() == pos);
         if is_prefix {
             TransactionConfigKey::CanonicalPrefix
         } else {
@@ -131,7 +134,7 @@ pub fn enumerate_transaction_configurations(m: usize) -> Vec<Configuration> {
     let mut seen = std::collections::BTreeSet::new();
     for mask in 1u32..(1u32 << m) {
         let items: Vec<u32> = (0..m as u32).filter(|&i| mask & (1 << i) != 0).collect();
-        let t = Itemset::new(items.into_iter());
+        let t = Itemset::new(items);
         seen.insert(Configuration::of_transaction(&t, m));
     }
     seen.into_iter().collect()
@@ -182,7 +185,14 @@ mod tests {
     #[test]
     fn transaction_config_matches_support_config() {
         // of_transaction must agree with of_supports on the indicator vector.
-        for items in [vec![], vec![0], vec![2], vec![0, 1], vec![1, 3], vec![0, 1, 2, 3, 4]] {
+        for items in [
+            vec![],
+            vec![0],
+            vec![2],
+            vec![0, 1],
+            vec![1, 3],
+            vec![0, 1, 2, 3, 4],
+        ] {
             let t = set(&items.iter().map(|&i| i as u32).collect::<Vec<_>>());
             let mut indicator = vec![0u64; 5];
             for i in t.items() {
@@ -214,14 +224,17 @@ mod tests {
         // configuration.
         let m = 5;
         let sets: Vec<Itemset> = (1u32..(1 << m))
-            .map(|mask| set(&(0..m as u32).filter(|&i| mask & (1 << i) != 0).collect::<Vec<_>>()))
+            .map(|mask| {
+                set(&(0..m as u32)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .collect::<Vec<_>>())
+            })
             .collect();
         for a in &sets {
             for b in &sets {
-                let same_cfg = Configuration::of_transaction(a, m)
-                    == Configuration::of_transaction(b, m);
-                let same_key =
-                    TransactionConfigKey::of(a, m) == TransactionConfigKey::of(b, m);
+                let same_cfg =
+                    Configuration::of_transaction(a, m) == Configuration::of_transaction(b, m);
+                let same_key = TransactionConfigKey::of(a, m) == TransactionConfigKey::of(b, m);
                 assert_eq!(same_cfg, same_key, "disagreement for {a} vs {b}");
             }
         }
@@ -243,7 +256,11 @@ mod tests {
         assert_eq!(max_configurations(3), 5);
         assert_eq!(max_configurations(63), (1u64 << 63) - 63);
         assert_eq!(max_configurations(64), u64::MAX);
-        assert_eq!(max_configurations(1000), u64::MAX, "saturates for paper-scale m");
+        assert_eq!(
+            max_configurations(1000),
+            u64::MAX,
+            "saturates for paper-scale m"
+        );
     }
 
     #[test]
@@ -251,7 +268,11 @@ mod tests {
         let sup = [3, 7, 3];
         use std::cmp::Ordering::*;
         assert_eq!(canonical_item_cmp(&sup, ItemId(1), ItemId(0)), Less);
-        assert_eq!(canonical_item_cmp(&sup, ItemId(0), ItemId(2)), Less, "tie → smaller id first");
+        assert_eq!(
+            canonical_item_cmp(&sup, ItemId(0), ItemId(2)),
+            Less,
+            "tie → smaller id first"
+        );
         assert_eq!(canonical_item_cmp(&sup, ItemId(2), ItemId(0)), Greater);
         assert_eq!(canonical_item_cmp(&sup, ItemId(1), ItemId(1)), Equal);
     }

@@ -163,10 +163,8 @@ mod tests {
     #[test]
     fn bound_is_never_looser_than_base_and_still_sound() {
         let s = store();
-        let seg = Segmentation::from_groups(
-            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]],
-            8,
-        );
+        let seg =
+            Segmentation::from_groups(vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]], 8);
         let bubble = BubbleList::from_store(&s, s.dataset().absolute_threshold(0.05), 6);
         let g = GeneralizedOssm::from_pages(&s, &seg, bubble_pairs(&bubble));
         for a in 0..10u32 {
@@ -194,7 +192,11 @@ mod tests {
         let base_only = GeneralizedOssm::from_pages(&s, &seg, vec![]);
         let tracked = GeneralizedOssm::from_pages(&s, &seg, vec![set(&[0, 1])]);
         let triple = set(&[0, 1, 2]);
-        assert_eq!(base_only.upper_bound(&triple), 2, "singletons cannot see the exclusion");
+        assert_eq!(
+            base_only.upper_bound(&triple),
+            2,
+            "singletons cannot see the exclusion"
+        );
         assert_eq!(tracked.upper_bound(&triple), 0, "the tracked pair can");
         assert!(tracked.prunes(&triple, 1));
     }
@@ -203,11 +205,8 @@ mod tests {
     fn singletons_and_empty_sets_are_not_tracked() {
         let s = store();
         let seg = Segmentation::identity(8);
-        let g = GeneralizedOssm::from_pages(
-            &s,
-            &seg,
-            vec![Itemset::empty(), set(&[3]), set(&[1, 2])],
-        );
+        let g =
+            GeneralizedOssm::from_pages(&s, &seg, vec![Itemset::empty(), set(&[3]), set(&[1, 2])]);
         assert_eq!(g.num_tracked(), 1, "only the pair survives");
         assert_eq!(g.upper_bound(&Itemset::empty()), s.dataset().len() as u64);
     }

@@ -37,7 +37,12 @@ impl IncrementalOssm {
     /// Panics if `max_segments == 0`.
     pub fn new(max_segments: usize, calc: LossCalculator) -> Self {
         assert!(max_segments > 0, "an OSSM needs at least one segment");
-        IncrementalOssm { segments: Vec::new(), max_segments, calc, appended_pages: 0 }
+        IncrementalOssm {
+            segments: Vec::new(),
+            max_segments,
+            calc,
+            appended_pages: 0,
+        }
     }
 
     /// Seeds the map from an already-built OSSM (e.g. from
@@ -145,7 +150,7 @@ mod tests {
         let mut inc = IncrementalOssm::new(2, LossCalculator::all_items());
         inc.append_aggregate(Aggregate::new(vec![10, 1], 10)); // config (0,1)
         inc.append_aggregate(Aggregate::new(vec![1, 10], 10)); // config (1,0)
-        // A new (0,1)-shaped page must fold into segment 0 (zero loss).
+                                                               // A new (0,1)-shaped page must fold into segment 0 (zero loss).
         inc.append_aggregate(Aggregate::new(vec![6, 2], 6));
         let snap = inc.snapshot();
         assert_eq!(snap.segments()[0].supports(), &[16, 3]);
@@ -157,15 +162,22 @@ mod tests {
         // Stream a seasonal dataset page by page; at every checkpoint the
         // snapshot's bound must dominate the true support of the data seen
         // so far.
-        let d = SkewedConfig { num_transactions: 600, num_items: 12, ..SkewedConfig::small() }
-            .generate();
+        let d = SkewedConfig {
+            num_transactions: 600,
+            num_items: 12,
+            ..SkewedConfig::small()
+        }
+        .generate();
         let mut inc = IncrementalOssm::new(5, LossCalculator::all_items());
         let chunk = 50;
         let probe = set(&[0, 1]);
         let probe2 = set(&[2, 5, 7]);
         for (i, chunk_tx) in d.transactions().chunks(chunk).enumerate() {
             inc.append_transactions(12, chunk_tx);
-            let seen = Dataset::new(12, d.transactions()[..(i + 1) * chunk.min(d.len())].to_vec());
+            let seen = Dataset::new(
+                12,
+                d.transactions()[..(i + 1) * chunk.min(d.len())].to_vec(),
+            );
             let snap = inc.snapshot();
             assert!(snap.upper_bound(&probe) >= seen.support(&probe));
             assert!(snap.upper_bound(&probe2) >= seen.support(&probe2));
@@ -175,8 +187,12 @@ mod tests {
 
     #[test]
     fn seeding_from_built_ossm_extends_it() {
-        let d = SkewedConfig { num_transactions: 400, num_items: 10, ..SkewedConfig::small() }
-            .generate();
+        let d = SkewedConfig {
+            num_transactions: 400,
+            num_items: 10,
+            ..SkewedConfig::small()
+        }
+        .generate();
         let store = ossm_data::PageStore::with_page_count(d, 8);
         let (ossm, _) = crate::builder::OssmBuilder::new(4).build(&store);
         let mut inc = IncrementalOssm::from_ossm(&ossm, 4, LossCalculator::all_items());
@@ -200,8 +216,12 @@ mod tests {
         // Streaming assignment loses at most what the Random builder loses
         // is not guaranteed — but it should never be catastrophically worse
         // than putting everything in one segment.
-        let d = SkewedConfig { num_transactions: 800, num_items: 15, ..SkewedConfig::small() }
-            .generate();
+        let d = SkewedConfig {
+            num_transactions: 800,
+            num_items: 15,
+            ..SkewedConfig::small()
+        }
+        .generate();
         let store = ossm_data::PageStore::with_page_count(d, 16);
         let calc = LossCalculator::all_items();
         let mut inc = IncrementalOssm::new(4, calc);

@@ -47,10 +47,10 @@ pub mod ssm;
 pub mod variability;
 
 pub use bubble::BubbleList;
-pub use generalized::GeneralizedOssm;
-pub use incremental::IncrementalOssm;
 pub use builder::{BuildReport, OssmBuilder, Strategy};
 pub use config::Configuration;
+pub use generalized::GeneralizedOssm;
+pub use incremental::IncrementalOssm;
 pub use loss::LossCalculator;
 pub use minimize::{minimize_segments, theorem1_bound, SegmentMinimization};
 pub use recipe::{recommend, ApplicationProfile, RecommendedStrategy};

@@ -39,7 +39,11 @@ pub fn pair_min_sum(w: &[u64]) -> u64 {
     let mut sorted = w.to_vec();
     sorted.sort_unstable();
     let m = sorted.len();
-    sorted.iter().enumerate().map(|(i, &v)| v * (m - 1 - i) as u64).sum()
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v * (m - 1 - i) as u64)
+        .sum()
 }
 
 /// Evaluates `f` and merge losses, optionally restricted to a bubble list.
@@ -55,12 +59,18 @@ pub struct LossCalculator {
 impl LossCalculator {
     /// A calculator summing over all item pairs (no bubble list).
     pub fn all_items() -> Self {
-        LossCalculator { scope: None, naive: false }
+        LossCalculator {
+            scope: None,
+            naive: false,
+        }
     }
 
     /// A calculator restricted to the given item ids (the bubble list).
     pub fn scoped(items: Vec<u32>) -> Self {
-        LossCalculator { scope: Some(items), naive: false }
+        LossCalculator {
+            scope: Some(items),
+            naive: false,
+        }
     }
 
     /// Switches to the paper's O(m²) evaluation. Same results, slower; kept
@@ -99,8 +109,12 @@ impl LossCalculator {
     pub fn merge_loss(&self, a: &Aggregate, b: &Aggregate) -> u64 {
         let fa = self.pair_min_sum(a.supports());
         let fb = self.pair_min_sum(b.supports());
-        let sum: Vec<u64> =
-            a.supports().iter().zip(b.supports()).map(|(x, y)| x + y).collect();
+        let sum: Vec<u64> = a
+            .supports()
+            .iter()
+            .zip(b.supports())
+            .map(|(x, y)| x + y)
+            .collect();
         let fsum = self.pair_min_sum(&sum);
         fsum - fa - fb
     }
@@ -160,7 +174,13 @@ mod tests {
         assert_eq!(pair_min_sum_naive(&[7]), 0);
         assert_eq!(pair_min_sum_naive(&[3, 5]), 3);
         assert_eq!(pair_min_sum_naive(&[3, 5, 1]), 1 + 1 + 3);
-        for w in [&[][..], &[7][..], &[3, 5][..], &[3, 5, 1][..], &[4, 4, 4][..]] {
+        for w in [
+            &[][..],
+            &[7][..],
+            &[3, 5][..],
+            &[3, 5, 1][..],
+            &[4, 4, 4][..],
+        ] {
             assert_eq!(pair_min_sum(w), pair_min_sum_naive(w), "w = {w:?}");
         }
     }
@@ -188,7 +208,10 @@ mod tests {
     fn lemma_2a_same_configuration_zero_loss() {
         let calc = LossCalculator::all_items();
         assert_eq!(calc.merge_loss(&agg(&[5, 3, 1]), &agg(&[8, 6, 2])), 0);
-        assert_eq!(calc.set_loss([&agg(&[5, 3, 1]), &agg(&[8, 6, 2]), &agg(&[2, 1, 0])]), 0);
+        assert_eq!(
+            calc.set_loss([&agg(&[5, 3, 1]), &agg(&[8, 6, 2]), &agg(&[2, 1, 0])]),
+            0
+        );
     }
 
     #[test]
@@ -252,7 +275,10 @@ mod tests {
         let seg = Segmentation::from_groups(vec![vec![0, 1], vec![2]], 3);
         assert_eq!(calc.segmentation_loss(&inputs, &seg), 4);
         // Identity loses nothing.
-        assert_eq!(calc.segmentation_loss(&inputs, &Segmentation::identity(3)), 0);
+        assert_eq!(
+            calc.segmentation_loss(&inputs, &Segmentation::identity(3)),
+            0
+        );
         // Grouping the two same-configuration segments loses nothing.
         let good = Segmentation::from_groups(vec![vec![0, 2], vec![1]], 3);
         assert_eq!(calc.segmentation_loss(&inputs, &good), 0);

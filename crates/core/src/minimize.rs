@@ -44,7 +44,11 @@ impl SegmentMinimization {
     /// Panics if `dataset` is not the collection this minimization was
     /// computed from (length mismatch).
     pub fn rearranged_dataset(&self, dataset: &Dataset) -> Dataset {
-        assert_eq!(dataset.len(), self.assignment.len(), "dataset does not match assignment");
+        assert_eq!(
+            dataset.len(),
+            self.assignment.len(),
+            "dataset does not match assignment"
+        );
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         order.sort_by_key(|&i| (self.assignment[i], i));
         dataset.reordered(&order)
@@ -61,7 +65,10 @@ impl SegmentMinimization {
 /// # Panics
 /// Panics if the dataset is empty (an OSSM needs at least one segment).
 pub fn minimize_segments(dataset: &Dataset) -> SegmentMinimization {
-    assert!(!dataset.is_empty(), "cannot build an OSSM over zero transactions");
+    assert!(
+        !dataset.is_empty(),
+        "cannot build an OSSM over zero transactions"
+    );
     let m = dataset.num_items();
     let mut ids: HashMap<TransactionConfigKey, usize> = HashMap::new();
     let mut assignment = Vec::with_capacity(dataset.len());
@@ -73,7 +80,11 @@ pub fn minimize_segments(dataset: &Dataset) -> SegmentMinimization {
     }
     let num_segments = ids.len();
     let ossm = Ossm::from_transaction_assignment(dataset, &assignment, num_segments);
-    SegmentMinimization { assignment, num_segments, ossm }
+    SegmentMinimization {
+        assignment,
+        num_segments,
+        ossm,
+    }
 }
 
 /// Theorem 1's general-case value of `n_min`: `min(|T|, 2^m − m)`,
@@ -123,7 +134,7 @@ pub fn exactness_violations(ossm: &Ossm, dataset: &Dataset) -> Vec<Itemset> {
     let mut violations = Vec::new();
     for mask in 1u32..(1u32 << m) {
         let items: Vec<u32> = (0..m as u32).filter(|&i| mask & (1 << i) != 0).collect();
-        let x = Itemset::new(items.into_iter());
+        let x = Itemset::new(items);
         let ub = ossm.upper_bound(&x);
         let actual = dataset.support(&x);
         debug_assert!(ub >= actual, "bound must never undercount");
@@ -147,7 +158,7 @@ pub fn relative_violations(coarse: &Ossm, fine: &Ossm) -> Vec<Itemset> {
     let mut violations = Vec::new();
     for mask in 1u32..(1u32 << m) {
         let items: Vec<u32> = (0..m as u32).filter(|&i| mask & (1 << i) != 0).collect();
-        let x = Itemset::new(items.into_iter());
+        let x = Itemset::new(items);
         if coarse.upper_bound(&x) > fine.upper_bound(&x) {
             violations.push(x);
         }
@@ -169,7 +180,14 @@ mod tests {
     fn example_2_dataset() -> Dataset {
         Dataset::new(
             2,
-            vec![set(&[0]), set(&[0, 1]), set(&[0]), set(&[0]), set(&[1]), set(&[1])],
+            vec![
+                set(&[0]),
+                set(&[0, 1]),
+                set(&[0]),
+                set(&[0]),
+                set(&[1]),
+                set(&[1]),
+            ],
         )
     }
 
@@ -219,8 +237,16 @@ mod tests {
     #[test]
     fn theorem1_bound_takes_the_minimum() {
         assert_eq!(theorem1_bound(10, 2), 2, "2^2 − 2 = 2 < 10");
-        assert_eq!(theorem1_bound(3, 10), 3, "fewer transactions than configurations");
-        assert_eq!(theorem1_bound(1_000_000, 1000), 1_000_000, "2^1000 − 1000 saturates");
+        assert_eq!(
+            theorem1_bound(3, 10),
+            3,
+            "fewer transactions than configurations"
+        );
+        assert_eq!(
+            theorem1_bound(1_000_000, 1000),
+            1_000_000,
+            "2^1000 − 1000 saturates"
+        );
     }
 
     #[test]
@@ -260,7 +286,11 @@ mod tests {
         for mask in 1u32..8 {
             let items: Vec<u32> = (0..3).filter(|&i| mask & (1 << i) != 0).collect();
             let x = set(&items);
-            assert_eq!(separate.upper_bound(&x), merged.upper_bound(&x), "itemset {x}");
+            assert_eq!(
+                separate.upper_bound(&x),
+                merged.upper_bound(&x),
+                "itemset {x}"
+            );
         }
     }
 

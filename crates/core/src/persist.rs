@@ -103,8 +103,12 @@ mod tests {
     use ossm_data::PageStore;
 
     fn sample_ossm() -> Ossm {
-        let d = QuestConfig { num_transactions: 300, num_items: 25, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 300,
+            num_items: 25,
+            ..QuestConfig::small()
+        }
+        .generate();
         let store = PageStore::with_page_count(d, 12);
         OssmBuilder::new(5).build(&store).0
     }

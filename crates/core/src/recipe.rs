@@ -121,7 +121,10 @@ pub fn auto_strategy(
     segmentation_cost_an_issue: bool,
 ) -> crate::builder::Strategy {
     let profile = auto_profile(store, n_user, segmentation_cost_an_issue);
-    let n_mid = (4 * n_user).max(100).min(store.num_pages().max(1)).max(n_user);
+    let n_mid = (4 * n_user)
+        .max(100)
+        .min(store.num_pages().max(1))
+        .max(n_user);
     crate::builder::Strategy::from_recommendation(recommend(profile), n_mid)
 }
 
@@ -145,8 +148,14 @@ mod tests {
 
     #[test]
     fn skewed_and_roomy_takes_random() {
-        assert_eq!(recommend(profile(true, true, true, true)), RecommendedStrategy::Random);
-        assert_eq!(recommend(profile(true, true, false, false)), RecommendedStrategy::Random);
+        assert_eq!(
+            recommend(profile(true, true, true, true)),
+            RecommendedStrategy::Random
+        );
+        assert_eq!(
+            recommend(profile(true, true, false, false)),
+            RecommendedStrategy::Random
+        );
     }
 
     #[test]
@@ -201,9 +210,12 @@ mod tests {
             RecommendedStrategy::Random,
             "skewed + roomy should land on Random"
         );
-        let regular =
-            QuestConfig { num_transactions: 2000, num_items: 60, ..QuestConfig::small() }
-                .generate();
+        let regular = QuestConfig {
+            num_transactions: 2000,
+            num_items: 60,
+            ..QuestConfig::small()
+        }
+        .generate();
         let store = PageStore::with_page_count(regular, 20);
         assert!(!auto_profile(&store, 150, false).skewed_data);
     }
@@ -213,13 +225,17 @@ mod tests {
         use crate::builder::{OssmBuilder, Strategy};
         use ossm_data::gen::QuestConfig;
         use ossm_data::PageStore;
-        let d = QuestConfig { num_transactions: 1500, num_items: 40, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 1500,
+            num_items: 40,
+            ..QuestConfig::small()
+        }
+        .generate();
         let store = PageStore::with_page_count(d, 30);
         for cost_sensitive in [false, true] {
             let strategy = auto_strategy(&store, 6, cost_sensitive);
             if let Strategy::RandomRc { n_mid } | Strategy::RandomGreedy { n_mid } = strategy {
-                assert!(n_mid >= 6 && n_mid <= 30, "n_mid {n_mid} out of range");
+                assert!((6..=30).contains(&n_mid), "n_mid {n_mid} out of range");
             }
             let (ossm, _) = OssmBuilder::new(6).strategy(strategy).build(&store);
             assert_eq!(ossm.num_segments(), 6);

@@ -21,6 +21,15 @@ use crate::segmentation::{Aggregate, Segmentation};
 
 use super::{trivial, validate, SegmentationAlgorithm};
 
+/// Pair merges performed by Greedy.
+static MERGES: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.greedy.merges");
+/// Equation-(2) merge-loss evaluations (initial pairs + recomputations).
+static LOSS_EVALS: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.greedy.loss_evals");
+/// Entries pushed into the priority queue.
+static HEAP_PUSHES: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.greedy.heap_pushes");
+/// Lazily-deleted (stale) entries skipped at pop time.
+static STALE_POPS: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.greedy.stale_pops");
+
 /// Greedy minimal-loss-pair segmentation.
 #[derive(Clone, Debug)]
 pub struct Greedy {
@@ -52,8 +61,11 @@ impl SegmentationAlgorithm for Greedy {
         }
         // Slab of segments by id; `None` = merged away. Ids only grow, so a
         // heap entry is stale iff either of its ids is dead.
-        let mut slab: Vec<Option<(Aggregate, Vec<usize>)>> =
-            inputs.iter().enumerate().map(|(i, a)| Some((a.clone(), vec![i]))).collect();
+        let mut slab: Vec<Option<(Aggregate, Vec<usize>)>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| Some((a.clone(), vec![i])))
+            .collect();
         let mut alive = slab.len();
 
         // Step 1: all initial pairwise losses. Min-heap via Reverse; ties
@@ -62,7 +74,9 @@ impl SegmentationAlgorithm for Greedy {
         for a in 0..inputs.len() {
             for b in (a + 1)..inputs.len() {
                 let loss = self.calc.merge_loss(&inputs[a], &inputs[b]);
+                LOSS_EVALS.incr();
                 heap.push(Reverse((loss, a, b)));
+                HEAP_PUSHES.incr();
             }
         }
 
@@ -70,6 +84,7 @@ impl SegmentationAlgorithm for Greedy {
         while alive > n_user {
             let Reverse((_, a, b)) = heap.pop().expect("heap cannot drain before n_user");
             if slab[a].is_none() || slab[b].is_none() {
+                STALE_POPS.incr();
                 continue; // lazy deletion: a stale pair
             }
             // Steps 4–5: merge S_a and S_b into a fresh segment.
@@ -80,6 +95,7 @@ impl SegmentationAlgorithm for Greedy {
             grp_a.append(&mut grp_b);
             let new_id = slab.len();
             alive -= 1; // two died, one born
+            MERGES.incr();
             // Step 6: losses of the new segment against all survivors.
             if alive > n_user {
                 // (No point pushing pairs we will never pop once the target
@@ -87,15 +103,16 @@ impl SegmentationAlgorithm for Greedy {
                 for (id, entry) in slab.iter().enumerate() {
                     if let Some((agg, _)) = entry {
                         let loss = self.calc.merge_loss(&merged, agg);
+                        LOSS_EVALS.incr();
                         heap.push(Reverse((loss, id, new_id)));
+                        HEAP_PUSHES.incr();
                     }
                 }
             }
             slab.push(Some((merged, grp_a)));
         }
 
-        let groups: Vec<Vec<usize>> =
-            slab.into_iter().flatten().map(|(_, g)| g).collect();
+        let groups: Vec<Vec<usize>> = slab.into_iter().flatten().map(|(_, g)| g).collect();
         Segmentation::from_groups(groups, inputs.len())
     }
 }
@@ -150,13 +167,13 @@ mod tests {
             })
             .collect();
         let calc = LossCalculator::all_items();
-        let g_loss =
-            calc.segmentation_loss(&inputs, &Greedy::default().segment(&inputs, 3));
-        assert_eq!(g_loss, 0, "three latent configurations should split losslessly");
-        let rc_loss = calc.segmentation_loss(
-            &inputs,
-            &RandomClosest::default().segment(&inputs, 3),
+        let g_loss = calc.segmentation_loss(&inputs, &Greedy::default().segment(&inputs, 3));
+        assert_eq!(
+            g_loss, 0,
+            "three latent configurations should split losslessly"
         );
+        let rc_loss =
+            calc.segmentation_loss(&inputs, &RandomClosest::default().segment(&inputs, 3));
         assert!(g_loss <= rc_loss);
     }
 }

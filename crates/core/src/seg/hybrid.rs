@@ -30,7 +30,11 @@ impl<A: SegmentationAlgorithm, B: SegmentationAlgorithm> Hybrid<A, B> {
     /// Panics if `n_mid == 0`.
     pub fn new(first: A, second: B, n_mid: usize) -> Self {
         assert!(n_mid > 0, "intermediate segment count must be positive");
-        Hybrid { first, second, n_mid }
+        Hybrid {
+            first,
+            second,
+            n_mid,
+        }
     }
 
     /// The intermediate segment count.
@@ -41,7 +45,11 @@ impl<A: SegmentationAlgorithm, B: SegmentationAlgorithm> Hybrid<A, B> {
 
 /// The paper's Random-RC strategy.
 pub fn random_rc(calc: LossCalculator, n_mid: usize, seed: u64) -> Hybrid<Random, RandomClosest> {
-    Hybrid::new(Random::new(seed), RandomClosest::new(calc, seed.wrapping_add(1)), n_mid)
+    Hybrid::new(
+        Random::new(seed),
+        RandomClosest::new(calc, seed.wrapping_add(1)),
+        n_mid,
+    )
 }
 
 /// The paper's Random-Greedy strategy.
@@ -62,9 +70,15 @@ impl<A: SegmentationAlgorithm, B: SegmentationAlgorithm> SegmentationAlgorithm f
         // Clamp n_mid into [n_user, p]: below n_user the first phase would
         // overshoot the target; above p it is a no-op.
         let n_mid = self.n_mid.clamp(n_user, inputs.len());
-        let phase1 = self.first.segment(inputs, n_mid);
+        let phase1 = {
+            let _span = ossm_obs::phase(format!("core.seg.hybrid.phase1.{}", self.first.name()));
+            self.first.segment(inputs, n_mid)
+        };
         let mids = phase1.merge_aggregates(inputs);
-        let phase2 = self.second.segment(&mids, n_user);
+        let phase2 = {
+            let _span = ossm_obs::phase(format!("core.seg.hybrid.phase2.{}", self.second.name()));
+            self.second.segment(&mids, n_user)
+        };
         phase1.compose(&phase2)
     }
 }
@@ -82,7 +96,10 @@ mod tests {
 
     #[test]
     fn names_compose() {
-        assert_eq!(random_rc(LossCalculator::all_items(), 10, 0).name(), "Random-RC");
+        assert_eq!(
+            random_rc(LossCalculator::all_items(), 10, 0).name(),
+            "Random-RC"
+        );
         assert_eq!(
             random_greedy(LossCalculator::all_items(), 10, 0).name(),
             "Random-Greedy"

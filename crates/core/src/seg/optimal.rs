@@ -207,8 +207,7 @@ mod tests {
                 })
                 .collect();
             let n_user = rng.gen_range(2..p);
-            let opt = calc
-                .segmentation_loss(&inputs, &Optimal::default().segment(&inputs, n_user));
+            let opt = calc.segmentation_loss(&inputs, &Optimal::default().segment(&inputs, n_user));
             for heuristic in [
                 &Greedy::default() as &dyn SegmentationAlgorithm,
                 &crate::seg::RandomClosest::default(),

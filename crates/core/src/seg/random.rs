@@ -81,8 +81,7 @@ mod tests {
 
     #[test]
     fn group_sizes_are_balanced() {
-        let inputs: Vec<Aggregate> =
-            (0..10).map(|i| Aggregate::new(vec![i as u64], 1)).collect();
+        let inputs: Vec<Aggregate> = (0..10).map(|i| Aggregate::new(vec![i as u64], 1)).collect();
         let seg = Random::new(1).segment(&inputs, 3);
         let mut sizes: Vec<usize> = seg.groups().iter().map(Vec::len).collect();
         sizes.sort_unstable();
@@ -91,10 +90,14 @@ mod tests {
 
     #[test]
     fn different_seeds_usually_differ() {
-        let inputs: Vec<Aggregate> =
-            (0..12).map(|i| Aggregate::new(vec![i as u64, 12 - i as u64], 1)).collect();
+        let inputs: Vec<Aggregate> = (0..12)
+            .map(|i| Aggregate::new(vec![i as u64, 12 - i as u64], 1))
+            .collect();
         let a = Random::new(1).segment(&inputs, 3);
         let b = Random::new(2).segment(&inputs, 3);
-        assert_ne!(a, b, "two seeds should give different shuffles on 12 inputs");
+        assert_ne!(
+            a, b,
+            "two seeds should give different shuffles on 12 inputs"
+        );
     }
 }

@@ -15,6 +15,11 @@ use crate::segmentation::{Aggregate, Segmentation};
 
 use super::{trivial, validate, SegmentationAlgorithm};
 
+/// Merges performed by RC.
+static MERGES: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.rc.merges");
+/// Equation-(2) merge-loss evaluations in the closest-segment scans.
+static LOSS_EVALS: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.rc.loss_evals");
+
 /// Random-Closest segmentation. Deterministic for a fixed seed.
 #[derive(Clone, Debug)]
 pub struct RandomClosest {
@@ -48,8 +53,11 @@ impl SegmentationAlgorithm for RandomClosest {
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Working set of live segments: (aggregate, original input indices).
-        let mut live: Vec<(Aggregate, Vec<usize>)> =
-            inputs.iter().enumerate().map(|(i, a)| (a.clone(), vec![i])).collect();
+        let mut live: Vec<(Aggregate, Vec<usize>)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), vec![i]))
+            .collect();
         while live.len() > n_user {
             // Step 2: pick a random segment S1.
             let i = rng.gen_range(0..live.len());
@@ -61,6 +69,7 @@ impl SegmentationAlgorithm for RandomClosest {
                     continue;
                 }
                 let loss = self.calc.merge_loss(&live[i].0, agg);
+                LOSS_EVALS.incr();
                 if best.map_or(true, |(bl, _)| loss < bl) {
                     best = Some((loss, j));
                 }
@@ -72,6 +81,7 @@ impl SegmentationAlgorithm for RandomClosest {
             let (agg_kept, grp_kept) = &mut live[j.min(i)];
             agg_kept.merge_in(&agg_removed);
             grp_kept.append(&mut grp_removed);
+            MERGES.incr();
         }
         Segmentation::from_groups(live.into_iter().map(|(_, g)| g).collect(), inputs.len())
     }
@@ -116,8 +126,14 @@ mod tests {
                 calc.segmentation_loss(&inputs, &algo.segment(&inputs, 2))
             })
             .collect();
-        assert!(losses.iter().any(|&l| l == 0), "no seed found the lossless split: {losses:?}");
-        assert!(losses.iter().all(|&l| l <= everything), "worse than one segment: {losses:?}");
+        assert!(
+            losses.contains(&0),
+            "no seed found the lossless split: {losses:?}"
+        );
+        assert!(
+            losses.iter().all(|&l| l <= everything),
+            "worse than one segment: {losses:?}"
+        );
     }
 
     #[test]

@@ -22,12 +22,18 @@ pub struct Aggregate {
 impl Aggregate {
     /// Creates an aggregate from a support vector and a transaction count.
     pub fn new(supports: Vec<u64>, transactions: u64) -> Self {
-        Aggregate { supports, transactions }
+        Aggregate {
+            supports,
+            transactions,
+        }
     }
 
     /// An all-zero aggregate over `m` items.
     pub fn zero(m: usize) -> Self {
-        Aggregate { supports: vec![0; m], transactions: 0 }
+        Aggregate {
+            supports: vec![0; m],
+            transactions: 0,
+        }
     }
 
     /// Support of every singleton (direct-addressed by item id).
@@ -50,7 +56,11 @@ impl Aggregate {
 
     /// Adds `other` into `self` (segment merge, the `S_i ∪ S_j` of Fig. 2).
     pub fn merge_in(&mut self, other: &Aggregate) {
-        assert_eq!(self.supports.len(), other.supports.len(), "item domains must match");
+        assert_eq!(
+            self.supports.len(),
+            other.supports.len(),
+            "item domains must match"
+        );
         for (a, b) in self.supports.iter_mut().zip(&other.supports) {
             *a += b;
         }
@@ -107,13 +117,19 @@ impl Segmentation {
 
     /// One group per input — the identity segmentation (`n = p`).
     pub fn identity(num_inputs: usize) -> Self {
-        Segmentation { groups: (0..num_inputs).map(|i| vec![i]).collect(), num_inputs }
+        Segmentation {
+            groups: (0..num_inputs).map(|i| vec![i]).collect(),
+            num_inputs,
+        }
     }
 
     /// All inputs in a single segment (`n = 1`, the no-OSSM baseline).
     pub fn single(num_inputs: usize) -> Self {
         assert!(num_inputs > 0, "cannot build a segment from zero inputs");
-        Segmentation { groups: vec![(0..num_inputs).collect()], num_inputs }
+        Segmentation {
+            groups: vec![(0..num_inputs).collect()],
+            num_inputs,
+        }
     }
 
     /// Number of final segments.
@@ -147,7 +163,11 @@ impl Segmentation {
 
     /// Merges the aggregates of each group — the final segments' supports.
     pub fn merge_aggregates(&self, inputs: &[Aggregate]) -> Vec<Aggregate> {
-        assert_eq!(inputs.len(), self.num_inputs, "aggregate count must match inputs");
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs,
+            "aggregate count must match inputs"
+        );
         self.groups
             .iter()
             .map(|g| {
@@ -176,9 +196,16 @@ impl Segmentation {
         let groups = outer
             .groups
             .iter()
-            .map(|og| og.iter().flat_map(|&mid| self.groups[mid].iter().copied()).collect())
+            .map(|og| {
+                og.iter()
+                    .flat_map(|&mid| self.groups[mid].iter().copied())
+                    .collect()
+            })
             .collect();
-        Segmentation { groups, num_inputs: self.num_inputs }
+        Segmentation {
+            groups,
+            num_inputs: self.num_inputs,
+        }
     }
 }
 

@@ -18,6 +18,13 @@ use ossm_data::{Itemset, PageStore};
 
 use crate::segmentation::{Aggregate, Segmentation};
 
+/// Equation-(1) evaluations through [`Ossm::upper_bound`].
+static BOUND_EVALS: ossm_obs::Counter = ossm_obs::Counter::new("core.bound.evals");
+/// Evaluations through the pair-specialized [`Ossm::upper_bound_pair`].
+static BOUND_PAIR_EVALS: ossm_obs::Counter = ossm_obs::Counter::new("core.bound.pair_evals");
+/// [`Ossm::prunes`] calls that pruned (bound below the threshold).
+static BOUND_PRUNED: ossm_obs::Counter = ossm_obs::Counter::new("core.bound.pruned");
+
 /// The optimized segment support map (Section 3, Figure 1's `SSM_n`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Ossm {
@@ -39,7 +46,10 @@ impl Ossm {
             segments.iter().all(|s| s.num_items() == num_items),
             "all segments must share the item domain"
         );
-        Ossm { num_items, segments }
+        Ossm {
+            num_items,
+            segments,
+        }
     }
 
     /// Builds an OSSM from a page store and a segmentation of its pages.
@@ -56,7 +66,10 @@ impl Ossm {
     /// miner has with no OSSM at all (global singleton supports only).
     pub fn single_segment(store: &PageStore) -> Self {
         let total = Aggregate::new(store.total_supports(), store.dataset().len() as u64);
-        Ossm { num_items: store.num_items(), segments: vec![total] }
+        Ossm {
+            num_items: store.num_items(),
+            segments: vec![total],
+        }
     }
 
     /// Builds an OSSM at *transaction* granularity from an assignment of
@@ -71,14 +84,21 @@ impl Ossm {
         assignment: &[usize],
         num_segments: usize,
     ) -> Self {
-        assert_eq!(assignment.len(), dataset.len(), "assignment must cover every transaction");
+        assert_eq!(
+            assignment.len(),
+            dataset.len(),
+            "assignment must cover every transaction"
+        );
         assert!(num_segments > 0, "an OSSM needs at least one segment");
         let m = dataset.num_items();
         let mut segments = vec![Aggregate::zero(m); num_segments];
         let mut counts = vec![0u64; num_segments];
         let mut supports: Vec<Vec<u64>> = vec![vec![0; m]; num_segments];
         for (t, &s) in dataset.transactions().iter().zip(assignment) {
-            assert!(s < num_segments, "segment id {s} out of range 0..{num_segments}");
+            assert!(
+                s < num_segments,
+                "segment id {s} out of range 0..{num_segments}"
+            );
             counts[s] += 1;
             for item in t.items() {
                 supports[s][item.index()] += 1;
@@ -87,7 +107,10 @@ impl Ossm {
         for (s, (sup, cnt)) in supports.into_iter().zip(counts).enumerate() {
             segments[s] = Aggregate::new(sup, cnt);
         }
-        Ossm { num_items: m, segments }
+        Ossm {
+            num_items: m,
+            segments,
+        }
     }
 
     /// Number of segments, `n`.
@@ -115,7 +138,10 @@ impl Ossm {
 
     /// Global support of a singleton (sum across segments).
     pub fn singleton_support(&self, item: ossm_data::ItemId) -> u64 {
-        self.segments.iter().map(|s| s.supports()[item.index()]).sum()
+        self.segments
+            .iter()
+            .map(|s| s.supports()[item.index()])
+            .sum()
     }
 
     /// Equation (1): the OSSM upper bound on `sup(X)`.
@@ -124,6 +150,7 @@ impl Ossm {
     /// empty pattern holds everywhere), keeping the bound exact and
     /// monotone for all inputs.
     pub fn upper_bound(&self, pattern: &Itemset) -> u64 {
+        BOUND_EVALS.incr();
         if pattern.is_empty() {
             return self.num_transactions();
         }
@@ -148,15 +175,23 @@ impl Ossm {
     /// Equation (1) specialized to a pair of items — the hot path of
     /// candidate-2-itemset filtering.
     pub fn upper_bound_pair(&self, a: ossm_data::ItemId, b: ossm_data::ItemId) -> u64 {
+        BOUND_PAIR_EVALS.incr();
         let (ai, bi) = (a.index(), b.index());
-        self.segments.iter().map(|s| s.supports()[ai].min(s.supports()[bi])).sum()
+        self.segments
+            .iter()
+            .map(|s| s.supports()[ai].min(s.supports()[bi]))
+            .sum()
     }
 
     /// Whether `pattern` can be pruned at `min_support`: its upper bound is
     /// already below the threshold, so it cannot be frequent.
     #[inline]
     pub fn prunes(&self, pattern: &Itemset, min_support: u64) -> bool {
-        self.upper_bound(pattern) < min_support
+        let pruned = self.upper_bound(pattern) < min_support;
+        if pruned {
+            BOUND_PRUNED.incr();
+        }
+        pruned
     }
 
     /// Approximate in-memory size of the structure, in bytes: `n × m`
@@ -186,7 +221,12 @@ mod tests {
     /// | c    | 40 | 20 | 20 | 20 | 100   |
     fn example_1() -> Ossm {
         let seg = |a: u64, b: u64, c: u64| Aggregate::new(vec![a, b, c], a.max(b).max(c));
-        Ossm::from_aggregates(vec![seg(20, 40, 40), seg(10, 40, 20), seg(40, 40, 20), seg(40, 10, 20)])
+        Ossm::from_aggregates(vec![
+            seg(20, 40, 40),
+            seg(10, 40, 20),
+            seg(40, 40, 20),
+            seg(40, 10, 20),
+        ])
     }
 
     #[test]
@@ -239,14 +279,21 @@ mod tests {
         let two = Ossm::from_transaction_assignment(&d, &[0, 0, 1, 1], 2);
         let x = set(&[0, 1]);
         assert!(two.upper_bound(&x) <= one.upper_bound(&x));
-        assert_eq!(two.upper_bound(&x), 0, "perfect split gives the exact support");
+        assert_eq!(
+            two.upper_bound(&x),
+            0,
+            "perfect split gives the exact support"
+        );
         assert_eq!(one.upper_bound(&x), 2);
     }
 
     #[test]
     fn bound_is_sound_against_actual_support() {
-        let d = ossm_data::gen::QuestConfig { num_transactions: 300, ..ossm_data::gen::QuestConfig::small() }
-            .generate();
+        let d = ossm_data::gen::QuestConfig {
+            num_transactions: 300,
+            ..ossm_data::gen::QuestConfig::small()
+        }
+        .generate();
         let store = PageStore::with_page_count(d, 10);
         let ossm = Ossm::from_pages(&store, &Segmentation::identity(10));
         for a in 0..10u32 {

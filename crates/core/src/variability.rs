@@ -52,9 +52,14 @@ impl VariabilityReport {
     pub fn most_variable_items(&self, k: usize) -> Vec<(ItemId, f64)> {
         let mut idx: Vec<usize> = (0..self.item_cv.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.item_cv[b].partial_cmp(&self.item_cv[a]).expect("CVs are finite")
+            self.item_cv[b]
+                .partial_cmp(&self.item_cv[a])
+                .expect("CVs are finite")
         });
-        idx.into_iter().take(k).map(|i| (ItemId(i as u32), self.item_cv[i])).collect()
+        idx.into_iter()
+            .take(k)
+            .map(|i| (ItemId(i as u32), self.item_cv[i]))
+            .collect()
     }
 }
 
@@ -70,7 +75,7 @@ pub fn analyze(ossm: &Ossm) -> VariabilityReport {
     let mut item_cv = vec![0.0f64; m];
     let mut weighted = 0.0f64;
     let mut weight_total = 0.0f64;
-    for i in 0..m {
+    for (i, cv_slot) in item_cv.iter_mut().enumerate() {
         // Per-segment occurrence rate of item i.
         let rates: Vec<f64> = ossm
             .segments()
@@ -93,12 +98,16 @@ pub fn analyze(ossm: &Ossm) -> VariabilityReport {
         }
         let var = rates.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n as f64;
         let cv = var.sqrt() / mean;
-        item_cv[i] = cv;
+        *cv_slot = cv;
         let w = total_support as f64;
         weighted += cv * w;
         weight_total += w;
     }
-    let skew_score = if weight_total > 0.0 { weighted / weight_total } else { 0.0 };
+    let skew_score = if weight_total > 0.0 {
+        weighted / weight_total
+    } else {
+        0.0
+    };
     let mut configs = std::collections::BTreeSet::new();
     for s in ossm.segments() {
         configs.insert(Configuration::of_supports(s.supports()));
@@ -124,7 +133,10 @@ mod tests {
         let seg = Aggregate::new(vec![10, 5, 2], 20);
         let ossm = Ossm::from_aggregates(vec![seg.clone(), seg.clone(), seg]);
         let report = analyze(&ossm);
-        assert!(report.skew_score < 1e-9, "identical segments have no variability");
+        assert!(
+            report.skew_score < 1e-9,
+            "identical segments have no variability"
+        );
         assert_eq!(report.distinct_configurations, 1);
         assert!(!report.is_skewed());
     }
@@ -146,8 +158,12 @@ mod tests {
     fn skew_threshold_separates_the_paper_generators() {
         let score = |ossm: &Ossm| analyze(ossm).skew_score;
         // i.i.d. Quest data → low score.
-        let regular = QuestConfig { num_transactions: 2000, num_items: 60, ..QuestConfig::small() }
-            .generate();
+        let regular = QuestConfig {
+            num_transactions: 2000,
+            num_items: 60,
+            ..QuestConfig::small()
+        }
+        .generate();
         let store = PageStore::with_page_count(regular, 20);
         let (ossm_r, _) = OssmBuilder::new(10).build(&store);
         // Seasonal data → high score.
@@ -163,7 +179,10 @@ mod tests {
         let (r, s) = (score(&ossm_r), score(&ossm_s));
         assert!(r < VariabilityReport::SKEW_THRESHOLD, "regular scored {r}");
         assert!(s > VariabilityReport::SKEW_THRESHOLD, "skewed scored {s}");
-        assert!(s > 2.0 * r, "want clear separation: regular {r}, skewed {s}");
+        assert!(
+            s > 2.0 * r,
+            "want clear separation: regular {r}, skewed {s}"
+        );
         assert!(analyze(&ossm_s).is_skewed());
         assert!(!analyze(&ossm_r).is_skewed());
     }

@@ -33,6 +33,11 @@ use std::path::Path;
 use crate::item::{ItemId, Itemset};
 use crate::page::transaction_bytes;
 
+/// Physical page reads (buffer-pool misses), all [`DiskStore`]s combined.
+static PAGE_READS: ossm_obs::Counter = ossm_obs::Counter::new("data.disk.page_reads");
+/// Page requests served by a buffer pool, all [`DiskStore`]s combined.
+static POOL_HITS: ossm_obs::Counter = ossm_obs::Counter::new("data.disk.pool_hits");
+
 const MAGIC: &[u8; 8] = b"OSSMPAGE";
 const VERSION: u32 = 1;
 const HEADER_BYTES: u64 = 8 + 4 + 4 + 4 + 8 + 8;
@@ -75,7 +80,10 @@ impl DiskStoreWriter {
     /// # Panics
     /// Panics if `page_bytes` cannot hold even an empty transaction.
     pub fn create(path: &Path, m: usize, page_bytes: usize) -> io::Result<Self> {
-        assert!(page_bytes >= 16, "page size too small to hold any transaction");
+        assert!(
+            page_bytes >= 16,
+            "page size too small to hold any transaction"
+        );
         let mut file = io::BufWriter::new(std::fs::File::create(path)?);
         // Header placeholder; finalize() rewrites it with real counts.
         file.write_all(&[0u8; HEADER_BYTES as usize])?;
@@ -131,8 +139,10 @@ impl DiskStoreWriter {
         self.file.write_all(&buf)?;
         let mut supports: Vec<(u32, u32)> = counts.into_iter().collect();
         supports.sort_unstable();
-        self.summaries
-            .push(PageSummary { transactions: self.current.len() as u32, supports });
+        self.summaries.push(PageSummary {
+            transactions: self.current.len() as u32,
+            supports,
+        });
         self.current.clear();
         self.current_bytes = 4;
         Ok(())
@@ -148,7 +158,8 @@ impl DiskStoreWriter {
         let index_offset = HEADER_BYTES + num_pages * u64::from(self.page_bytes);
         for s in &self.summaries {
             self.file.write_all(&s.transactions.to_le_bytes())?;
-            self.file.write_all(&(s.supports.len() as u32).to_le_bytes())?;
+            self.file
+                .write_all(&(s.supports.len() as u32).to_le_bytes())?;
             for &(item, count) in &s.supports {
                 self.file.write_all(&item.to_le_bytes())?;
                 self.file.write_all(&count.to_le_bytes())?;
@@ -186,7 +197,12 @@ struct BufferPool {
 
 impl BufferPool {
     fn new(capacity: usize) -> Self {
-        BufferPool { capacity: capacity.max(1), frames: HashMap::new(), clock: 0, stats: IoStats::default() }
+        BufferPool {
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            clock: 0,
+            stats: IoStats::default(),
+        }
     }
 
     fn get_or_load(
@@ -199,8 +215,10 @@ impl BufferPool {
         if let Some(entry) = self.frames.get_mut(&page) {
             entry.1 = clock;
             self.stats.pool_hits += 1;
+            POOL_HITS.incr();
         } else {
             self.stats.page_reads += 1;
+            PAGE_READS.incr();
             let decoded = load()?;
             if self.frames.len() >= self.capacity {
                 // Evict the least-recently used frame.
@@ -214,7 +232,11 @@ impl BufferPool {
             }
             self.frames.insert(page, (decoded, clock));
         }
-        Ok(self.frames.get(&page).map(|(txs, _)| txs.as_slice()).expect("just inserted"))
+        Ok(self
+            .frames
+            .get(&page)
+            .map(|(txs, _)| txs.as_slice())
+            .expect("just inserted"))
     }
 }
 
@@ -261,9 +283,18 @@ impl DiskStore {
                 }
                 supports.push((item, count));
             }
-            summaries.push(PageSummary { transactions, supports });
+            summaries.push(PageSummary {
+                transactions,
+                supports,
+            });
         }
-        Ok(DiskStore { file, m, page_bytes, summaries, pool: BufferPool::new(pool_pages) })
+        Ok(DiskStore {
+            file,
+            m,
+            page_bytes,
+            summaries,
+            pool: BufferPool::new(pool_pages),
+        })
     }
 
     /// Size of the item domain.
@@ -278,7 +309,10 @@ impl DiskStore {
 
     /// Total transactions across all pages (from the index).
     pub fn num_transactions(&self) -> u64 {
-        self.summaries.iter().map(|s| u64::from(s.transactions)).sum()
+        self.summaries
+            .iter()
+            .map(|s| u64::from(s.transactions))
+            .sum()
     }
 
     /// The per-page aggregate index — everything segmentation needs,
@@ -399,7 +433,12 @@ mod tests {
     }
 
     fn sample_dataset() -> crate::Dataset {
-        QuestConfig { num_transactions: 500, num_items: 50, ..QuestConfig::small() }.generate()
+        QuestConfig {
+            num_transactions: 500,
+            num_items: 50,
+            ..QuestConfig::small()
+        }
+        .generate()
     }
 
     #[test]
@@ -440,12 +479,22 @@ mod tests {
         let mut store = DiskStore::open(&path, 2).expect("open");
         store.read_page(0).expect("read");
         store.read_page(0).expect("read");
-        assert_eq!(store.io_stats(), IoStats { page_reads: 1, pool_hits: 1 });
+        assert_eq!(
+            store.io_stats(),
+            IoStats {
+                page_reads: 1,
+                pool_hits: 1
+            }
+        );
         // Touch enough pages to evict page 0 (capacity 2).
         store.read_page(1).expect("read");
         store.read_page(2).expect("read");
         store.read_page(0).expect("read");
-        assert_eq!(store.io_stats().page_reads, 4, "page 0 was evicted and re-read");
+        assert_eq!(
+            store.io_stats().page_reads,
+            4,
+            "page 0 was evicted and re-read"
+        );
     }
 
     #[test]
@@ -459,7 +508,11 @@ mod tests {
         store.scan(|_| seen += 1).expect("scan");
         store.scan(|_| ()).expect("scan");
         assert_eq!(seen, 500);
-        assert_eq!(store.io_stats().page_reads, 2 * p, "tiny pool → every pass hits disk");
+        assert_eq!(
+            store.io_stats().page_reads,
+            2 * p,
+            "tiny pool → every pass hits disk"
+        );
         // A pool bigger than the file caches the second pass entirely.
         let mut cached = DiskStore::open(&path, p as usize + 1).expect("open");
         cached.scan(|_| ()).expect("scan");

@@ -68,7 +68,12 @@ impl Default for AlarmConfig {
 impl AlarmConfig {
     /// A small configuration for unit tests and examples.
     pub fn small() -> Self {
-        AlarmConfig { num_windows: 800, num_alarm_types: 60, num_faults: 5, ..Self::default() }
+        AlarmConfig {
+            num_windows: 800,
+            num_alarm_types: 60,
+            num_faults: 5,
+            ..Self::default()
+        }
     }
 
     /// Generates the windowed alarm dataset.
@@ -111,7 +116,10 @@ pub fn generate(cfg: &AlarmConfig) -> Dataset {
         // Maybe a new storm begins.
         if rng.gen::<f64>() < cfg.storm_start_prob {
             let duration = exponential(&mut rng, cfg.storm_duration).ceil() as u64;
-            storms.push(Storm { fault: rng.gen_range(0..cfg.num_faults), remaining: duration.max(1) });
+            storms.push(Storm {
+                fault: rng.gen_range(0..cfg.num_faults),
+                remaining: duration.max(1),
+            });
         }
         let mut alarms: Vec<u32> = Vec::new();
         // Background noise.
@@ -128,7 +136,7 @@ pub fn generate(cfg: &AlarmConfig) -> Dataset {
         }
         storms.retain(|s| s.remaining > 0);
         // The window's transaction is the set of distinct alarm types seen.
-        windows.push(Itemset::new(alarms.into_iter()));
+        windows.push(Itemset::new(alarms));
     }
     Dataset::new(cfg.num_alarm_types, windows)
 }
@@ -139,7 +147,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let cfg = AlarmConfig { num_windows: 300, ..AlarmConfig::small() };
+        let cfg = AlarmConfig {
+            num_windows: 300,
+            ..AlarmConfig::small()
+        };
         assert_eq!(cfg.generate(), cfg.generate());
     }
 
@@ -161,7 +172,10 @@ mod tests {
     #[test]
     fn storms_create_cooccurring_signature_alarms() {
         // During storms the signature alarms co-occur far above independence.
-        let cfg = AlarmConfig { num_windows: 2000, ..AlarmConfig::small() };
+        let cfg = AlarmConfig {
+            num_windows: 2000,
+            ..AlarmConfig::small()
+        };
         let d = cfg.generate();
         let singles = d.singleton_supports();
         let n = d.len() as f64;
@@ -178,14 +192,21 @@ mod tests {
                 }
             }
         }
-        assert!(best_lift > 1.5, "expected correlated alarm pairs, best lift {best_lift}");
+        assert!(
+            best_lift > 1.5,
+            "expected correlated alarm pairs, best lift {best_lift}"
+        );
     }
 
     #[test]
     fn alarm_activity_is_bursty_over_time() {
         // Total alarms per window should be visibly non-uniform: windows
         // inside storms carry far more alarms than quiet ones.
-        let d = AlarmConfig { num_windows: 2000, ..AlarmConfig::small() }.generate();
+        let d = AlarmConfig {
+            num_windows: 2000,
+            ..AlarmConfig::small()
+        }
+        .generate();
         let sizes: Vec<usize> = d.transactions().iter().map(Itemset::len).collect();
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         let max = *sizes.iter().max().unwrap() as f64;

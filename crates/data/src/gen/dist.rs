@@ -13,7 +13,10 @@ use rand::Rng;
 /// # Panics
 /// Panics if `mean` is negative or not finite.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be finite and non-negative");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "poisson mean must be finite and non-negative"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -34,7 +37,10 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 /// # Panics
 /// Panics if `mean` is not positive and finite.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
-    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "exponential mean must be positive"
+    );
     // 1 - gen::<f64>() is in (0, 1], so ln() is finite.
     -mean * (1.0 - rng.gen::<f64>()).ln()
 }
@@ -54,7 +60,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 /// Panics if `weights` is empty or sums to a non-positive value.
 pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
-    assert!(total > 0.0 && total.is_finite(), "weights must sum to a positive finite value");
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must sum to a positive finite value"
+    );
     let mut target = rng.gen::<f64>() * total;
     for (i, &w) in weights.iter().enumerate() {
         target -= w;
@@ -81,7 +90,10 @@ impl CumulativeTable {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
             acc += w;
             cumulative.push(acc);
         }
@@ -93,7 +105,10 @@ impl CumulativeTable {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("table is non-empty");
         let target = rng.gen::<f64>() * total;
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&target).expect("no NaN")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("no NaN"))
+        {
             Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
         }
     }
@@ -139,7 +154,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "observed mean {mean}");
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-        assert!((var.sqrt() - 0.1).abs() < 0.01, "observed sd {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 0.1).abs() < 0.01,
+            "observed sd {}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ fn draw_patterns(cfg: &QuestConfig, rng: &mut StdRng) -> (Vec<Pattern>, Vec<f64>
 pub fn generate(cfg: &QuestConfig) -> Dataset {
     assert!(cfg.num_items > 0, "item domain must be non-empty");
     assert!(cfg.num_patterns > 0, "need at least one pattern");
-    assert!(cfg.avg_transaction_len >= 1.0, "transactions must average at least one item");
+    assert!(
+        cfg.avg_transaction_len >= 1.0,
+        "transactions must average at least one item"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let (patterns, weights) = draw_patterns(cfg, &mut rng);
     let table = CumulativeTable::new(&weights);
@@ -163,7 +166,7 @@ pub fn generate(cfg: &QuestConfig) -> Dataset {
             }
             items.extend(picked);
         }
-        transactions.push(Itemset::new(items.into_iter()));
+        transactions.push(Itemset::new(items));
     }
     Dataset::new(cfg.num_items, transactions)
 }
@@ -174,7 +177,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let cfg = QuestConfig { num_transactions: 200, ..QuestConfig::small() };
+        let cfg = QuestConfig {
+            num_transactions: 200,
+            ..QuestConfig::small()
+        };
         assert_eq!(cfg.generate(), cfg.generate());
         let other = QuestConfig { seed: 99, ..cfg };
         assert_ne!(cfg.generate(), other.generate());
@@ -201,7 +207,11 @@ mod tests {
         // Quest data has "potentially large itemsets": some pairs co-occur
         // far more often than independence predicts. Check that the maximal
         // pair support exceeds the independence estimate by a wide margin.
-        let d = QuestConfig { num_transactions: 2000, ..QuestConfig::small() }.generate();
+        let d = QuestConfig {
+            num_transactions: 2000,
+            ..QuestConfig::small()
+        }
+        .generate();
         let singles = d.singleton_supports();
         let n = d.len() as f64;
         let mut best_ratio = 0.0f64;
@@ -220,6 +230,9 @@ mod tests {
                 }
             }
         }
-        assert!(best_ratio > 2.0, "expected correlated pairs, best lift {best_ratio}");
+        assert!(
+            best_ratio > 2.0,
+            "expected correlated pairs, best lift {best_ratio}"
+        );
     }
 }

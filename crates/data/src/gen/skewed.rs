@@ -48,7 +48,7 @@ impl Default for SkewedConfig {
             avg_transaction_len: 10.0,
             season_boost: 8.0,
             num_seasons: 2,
-            seed: 0x5EA5_0_u64,
+            seed: 0x0005_EA50_u64,
         }
     }
 }
@@ -56,7 +56,11 @@ impl Default for SkewedConfig {
 impl SkewedConfig {
     /// A small configuration for unit tests and examples.
     pub fn small() -> Self {
-        SkewedConfig { num_transactions: 1000, num_items: 100, ..SkewedConfig::default() }
+        SkewedConfig {
+            num_transactions: 1000,
+            num_items: 100,
+            ..SkewedConfig::default()
+        }
     }
 
     /// Generates the dataset described by this configuration.
@@ -73,20 +77,25 @@ pub fn generate(cfg: &SkewedConfig) -> Dataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Base popularity: exponential, so supports span a wide range — items
     // land on both sides of any support threshold (bubble-list material).
-    let base: Vec<f64> = (0..cfg.num_items).map(|_| exponential(&mut rng, 1.0) + 0.05).collect();
+    let base: Vec<f64> = (0..cfg.num_items)
+        .map(|_| exponential(&mut rng, 1.0) + 0.05)
+        .collect();
     // Item i belongs to season i % num_seasons; its weight is boosted while
     // the collection is inside that season.
     let mut transactions = Vec::with_capacity(cfg.num_transactions);
     let mut weights = vec![0.0f64; cfg.num_items];
     for t in 0..cfg.num_transactions {
-        let season =
-            t * cfg.num_seasons / cfg.num_transactions.max(1); // current season index
+        let season = t * cfg.num_seasons / cfg.num_transactions.max(1); // current season index
         for (i, w) in weights.iter_mut().enumerate() {
-            let boost = if i % cfg.num_seasons == season { cfg.season_boost } else { 1.0 };
+            let boost = if i % cfg.num_seasons == season {
+                cfg.season_boost
+            } else {
+                1.0
+            };
             *w = base[i] * boost;
         }
-        let len = ((poisson(&mut rng, cfg.avg_transaction_len - 1.0) + 1) as usize)
-            .min(cfg.num_items);
+        let len =
+            ((poisson(&mut rng, cfg.avg_transaction_len - 1.0) + 1) as usize).min(cfg.num_items);
         let mut picked: Vec<u32> = Vec::with_capacity(len);
         // Weighted sampling without replacement: zero out picked weights.
         let mut local = weights.clone();
@@ -107,7 +116,7 @@ pub fn generate(cfg: &SkewedConfig) -> Dataset {
             picked.push(chosen as u32);
             local[chosen] = 0.0;
         }
-        transactions.push(Itemset::new(picked.into_iter()));
+        transactions.push(Itemset::new(picked));
     }
     Dataset::new(cfg.num_items, transactions)
 }
@@ -118,7 +127,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let cfg = SkewedConfig { num_transactions: 300, ..SkewedConfig::small() };
+        let cfg = SkewedConfig {
+            num_transactions: 300,
+            ..SkewedConfig::small()
+        };
         assert_eq!(cfg.generate(), cfg.generate());
     }
 
@@ -128,14 +140,19 @@ mod tests {
         let d = cfg.generate();
         assert_eq!(d.len(), cfg.num_transactions);
         assert_eq!(d.num_items(), cfg.num_items);
-        let avg =
-            d.transactions().iter().map(Itemset::len).sum::<usize>() as f64 / d.len() as f64;
-        assert!((avg - cfg.avg_transaction_len).abs() < 2.0, "avg basket {avg}");
+        let avg = d.transactions().iter().map(Itemset::len).sum::<usize>() as f64 / d.len() as f64;
+        assert!(
+            (avg - cfg.avg_transaction_len).abs() < 2.0,
+            "avg basket {avg}"
+        );
     }
 
     #[test]
     fn seasonality_shifts_item_frequencies_between_halves() {
-        let cfg = SkewedConfig { num_transactions: 2000, ..SkewedConfig::small() };
+        let cfg = SkewedConfig {
+            num_transactions: 2000,
+            ..SkewedConfig::small()
+        };
         let d = cfg.generate();
         let half = d.len() / 2;
         let mut first = vec![0u64; cfg.num_items];
@@ -181,6 +198,9 @@ mod tests {
             }
         }
         let ratio = first as f64 / second as f64;
-        assert!((ratio - 1.0).abs() < 0.1, "halves should look alike, ratio {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.1,
+            "halves should look alike, ratio {ratio}"
+        );
     }
 }

@@ -60,11 +60,15 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
         for _ in 0..len {
             let id = read_u32(r)?;
             if id as usize >= m {
-                return Err(bad(format!("transaction {i}: item {id} outside domain 0..{m}")));
+                return Err(bad(format!(
+                    "transaction {i}: item {id} outside domain 0..{m}"
+                )));
             }
             if let Some(p) = prev {
                 if id <= p {
-                    return Err(bad(format!("transaction {i}: items not strictly increasing")));
+                    return Err(bad(format!(
+                        "transaction {i}: items not strictly increasing"
+                    )));
                 }
             }
             prev = Some(id);
@@ -117,7 +121,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_dataset() {
-        let d = QuestConfig { num_transactions: 150, ..QuestConfig::small() }.generate();
+        let d = QuestConfig {
+            num_transactions: 150,
+            ..QuestConfig::small()
+        }
+        .generate();
         assert_eq!(roundtrip(&d), d);
     }
 
@@ -135,7 +143,11 @@ mod tests {
 
     #[test]
     fn rejects_truncated_input() {
-        let d = QuestConfig { num_transactions: 20, ..QuestConfig::small() }.generate();
+        let d = QuestConfig {
+            num_transactions: 20,
+            ..QuestConfig::small()
+        }
+        .generate();
         let mut buf = Vec::new();
         write_dataset(&mut buf, &d).unwrap();
         buf.truncate(buf.len() - 3);
@@ -173,7 +185,11 @@ mod tests {
         let dir = std::env::temp_dir().join("ossm-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ds.bin");
-        let d = QuestConfig { num_transactions: 40, ..QuestConfig::small() }.generate();
+        let d = QuestConfig {
+            num_transactions: 40,
+            ..QuestConfig::small()
+        }
+        .generate();
         save(&path, &d).unwrap();
         assert_eq!(load(&path).unwrap(), d);
         std::fs::remove_file(&path).ok();

@@ -71,7 +71,10 @@ impl Itemset {
     /// # Panics
     /// In debug builds, panics if the input is not strictly increasing.
     pub fn from_sorted(items: Vec<ItemId>) -> Self {
-        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly increasing");
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly increasing"
+        );
         Itemset { items }
     }
 
@@ -319,9 +322,20 @@ mod tests {
 
     #[test]
     fn apriori_join_requires_shared_prefix() {
-        assert_eq!(set(&[1, 2]).apriori_join(&set(&[1, 3])), Some(set(&[1, 2, 3])));
-        assert_eq!(set(&[1, 3]).apriori_join(&set(&[1, 2])), None, "join only in order");
-        assert_eq!(set(&[1, 2]).apriori_join(&set(&[2, 3])), None, "prefix differs");
+        assert_eq!(
+            set(&[1, 2]).apriori_join(&set(&[1, 3])),
+            Some(set(&[1, 2, 3]))
+        );
+        assert_eq!(
+            set(&[1, 3]).apriori_join(&set(&[1, 2])),
+            None,
+            "join only in order"
+        );
+        assert_eq!(
+            set(&[1, 2]).apriori_join(&set(&[2, 3])),
+            None,
+            "prefix differs"
+        );
         assert_eq!(set(&[1]).apriori_join(&set(&[2])), Some(set(&[1, 2])));
         assert_eq!(Itemset::empty().apriori_join(&Itemset::empty()), None);
     }

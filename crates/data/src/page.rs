@@ -86,7 +86,10 @@ impl PageStore {
         for (i, t) in dataset.transactions().iter().enumerate() {
             let cost = transaction_bytes(t);
             if i > start && used + cost > page_bytes {
-                pages.push(Page { range: start..i, supports });
+                pages.push(Page {
+                    range: start..i,
+                    supports,
+                });
                 supports = vec![0u64; m];
                 start = i;
                 used = PAGE_HEADER;
@@ -97,9 +100,16 @@ impl PageStore {
             }
         }
         if start < dataset.len() {
-            pages.push(Page { range: start..dataset.len(), supports });
+            pages.push(Page {
+                range: start..dataset.len(),
+                supports,
+            });
         }
-        PageStore { dataset, pages, page_bytes }
+        PageStore {
+            dataset,
+            pages,
+            page_bytes,
+        }
     }
 
     /// Packs with the paper's default 4 KB pages.
@@ -128,7 +138,11 @@ impl PageStore {
                 Page { range, supports }
             })
             .collect();
-        PageStore { dataset, pages, page_bytes: usize::MAX }
+        PageStore {
+            dataset,
+            pages,
+            page_bytes: usize::MAX,
+        }
     }
 
     /// The underlying dataset.
@@ -190,7 +204,14 @@ mod tests {
     fn sample() -> Dataset {
         Dataset::new(
             3,
-            vec![tx(&[0]), tx(&[0, 1]), tx(&[1, 2]), tx(&[0, 1, 2]), tx(&[2]), tx(&[1])],
+            vec![
+                tx(&[0]),
+                tx(&[0, 1]),
+                tx(&[1, 2]),
+                tx(&[0, 1, 2]),
+                tx(&[2]),
+                tx(&[1]),
+            ],
         )
     }
 
@@ -252,7 +273,11 @@ mod tests {
     #[test]
     fn singleton_support_per_page_sums_by_item() {
         let store = PageStore::with_page_count(sample(), 3);
-        let item1: u64 = store.pages().iter().map(|p| p.supports()[ItemId(1).index()]).sum();
+        let item1: u64 = store
+            .pages()
+            .iter()
+            .map(|p| p.supports()[ItemId(1).index()])
+            .sum();
         assert_eq!(item1, 4);
     }
 

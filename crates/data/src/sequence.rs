@@ -99,7 +99,7 @@ impl EventSequence {
                 kinds.push(self.events[i].kind);
                 i += 1;
             }
-            transactions.push(Itemset::new(kinds.into_iter()));
+            transactions.push(Itemset::new(kinds));
             if start > last {
                 break;
             }
@@ -192,12 +192,13 @@ mod tests {
     #[test]
     fn episode_frequency_is_window_count() {
         // Kinds 0 and 1 co-fire at t=0 and t=4; kind 2 fires alone.
-        let s = EventSequence::new(
-            3,
-            vec![ev(0, 0), ev(0, 1), ev(2, 2), ev(4, 0), ev(4, 1)],
-        );
+        let s = EventSequence::new(3, vec![ev(0, 0), ev(0, 1), ev(2, 2), ev(4, 0), ev(4, 1)]);
         let d = s.windows(1, 1);
-        assert_eq!(d.support(&set(&[0, 1])), 2, "parallel episode {{0,1}} in 2 windows");
+        assert_eq!(
+            d.support(&set(&[0, 1])),
+            2,
+            "parallel episode {{0,1}} in 2 windows"
+        );
         assert_eq!(d.support(&set(&[2])), 1);
         assert_eq!(d.support(&set(&[0, 2])), 0);
     }

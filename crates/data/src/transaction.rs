@@ -28,12 +28,18 @@ impl Dataset {
                 );
             }
         }
-        Dataset { num_items, transactions }
+        Dataset {
+            num_items,
+            transactions,
+        }
     }
 
     /// A dataset with no transactions over `0..num_items`.
     pub fn empty(num_items: usize) -> Self {
-        Dataset { num_items, transactions: Vec::new() }
+        Dataset {
+            num_items,
+            transactions: Vec::new(),
+        }
     }
 
     /// Size of the item domain, `m`.
@@ -69,7 +75,10 @@ impl Dataset {
     /// Actual support `sup(X)`: the number of transactions containing every
     /// item of `X`. This is the ground truth that OSSM bounds from above.
     pub fn support(&self, pattern: &Itemset) -> u64 {
-        self.transactions.iter().filter(|t| pattern.is_subset_of(t)).count() as u64
+        self.transactions
+            .iter()
+            .filter(|t| pattern.is_subset_of(t))
+            .count() as u64
     }
 
     /// Support of every singleton, by one pass over the data.
@@ -87,7 +96,10 @@ impl Dataset {
     /// paper's 1 %) to an absolute minimum support count, rounding up so the
     /// semantics "at least this fraction" are preserved.
     pub fn absolute_threshold(&self, fraction: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&fraction), "support fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "support fraction must be in [0,1]"
+        );
         (fraction * self.len() as f64).ceil() as u64
     }
 
@@ -99,15 +111,25 @@ impl Dataset {
     /// # Panics
     /// Panics if `order` is not a permutation of `0..len()`.
     pub fn reordered(&self, order: &[usize]) -> Dataset {
-        assert_eq!(order.len(), self.len(), "order must cover every transaction");
+        assert_eq!(
+            order.len(),
+            self.len(),
+            "order must cover every transaction"
+        );
         let mut seen = vec![false; self.len()];
         let mut transactions = Vec::with_capacity(self.len());
         for &src in order {
-            assert!(!seen[src], "order must be a permutation (duplicate index {src})");
+            assert!(
+                !seen[src],
+                "order must be a permutation (duplicate index {src})"
+            );
             seen[src] = true;
             transactions.push(self.transactions[src].clone());
         }
-        Dataset { num_items: self.num_items, transactions }
+        Dataset {
+            num_items: self.num_items,
+            transactions,
+        }
     }
 
     /// Splits the dataset into `k` contiguous partitions of near-equal size
@@ -149,7 +171,11 @@ mod tests {
         assert_eq!(d.support(&tx(&[1])), 3);
         assert_eq!(d.support(&tx(&[0, 1])), 2);
         assert_eq!(d.support(&tx(&[0, 3])), 0);
-        assert_eq!(d.support(&Itemset::empty()), 4, "empty set occurs in every transaction");
+        assert_eq!(
+            d.support(&Itemset::empty()),
+            4,
+            "empty set occurs in every transaction"
+        );
     }
 
     #[test]

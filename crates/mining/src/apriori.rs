@@ -15,6 +15,7 @@ use ossm_data::{Dataset, ItemId, Itemset};
 
 use crate::filter::{CandidateFilter, NoFilter};
 use crate::metrics::{LevelMetrics, MiningMetrics};
+use crate::obs;
 use crate::support::{count_with, CountingBackend, FrequentPatterns};
 
 /// A mining result: the frequent patterns plus run metrics.
@@ -81,7 +82,11 @@ impl Apriori {
         // some before the counting pass (an OSSM's singleton bounds are
         // exact, so this costs no accuracy).
         let m = dataset.num_items();
-        let mut level = LevelMetrics { level: 1, generated: m as u64, ..Default::default() };
+        let mut level = LevelMetrics {
+            level: 1,
+            generated: m as u64,
+            ..Default::default()
+        };
         let survivors: Vec<ItemId> = (0..m as u32)
             .map(ItemId)
             .filter(|&i| filter.may_be_frequent(&Itemset::singleton(i), min_support))
@@ -92,12 +97,14 @@ impl Apriori {
         let mut frequent: Vec<Itemset> = Vec::new();
         for item in survivors {
             let sup = all_supports[item.index()];
+            obs::record_bound_outcome(filter, &Itemset::singleton(item), sup, min_support);
             if sup >= min_support {
                 frequent.push(Itemset::singleton(item));
                 patterns.insert(Itemset::singleton(item), sup);
             }
         }
         level.frequent = frequent.len() as u64;
+        obs::record_level("apriori", &level);
         metrics.push_level(level);
 
         // Levels 2..: join, prune, filter, count.
@@ -107,8 +114,11 @@ impl Apriori {
             if generated.is_empty() {
                 break;
             }
-            let mut level =
-                LevelMetrics { level: k, generated: generated.len() as u64, ..Default::default() };
+            let mut level = LevelMetrics {
+                level: k,
+                generated: generated.len() as u64,
+                ..Default::default()
+            };
             let candidates: Vec<Itemset> = generated
                 .into_iter()
                 .filter(|c| filter.may_be_frequent(c, min_support))
@@ -118,12 +128,14 @@ impl Apriori {
             let counts = count_with(self.backend, dataset.transactions(), &candidates);
             let mut next = Vec::new();
             for (c, sup) in candidates.into_iter().zip(counts) {
+                obs::record_bound_outcome(filter, &c, sup, min_support);
                 if sup >= min_support {
                     patterns.insert(c.clone(), sup);
                     next.push(c);
                 }
             }
             level.frequent = next.len() as u64;
+            obs::record_level("apriori", &level);
             metrics.push_level(level);
             frequent = next;
             k += 1;
@@ -220,7 +232,9 @@ mod tests {
         // Brute force over all non-empty itemsets of the 12-item domain.
         let mut expected = FrequentPatterns::new();
         for mask in 1u32..(1 << 12) {
-            let x = set(&(0..12u32).filter(|&i| mask & (1 << i) != 0).collect::<Vec<_>>());
+            let x = set(&(0..12u32)
+                .filter(|&i| mask & (1 << i) != 0)
+                .collect::<Vec<_>>());
             let sup = d.support(&x);
             if sup >= min_support {
                 expected.insert(x, sup);
@@ -231,22 +245,35 @@ mod tests {
 
     #[test]
     fn hash_tree_backend_agrees_with_linear() {
-        let d = QuestConfig { num_transactions: 300, num_items: 40, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 300,
+            num_items: 40,
+            ..QuestConfig::small()
+        }
+        .generate();
         let a = Apriori::new().mine(&d, 8);
-        let b = Apriori::new().with_backend(CountingBackend::HashTree).mine(&d, 8);
+        let b = Apriori::new()
+            .with_backend(CountingBackend::HashTree)
+            .mine(&d, 8);
         assert_eq!(a.patterns, b.patterns);
         assert_eq!(a.metrics.total_counted(), b.metrics.total_counted());
     }
 
     #[test]
     fn ossm_filter_changes_counts_not_results() {
-        let d = QuestConfig { num_transactions: 200, num_items: 30, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 200,
+            num_items: 30,
+            ..QuestConfig::small()
+        }
+        .generate();
         let min = minimize_segments(&d);
         let plain = Apriori::new().mine(&d, 6);
         let filtered = Apriori::new().mine_filtered(&d, 6, &OssmFilter::new(&min.ossm));
-        assert_eq!(plain.patterns, filtered.patterns, "filtering must be lossless");
+        assert_eq!(
+            plain.patterns, filtered.patterns,
+            "filtering must be lossless"
+        );
         assert!(
             filtered.metrics.total_counted() <= plain.metrics.total_counted(),
             "the OSSM can only reduce counting work"

@@ -128,7 +128,11 @@ impl ConstrainedApriori {
         let m = dataset.num_items();
 
         // Level 1: constraint, then filter, then one counting pass.
-        let mut level = LevelMetrics { level: 1, generated: m as u64, ..Default::default() };
+        let mut level = LevelMetrics {
+            level: 1,
+            generated: m as u64,
+            ..Default::default()
+        };
         let singles = dataset.singleton_supports();
         let mut frequent: Vec<Itemset> = Vec::new();
         for i in 0..m as u32 {
@@ -152,8 +156,11 @@ impl ConstrainedApriori {
             if generated.is_empty() {
                 break;
             }
-            let mut level =
-                LevelMetrics { level: k, generated: generated.len() as u64, ..Default::default() };
+            let mut level = LevelMetrics {
+                level: k,
+                generated: generated.len() as u64,
+                ..Default::default()
+            };
             let candidates: Vec<Itemset> = generated
                 .into_iter()
                 .filter(|c| self.admissible(c) && filter.may_be_frequent(c, min_support))
@@ -186,7 +193,10 @@ impl ConstrainedApriori {
 /// Post-hoc reference semantics: filter an unconstrained result by the
 /// constraints. `ConstrainedApriori` must always equal this (tested), it
 /// just gets there with less counting.
-pub fn filter_patterns(patterns: &FrequentPatterns, constraints: &[Constraint]) -> FrequentPatterns {
+pub fn filter_patterns(
+    patterns: &FrequentPatterns,
+    constraints: &[Constraint],
+) -> FrequentPatterns {
     patterns
         .iter()
         .filter(|(p, _)| constraints.iter().all(|c| c.satisfied_by(p)))
@@ -217,7 +227,12 @@ mod tests {
     }
 
     fn workload() -> Dataset {
-        QuestConfig { num_transactions: 400, num_items: 25, ..QuestConfig::small() }.generate()
+        QuestConfig {
+            num_transactions: 400,
+            num_items: 25,
+            ..QuestConfig::small()
+        }
+        .generate()
     }
 
     #[test]
@@ -230,9 +245,21 @@ mod tests {
         assert!(excludes([0, 2]).satisfied_by(&s));
         assert!(!excludes([3]).satisfied_by(&s));
         let values = vec![0, 10, 0, 20, 0, 30];
-        assert!(Constraint::MaxSum { values: values.clone(), bound: 60 }.satisfied_by(&s));
-        assert!(!Constraint::MaxSum { values: values.clone(), bound: 59 }.satisfied_by(&s));
-        assert!(Constraint::MinValueAtLeast { values: values.clone(), bound: 10 }.satisfied_by(&s));
+        assert!(Constraint::MaxSum {
+            values: values.clone(),
+            bound: 60
+        }
+        .satisfied_by(&s));
+        assert!(!Constraint::MaxSum {
+            values: values.clone(),
+            bound: 59
+        }
+        .satisfied_by(&s));
+        assert!(Constraint::MinValueAtLeast {
+            values: values.clone(),
+            bound: 10
+        }
+        .satisfied_by(&s));
         assert!(!Constraint::MinValueAtLeast { values, bound: 11 }.satisfied_by(&s));
     }
 
@@ -245,8 +272,14 @@ mod tests {
             Constraint::MaxLen(2),
             items_from((0..15u32).collect::<Vec<_>>()),
             excludes([3, 7, 11]),
-            Constraint::MaxSum { values: (0..25u64).collect(), bound: 30 },
-            Constraint::MinValueAtLeast { values: (0..25u64).rev().collect(), bound: 5 },
+            Constraint::MaxSum {
+                values: (0..25u64).collect(),
+                bound: 30,
+            },
+            Constraint::MinValueAtLeast {
+                values: (0..25u64).rev().collect(),
+                bound: 5,
+            },
         ];
         for c in &constraints {
             let mined = ConstrainedApriori::new()
@@ -282,10 +315,14 @@ mod tests {
         let d = workload();
         let min = minimize_segments(&d);
         let c = excludes([0, 1]);
-        let plain = ConstrainedApriori::new().with_constraint(c.clone()).mine(&d, 8);
-        let both = ConstrainedApriori::new()
-            .with_constraint(c)
-            .mine_filtered(&d, 8, &OssmFilter::new(&min.ossm));
+        let plain = ConstrainedApriori::new()
+            .with_constraint(c.clone())
+            .mine(&d, 8);
+        let both = ConstrainedApriori::new().with_constraint(c).mine_filtered(
+            &d,
+            8,
+            &OssmFilter::new(&min.ossm),
+        );
         assert_eq!(plain.patterns, both.patterns);
         assert!(both.metrics.total_counted() <= plain.metrics.total_counted());
     }

@@ -58,7 +58,10 @@ impl CorrelationMiner {
     pub fn new(min_support: u64, min_lift: f64) -> Self {
         assert!(min_support > 0, "support floor must be at least 1");
         assert!(min_lift > 0.0, "lift threshold must be positive");
-        CorrelationMiner { min_support, min_lift }
+        CorrelationMiner {
+            min_support,
+            min_lift,
+        }
     }
 
     /// Mines dependent pairs. With `ossm: Some(_)`, pairs are discharged by
@@ -72,8 +75,9 @@ impl CorrelationMiner {
 
         // Items worth pairing: support ≥ floor (a pair cannot out-support
         // its items).
-        let frequent: Vec<u32> =
-            (0..m as u32).filter(|&i| singles[i as usize] >= self.min_support).collect();
+        let frequent: Vec<u32> = (0..m as u32)
+            .filter(|&i| singles[i as usize] >= self.min_support)
+            .collect();
         metrics.push_level(LevelMetrics {
             level: 1,
             generated: m as u64,
@@ -83,7 +87,10 @@ impl CorrelationMiner {
         });
 
         // Candidate pairs, OSSM-filtered.
-        let mut level2 = LevelMetrics { level: 2, ..Default::default() };
+        let mut level2 = LevelMetrics {
+            level: 2,
+            ..Default::default()
+        };
         let mut candidates: Vec<Itemset> = Vec::new();
         for (i, &a) in frequent.iter().enumerate() {
             for &b in &frequent[i + 1..] {
@@ -187,7 +194,10 @@ mod tests {
         assert!((top.lift - 2.0).abs() < 1e-9);
         assert!(top.chi_squared > 50.0, "perfect dependence has a huge chi²");
         // Independent pair (0, 2) must not appear at lift ≥ 1.5.
-        assert!(!out.pairs.iter().any(|p| (p.a, p.b) == (ItemId(0), ItemId(2))));
+        assert!(!out
+            .pairs
+            .iter()
+            .any(|p| (p.a, p.b) == (ItemId(0), ItemId(2))));
     }
 
     #[test]
@@ -203,8 +213,12 @@ mod tests {
 
     #[test]
     fn ossm_pruning_never_changes_the_pairs() {
-        let d = SkewedConfig { num_transactions: 1500, num_items: 40, ..SkewedConfig::small() }
-            .generate();
+        let d = SkewedConfig {
+            num_transactions: 1500,
+            num_items: 40,
+            ..SkewedConfig::small()
+        }
+        .generate();
         let floor = d.absolute_threshold(0.02);
         let miner = CorrelationMiner::new(floor, 1.2);
         let plain = miner.mine(&d, None);
@@ -227,8 +241,9 @@ mod tests {
         let l2 = exact_run.metrics.level(2).expect("level 2");
         let truly_frequent = {
             let singles = d.singleton_supports();
-            let freq: Vec<u32> =
-                (0..40u32).filter(|&i| singles[i as usize] >= floor).collect();
+            let freq: Vec<u32> = (0..40u32)
+                .filter(|&i| singles[i as usize] >= floor)
+                .collect();
             let mut c = 0u64;
             for (i, &a) in freq.iter().enumerate() {
                 for &b in &freq[i + 1..] {

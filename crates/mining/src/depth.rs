@@ -71,11 +71,18 @@ impl DepthProject {
         // Root: frequent singletons, counted in one pass.
         let m = dataset.num_items();
         let singles = dataset.singleton_supports();
-        let mut level1 = LevelMetrics { level: 1, generated: m as u64, ..Default::default() };
+        let mut level1 = LevelMetrics {
+            level: 1,
+            generated: m as u64,
+            ..Default::default()
+        };
         let mut frontier: Vec<(ItemId, u64)> = Vec::new();
         for i in 0..m as u32 {
             let item = ItemId(i);
-            if !state.filter.may_be_frequent(&Itemset::singleton(item), min_support) {
+            if !state
+                .filter
+                .may_be_frequent(&Itemset::singleton(item), min_support)
+            {
                 level1.filtered_out += 1;
                 continue;
             }
@@ -101,7 +108,10 @@ impl DepthProject {
         }
 
         state.metrics.elapsed = start.elapsed();
-        MiningOutcome { patterns: state.patterns, metrics: state.metrics }
+        MiningOutcome {
+            patterns: state.patterns,
+            metrics: state.metrics,
+        }
     }
 }
 
@@ -132,12 +142,18 @@ impl State<'_> {
 
         // Candidate extensions: items after `last`, OSSM-filtered before
         // the counting step.
-        let mut level = LevelMetrics { level: next_len, ..Default::default() };
+        let mut level = LevelMetrics {
+            level: next_len,
+            ..Default::default()
+        };
         let mut extensions: Vec<ItemId> = Vec::new();
         for e in (last.0 + 1)..m as u32 {
             let ext = ItemId(e);
             level.generated += 1;
-            if self.filter.may_be_frequent(&pattern.with(ext), self.min_support) {
+            if self
+                .filter
+                .may_be_frequent(&pattern.with(ext), self.min_support)
+            {
                 extensions.push(ext);
             } else {
                 level.filtered_out += 1;
@@ -192,7 +208,12 @@ mod tests {
     use ossm_data::gen::{AlarmConfig, QuestConfig};
 
     fn quest(n: usize, m: usize) -> Dataset {
-        QuestConfig { num_transactions: n, num_items: m, ..QuestConfig::small() }.generate()
+        QuestConfig {
+            num_transactions: n,
+            num_items: m,
+            ..QuestConfig::small()
+        }
+        .generate()
     }
 
     #[test]
@@ -208,12 +229,19 @@ mod tests {
     #[test]
     fn agrees_on_long_pattern_data() {
         // Alarm storms make long frequent patterns — DepthProject's home turf.
-        let d = AlarmConfig { num_windows: 300, num_alarm_types: 20, ..AlarmConfig::small() }
-            .generate();
+        let d = AlarmConfig {
+            num_windows: 300,
+            num_alarm_types: 20,
+            ..AlarmConfig::small()
+        }
+        .generate();
         let a = Apriori::new().mine(&d, 20);
         let dp = DepthProject::new().mine(&d, 20);
         assert_eq!(a.patterns, dp.patterns);
-        assert!(a.patterns.max_len() >= 3, "want long patterns to make the test meaningful");
+        assert!(
+            a.patterns.max_len() >= 3,
+            "want long patterns to make the test meaningful"
+        );
     }
 
     #[test]
@@ -224,7 +252,10 @@ mod tests {
         let pruned = DepthProject::new().mine_filtered(&d, 6, &OssmFilter::new(&min.ossm));
         assert_eq!(plain.patterns, pruned.patterns);
         assert!(pruned.metrics.total_counted() <= plain.metrics.total_counted());
-        assert!(pruned.metrics.total_filtered_out() > 0, "the exact OSSM must prune something");
+        assert!(
+            pruned.metrics.total_filtered_out() > 0,
+            "the exact OSSM must prune something"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use ossm_data::{Dataset, ItemId, Itemset};
 use crate::apriori::{generate_candidates, MiningOutcome};
 use crate::filter::{CandidateFilter, NoFilter};
 use crate::metrics::{LevelMetrics, MiningMetrics};
+use crate::obs;
 use crate::support::{count_with, CountingBackend, FrequentPatterns};
 
 /// DHP configuration.
@@ -37,7 +38,11 @@ pub struct Dhp {
 
 impl Default for Dhp {
     fn default() -> Self {
-        Dhp { num_buckets: 32_768, backend: CountingBackend::LinearScan, trimming: true }
+        Dhp {
+            num_buckets: 32_768,
+            backend: CountingBackend::LinearScan,
+            trimming: true,
+        }
     }
 }
 
@@ -45,7 +50,10 @@ impl Default for Dhp {
 fn pair_bucket(a: ItemId, b: ItemId, num_buckets: usize) -> usize {
     // The multiplicative pair hash of the DHP paper's spirit; exact choice
     // only affects collision rates, not correctness.
-    (a.index().wrapping_mul(2_654_435_761).wrapping_add(b.index())) % num_buckets
+    (a.index()
+        .wrapping_mul(2_654_435_761)
+        .wrapping_add(b.index()))
+        % num_buckets
 }
 
 impl Dhp {
@@ -55,7 +63,10 @@ impl Dhp {
     /// Panics if `num_buckets == 0`.
     pub fn new(num_buckets: usize) -> Self {
         assert!(num_buckets > 0, "need at least one hash bucket");
-        Dhp { num_buckets, ..Dhp::default() }
+        Dhp {
+            num_buckets,
+            ..Dhp::default()
+        }
     }
 
     /// Mines without a candidate filter.
@@ -104,13 +115,15 @@ impl Dhp {
                 patterns.insert(Itemset::singleton(item), singles[item.index()]);
             }
         }
-        metrics.push_level(LevelMetrics {
+        let level1 = LevelMetrics {
             level: 1,
             generated: m as u64,
             filtered_out: 0,
             counted: m as u64,
             frequent: l1.len() as u64,
-        });
+        };
+        obs::record_level("dhp", &level1);
+        metrics.push_level(level1);
 
         // Level 2: the hash table admits a pair only if its bucket count
         // reaches the threshold; the filter (OSSM) then prunes further.
@@ -122,8 +135,11 @@ impl Dhp {
                 }
             }
         }
-        let mut level2 =
-            LevelMetrics { level: 2, generated: admitted.len() as u64, ..Default::default() };
+        let mut level2 = LevelMetrics {
+            level: 2,
+            generated: admitted.len() as u64,
+            ..Default::default()
+        };
         let candidates: Vec<Itemset> = admitted
             .into_iter()
             .filter(|c| filter.may_be_frequent(c, min_support))
@@ -136,12 +152,14 @@ impl Dhp {
         let counts = count_with(self.backend, &work, &candidates);
         let mut frequent: Vec<Itemset> = Vec::new();
         for (c, sup) in candidates.into_iter().zip(counts) {
+            obs::record_bound_outcome(filter, &c, sup, min_support);
             if sup >= min_support {
                 patterns.insert(c.clone(), sup);
                 frequent.push(c);
             }
         }
         level2.frequent = frequent.len() as u64;
+        obs::record_level("dhp", &level2);
         metrics.push_level(level2);
 
         // Levels ≥ 3: Apriori generation over trimmed data.
@@ -154,8 +172,11 @@ impl Dhp {
             if generated.is_empty() {
                 break;
             }
-            let mut level =
-                LevelMetrics { level: k, generated: generated.len() as u64, ..Default::default() };
+            let mut level = LevelMetrics {
+                level: k,
+                generated: generated.len() as u64,
+                ..Default::default()
+            };
             let candidates: Vec<Itemset> = generated
                 .into_iter()
                 .filter(|c| filter.may_be_frequent(c, min_support))
@@ -165,12 +186,14 @@ impl Dhp {
             let counts = count_with(self.backend, &work, &candidates);
             let mut next = Vec::new();
             for (c, sup) in candidates.into_iter().zip(counts) {
+                obs::record_bound_outcome(filter, &c, sup, min_support);
                 if sup >= min_support {
                     patterns.insert(c.clone(), sup);
                     next.push(c);
                 }
             }
             level.frequent = next.len() as u64;
+            obs::record_level("dhp", &level);
             metrics.push_level(level);
             frequent = next;
             k += 1;
@@ -185,13 +208,19 @@ impl Dhp {
 /// `(k−1)`-itemset, then drop transactions left with fewer than `k` items.
 /// Exact for all levels ≥ `k` (see module docs).
 fn trim(transactions: &[Itemset], frequent: &[Itemset], k: usize) -> Vec<Itemset> {
-    let keep: HashSet<ItemId> =
-        frequent.iter().flat_map(|f| f.items().iter().copied()).collect();
+    let keep: HashSet<ItemId> = frequent
+        .iter()
+        .flat_map(|f| f.items().iter().copied())
+        .collect();
     transactions
         .iter()
         .filter_map(|t| {
-            let kept: Vec<ItemId> =
-                t.items().iter().copied().filter(|i| keep.contains(i)).collect();
+            let kept: Vec<ItemId> = t
+                .items()
+                .iter()
+                .copied()
+                .filter(|i| keep.contains(i))
+                .collect();
             (kept.len() >= k).then(|| Itemset::from_sorted(kept))
         })
         .collect()
@@ -210,7 +239,12 @@ mod tests {
     }
 
     fn quest(n: usize, m: usize) -> Dataset {
-        QuestConfig { num_transactions: n, num_items: m, ..QuestConfig::small() }.generate()
+        QuestConfig {
+            num_transactions: n,
+            num_items: m,
+            ..QuestConfig::small()
+        }
+        .generate()
     }
 
     #[test]
@@ -253,7 +287,10 @@ mod tests {
         let min = minimize_segments(&d);
         let plain = Dhp::default().mine(&d, 8);
         let with_ossm = Dhp::default().mine_filtered(&d, 8, &OssmFilter::new(&min.ossm));
-        assert_eq!(plain.patterns, with_ossm.patterns, "OSSM must not change the result");
+        assert_eq!(
+            plain.patterns, with_ossm.patterns,
+            "OSSM must not change the result"
+        );
         assert!(
             with_ossm.metrics.candidate_2_itemsets_counted()
                 <= plain.metrics.candidate_2_itemsets_counted(),
@@ -264,8 +301,16 @@ mod tests {
     #[test]
     fn trimming_off_is_still_correct() {
         let d = quest(250, 25);
-        let on = Dhp { trimming: true, ..Dhp::default() }.mine(&d, 6);
-        let off = Dhp { trimming: false, ..Dhp::default() }.mine(&d, 6);
+        let on = Dhp {
+            trimming: true,
+            ..Dhp::default()
+        }
+        .mine(&d, 6);
+        let off = Dhp {
+            trimming: false,
+            ..Dhp::default()
+        }
+        .mine(&d, 6);
         assert_eq!(on.patterns, off.patterns);
     }
 

@@ -36,7 +36,10 @@ pub struct SerialEpisode {
 impl SerialEpisode {
     /// Builds an episode from the ordered event types.
     pub fn new(types: Vec<u32>) -> Self {
-        assert!(!types.is_empty(), "an episode needs at least one event type");
+        assert!(
+            !types.is_empty(),
+            "an episode needs at least one event type"
+        );
         SerialEpisode { types }
     }
 
@@ -106,7 +109,10 @@ impl WindowLog {
     pub fn new(num_types: usize, windows: Vec<Vec<u32>>) -> Self {
         for w in &windows {
             for &t in w {
-                assert!((t as usize) < num_types, "event type {t} outside 0..{num_types}");
+                assert!(
+                    (t as usize) < num_types,
+                    "event type {t} outside 0..{num_types}"
+                );
             }
         }
         WindowLog { num_types, windows }
@@ -117,7 +123,10 @@ impl WindowLog {
     pub fn from_sequence(seq: &ossm_data::sequence::EventSequence, width: u64, step: u64) -> Self {
         assert!(width > 0 && step > 0);
         let Some((first, last)) = seq.span() else {
-            return WindowLog { num_types: seq.num_kinds(), windows: Vec::new() };
+            return WindowLog {
+                num_types: seq.num_kinds(),
+                windows: Vec::new(),
+            };
         };
         let events = seq.events();
         let mut windows = Vec::new();
@@ -142,7 +151,10 @@ impl WindowLog {
         if windows.len() > 1 {
             windows.pop();
         }
-        WindowLog { num_types: seq.num_kinds(), windows }
+        WindowLog {
+            num_types: seq.num_kinds(),
+            windows,
+        }
     }
 
     /// Number of windows.
@@ -170,7 +182,10 @@ impl WindowLog {
     pub fn to_dataset(&self) -> Dataset {
         Dataset::new(
             self.num_types,
-            self.windows.iter().map(|w| Itemset::new(w.iter().copied())).collect(),
+            self.windows
+                .iter()
+                .map(|w| Itemset::new(w.iter().copied()))
+                .collect(),
         )
     }
 
@@ -216,12 +231,7 @@ impl SerialEpisodeMiner {
     ///
     /// # Panics
     /// Panics if `min_support == 0`.
-    pub fn mine(
-        &self,
-        log: &WindowLog,
-        min_support: u64,
-        ossm: Option<&Ossm>,
-    ) -> EpisodeOutcome {
+    pub fn mine(&self, log: &WindowLog, min_support: u64, ossm: Option<&Ossm>) -> EpisodeOutcome {
         assert!(min_support > 0, "support threshold must be at least 1");
         let start = Instant::now();
         let mut metrics = MiningMetrics::default();
@@ -239,8 +249,12 @@ impl SerialEpisodeMiner {
             }
         }
         let mut frequent: Vec<SerialEpisode> = Vec::new();
-        let mut level1 =
-            LevelMetrics { level: 1, generated: m as u64, counted: m as u64, ..Default::default() };
+        let mut level1 = LevelMetrics {
+            level: 1,
+            generated: m as u64,
+            counted: m as u64,
+            ..Default::default()
+        };
         for t in 0..m as u32 {
             if counts[t as usize] >= min_support {
                 let e = SerialEpisode::new(vec![t]);
@@ -258,8 +272,11 @@ impl SerialEpisodeMiner {
         // the subsequence-closure check on its two maximal sub-episodes).
         let mut k = 2;
         while !frequent.is_empty() && self.max_len.map_or(true, |max| k <= max) {
-            let singles: Vec<u32> =
-                out.iter().filter(|(e, _)| e.len() == 1).map(|(e, _)| e.types()[0]).collect();
+            let singles: Vec<u32> = out
+                .iter()
+                .filter(|(e, _)| e.len() == 1)
+                .map(|(e, _)| e.types()[0])
+                .collect();
             let prev: HashSet<&SerialEpisode> = frequent.iter().collect();
             let mut generated: Vec<SerialEpisode> = Vec::new();
             for e in &frequent {
@@ -307,7 +324,10 @@ impl SerialEpisodeMiner {
 
         out.sort();
         metrics.elapsed = start.elapsed();
-        EpisodeOutcome { episodes: out, metrics }
+        EpisodeOutcome {
+            episodes: out,
+            metrics,
+        }
     }
 }
 
@@ -317,7 +337,11 @@ mod tests {
     use ossm_data::PageStore;
 
     fn log(windows: &[&[u32]]) -> WindowLog {
-        let m = windows.iter().flat_map(|w| w.iter()).max().map_or(1, |&t| t as usize + 1);
+        let m = windows
+            .iter()
+            .flat_map(|w| w.iter())
+            .max()
+            .map_or(1, |&t| t as usize + 1);
         WindowLog::new(m, windows.iter().map(|w| w.to_vec()).collect())
     }
 
@@ -376,13 +400,21 @@ mod tests {
 
         let plain = SerialEpisodeMiner::new().mine(&l, 20, None);
         let pruned = SerialEpisodeMiner::new().mine(&l, 20, Some(&ossm));
-        assert_eq!(plain.episodes, pruned.episodes, "OSSM changed episode results");
+        assert_eq!(
+            plain.episodes, pruned.episodes,
+            "OSSM changed episode results"
+        );
         assert!(
             pruned.metrics.total_counted() < plain.metrics.total_counted(),
             "cross-burst episodes like 0→2 should be OSSM-pruned before counting"
         );
-        assert!(plain.episodes.contains(&(SerialEpisode::new(vec![0, 1]), 100)));
-        assert!(!plain.episodes.iter().any(|(e, _)| e == &SerialEpisode::new(vec![1, 0])));
+        assert!(plain
+            .episodes
+            .contains(&(SerialEpisode::new(vec![0, 1]), 100)));
+        assert!(!plain
+            .episodes
+            .iter()
+            .any(|(e, _)| e == &SerialEpisode::new(vec![1, 0])));
     }
 
     #[test]
@@ -405,7 +437,11 @@ mod tests {
             ],
         );
         let l = WindowLog::from_sequence(&seq, 3, 3);
-        assert_eq!(l.windows()[0], vec![2, 0], "event order inside the window is kept");
+        assert_eq!(
+            l.windows()[0],
+            vec![2, 0],
+            "event order inside the window is kept"
+        );
         // The itemset view agrees with the unordered windowing.
         assert_eq!(l.to_dataset().len(), l.len());
     }

@@ -17,6 +17,14 @@ pub trait CandidateFilter {
     /// counted; `false` prunes it.
     fn may_be_frequent(&self, candidate: &Itemset, min_support: u64) -> bool;
 
+    /// The numeric support upper bound this filter judged `candidate` by,
+    /// if it has one. Instrumentation compares it with the true support to
+    /// measure bound tightness; filters without a bound (like [`NoFilter`])
+    /// keep the default `None`.
+    fn bound(&self, _candidate: &Itemset) -> Option<u64> {
+        None
+    }
+
     /// Display name for experiment tables.
     fn name(&self) -> &str;
 }
@@ -61,6 +69,10 @@ impl CandidateFilter for OssmFilter<'_> {
         self.ossm.upper_bound(candidate) >= min_support
     }
 
+    fn bound(&self, candidate: &Itemset) -> Option<u64> {
+        Some(self.ossm.upper_bound(candidate))
+    }
+
     fn name(&self) -> &str {
         "OSSM"
     }
@@ -79,6 +91,7 @@ mod tests {
     fn no_filter_keeps_everything() {
         assert!(NoFilter.may_be_frequent(&set(&[1, 2, 3]), u64::MAX));
         assert_eq!(NoFilter.name(), "none");
+        assert_eq!(NoFilter.bound(&set(&[1, 2, 3])), None, "no bound to report");
     }
 
     #[test]
@@ -96,6 +109,8 @@ mod tests {
         assert!(!f.may_be_frequent(&set(&[0, 1]), 81));
         assert!(!f.may_be_frequent(&set(&[0, 1, 2]), 61));
         assert!(f.may_be_frequent(&set(&[0, 1, 2]), 60));
+        assert_eq!(f.bound(&set(&[0, 1])), Some(80));
+        assert_eq!(f.bound(&set(&[0, 1, 2])), Some(60));
         assert_eq!(f.name(), "OSSM");
     }
 }

@@ -19,6 +19,11 @@ use crate::apriori::MiningOutcome;
 use crate::metrics::MiningMetrics;
 use crate::support::FrequentPatterns;
 
+/// FP-trees constructed (the global tree plus every conditional tree).
+static TREES_BUILT: ossm_obs::Counter = ossm_obs::Counter::new("mining.fpgrowth.trees_built");
+/// Prefix-tree nodes allocated across all trees.
+static NODES_CREATED: ossm_obs::Counter = ossm_obs::Counter::new("mining.fpgrowth.nodes_created");
+
 /// FP-growth miner.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FpGrowth;
@@ -42,8 +47,14 @@ const ROOT: usize = 0;
 
 impl Tree {
     fn new(num_ranked: usize) -> Self {
+        TREES_BUILT.incr();
         Tree {
-            nodes: vec![Node { item: u32::MAX, count: 0, parent: usize::MAX, children: vec![] }],
+            nodes: vec![Node {
+                item: u32::MAX,
+                count: 0,
+                parent: usize::MAX,
+                children: vec![],
+            }],
             header: vec![Vec::new(); num_ranked],
         }
     }
@@ -64,9 +75,15 @@ impl Tree {
                 }
                 None => {
                     let id = self.nodes.len();
-                    self.nodes.push(Node { item: rank, count, parent: cur, children: vec![] });
+                    self.nodes.push(Node {
+                        item: rank,
+                        count,
+                        parent: cur,
+                        children: vec![],
+                    });
                     self.nodes[cur].children.push(id);
                     self.header[rank as usize].push(id);
+                    NODES_CREATED.incr();
                     id
                 }
             };
@@ -106,8 +123,7 @@ impl FpGrowth {
         let mut frequent_items: Vec<u32> = (0..dataset.num_items() as u32)
             .filter(|&i| singles[i as usize] >= min_support)
             .collect();
-        frequent_items
-            .sort_by_key(|&i| (std::cmp::Reverse(singles[i as usize]), i));
+        frequent_items.sort_by_key(|&i| (std::cmp::Reverse(singles[i as usize]), i));
         // rank_of[item] = dense rank, or NONE.
         const NONE: u32 = u32::MAX;
         let mut rank_of = vec![NONE; dataset.num_items()];
@@ -124,21 +140,28 @@ impl FpGrowth {
         let mut ranked: Vec<u32> = Vec::new();
         for t in dataset.transactions() {
             ranked.clear();
-            ranked.extend(
-                t.items().iter().filter_map(|i| {
-                    let r = rank_of[i.index()];
-                    (r != NONE).then_some(r)
-                }),
-            );
+            ranked.extend(t.items().iter().filter_map(|i| {
+                let r = rank_of[i.index()];
+                (r != NONE).then_some(r)
+            }));
             ranked.sort_unstable();
             tree.insert(&ranked, 1);
         }
 
         // Recursive mining; `suffix` holds original item ids.
         let mut suffix: Vec<u32> = Vec::new();
-        mine_tree(&tree, &frequent_items, min_support, &mut suffix, &mut patterns);
+        mine_tree(
+            &tree,
+            &frequent_items,
+            min_support,
+            &mut suffix,
+            &mut patterns,
+        );
 
-        let metrics = MiningMetrics { levels: Vec::new(), elapsed: start.elapsed() };
+        let metrics = MiningMetrics {
+            levels: Vec::new(),
+            elapsed: start.elapsed(),
+        };
         MiningOutcome { patterns, metrics }
     }
 }
@@ -188,15 +211,20 @@ fn mine_tree(
             .filter(|&r| conditional_counts[r as usize] >= min_support)
             .collect();
         cond_items.sort_by_key(|&r| {
-            (std::cmp::Reverse(conditional_counts[r as usize]), item_of_rank[r as usize])
+            (
+                std::cmp::Reverse(conditional_counts[r as usize]),
+                item_of_rank[r as usize],
+            )
         });
         if !cond_items.is_empty() {
             let mut new_rank = vec![u32::MAX; rank];
             for (nr, &r) in cond_items.iter().enumerate() {
                 new_rank[r as usize] = nr as u32;
             }
-            let cond_item_of_rank: Vec<u32> =
-                cond_items.iter().map(|&r| item_of_rank[r as usize]).collect();
+            let cond_item_of_rank: Vec<u32> = cond_items
+                .iter()
+                .map(|&r| item_of_rank[r as usize])
+                .collect();
             let mut cond_tree = Tree::new(cond_items.len());
             let mut ranked: Vec<u32> = Vec::new();
             for (path, count) in &paths {
@@ -210,7 +238,13 @@ fn mine_tree(
                     cond_tree.insert(&ranked, *count);
                 }
             }
-            mine_tree(&cond_tree, &cond_item_of_rank, min_support, suffix, patterns);
+            mine_tree(
+                &cond_tree,
+                &cond_item_of_rank,
+                min_support,
+                suffix,
+                patterns,
+            );
         }
         suffix.pop();
     }
@@ -251,8 +285,12 @@ mod tests {
 
     #[test]
     fn agrees_with_apriori_on_quest_data() {
-        let d = QuestConfig { num_transactions: 300, num_items: 30, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 300,
+            num_items: 30,
+            ..QuestConfig::small()
+        }
+        .generate();
         for min_support in [5, 10, 25] {
             let a = Apriori::new().mine(&d, min_support);
             let f = FpGrowth::new().mine(&d, min_support);
@@ -262,14 +300,22 @@ mod tests {
 
     #[test]
     fn agrees_with_apriori_on_skewed_and_alarm_data() {
-        let d1 = SkewedConfig { num_transactions: 300, num_items: 20, ..SkewedConfig::small() }
-            .generate();
+        let d1 = SkewedConfig {
+            num_transactions: 300,
+            num_items: 20,
+            ..SkewedConfig::small()
+        }
+        .generate();
         assert_eq!(
             Apriori::new().mine(&d1, 10).patterns,
             FpGrowth::new().mine(&d1, 10).patterns
         );
-        let d2 = AlarmConfig { num_windows: 250, num_alarm_types: 18, ..AlarmConfig::small() }
-            .generate();
+        let d2 = AlarmConfig {
+            num_windows: 250,
+            num_alarm_types: 18,
+            ..AlarmConfig::small()
+        }
+        .generate();
         assert_eq!(
             Apriori::new().mine(&d2, 15).patterns,
             FpGrowth::new().mine(&d2, 15).patterns
@@ -286,7 +332,11 @@ mod tests {
     fn handles_identical_transactions_via_path_compression() {
         let d = Dataset::new(3, vec![set(&[0, 1, 2]); 5]);
         let out = FpGrowth::new().mine(&d, 3);
-        assert_eq!(out.patterns.len(), 7, "all 2³−1 subsets frequent with support 5");
+        assert_eq!(
+            out.patterns.len(),
+            7,
+            "all 2³−1 subsets frequent with support 5"
+        );
         assert!(out.patterns.iter().all(|(_, s)| s == 5));
     }
 }

@@ -57,7 +57,11 @@ impl<'a> HashTree<'a> {
             candidates.iter().all(|c| c.len() == k),
             "hash tree candidates must share one size"
         );
-        let mut tree = HashTree { candidates, k, root: Node::new_leaf() };
+        let mut tree = HashTree {
+            candidates,
+            k,
+            root: Node::new_leaf(),
+        };
         for idx in 0..candidates.len() {
             Self::insert(&mut tree.root, candidates, k, idx, 0);
         }
@@ -190,8 +194,12 @@ mod tests {
 
     #[test]
     fn matches_linear_scan_on_generated_data() {
-        let d = QuestConfig { num_transactions: 400, num_items: 60, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 400,
+            num_items: 60,
+            ..QuestConfig::small()
+        }
+        .generate();
         // All pairs among items 0..40 → forces leaf splits and collisions.
         let mut cands = Vec::new();
         for a in 0..40u32 {
@@ -207,8 +215,12 @@ mod tests {
 
     #[test]
     fn matches_linear_scan_on_triples() {
-        let d = QuestConfig { num_transactions: 300, num_items: 25, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 300,
+            num_items: 25,
+            ..QuestConfig::small()
+        }
+        .generate();
         let mut cands = Vec::new();
         for a in 0..12u32 {
             for b in (a + 1)..12 {

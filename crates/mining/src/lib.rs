@@ -34,12 +34,13 @@ pub mod apriori;
 pub mod constraints;
 pub mod correlations;
 pub mod depth;
-pub mod episodes;
 pub mod dhp;
+pub mod episodes;
 pub mod filter;
 pub mod fpgrowth;
 pub mod hashtree;
 pub mod metrics;
+mod obs;
 pub mod partition;
 pub mod patterns;
 pub mod sequences;

@@ -49,7 +49,10 @@ impl MiningMetrics {
         if rows.is_empty() {
             return None;
         }
-        let mut out = LevelMetrics { level: k, ..LevelMetrics::default() };
+        let mut out = LevelMetrics {
+            level: k,
+            ..LevelMetrics::default()
+        };
         for r in rows {
             out.generated += r.generated;
             out.filtered_out += r.filtered_out;
@@ -89,9 +92,27 @@ mod tests {
     #[test]
     fn totals_sum_levels() {
         let mut m = MiningMetrics::default();
-        m.push_level(LevelMetrics { level: 1, generated: 10, filtered_out: 0, counted: 10, frequent: 6 });
-        m.push_level(LevelMetrics { level: 2, generated: 15, filtered_out: 9, counted: 6, frequent: 3 });
-        m.push_level(LevelMetrics { level: 3, generated: 1, filtered_out: 0, counted: 1, frequent: 1 });
+        m.push_level(LevelMetrics {
+            level: 1,
+            generated: 10,
+            filtered_out: 0,
+            counted: 10,
+            frequent: 6,
+        });
+        m.push_level(LevelMetrics {
+            level: 2,
+            generated: 15,
+            filtered_out: 9,
+            counted: 6,
+            frequent: 3,
+        });
+        m.push_level(LevelMetrics {
+            level: 3,
+            generated: 1,
+            filtered_out: 0,
+            counted: 1,
+            frequent: 1,
+        });
         assert_eq!(m.total_counted(), 17);
         assert_eq!(m.total_filtered_out(), 9);
         assert_eq!(m.total_frequent(), 10);
@@ -101,8 +122,20 @@ mod tests {
     #[test]
     fn duplicate_levels_are_summed() {
         let mut m = MiningMetrics::default();
-        m.push_level(LevelMetrics { level: 2, generated: 3, filtered_out: 1, counted: 2, frequent: 1 });
-        m.push_level(LevelMetrics { level: 2, generated: 4, filtered_out: 0, counted: 4, frequent: 2 });
+        m.push_level(LevelMetrics {
+            level: 2,
+            generated: 3,
+            filtered_out: 1,
+            counted: 2,
+            frequent: 1,
+        });
+        m.push_level(LevelMetrics {
+            level: 2,
+            generated: 4,
+            filtered_out: 0,
+            counted: 4,
+            frequent: 2,
+        });
         let l2 = m.level(2).unwrap();
         assert_eq!(l2.generated, 7);
         assert_eq!(l2.counted, 6);

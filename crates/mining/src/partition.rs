@@ -42,7 +42,11 @@ impl Partition {
     /// Panics if `num_partitions == 0`.
     pub fn new(num_partitions: usize) -> Self {
         assert!(num_partitions > 0, "need at least one partition");
-        Partition { num_partitions, backend: CountingBackend::LinearScan, parallel: false }
+        Partition {
+            num_partitions,
+            backend: CountingBackend::LinearScan,
+            parallel: false,
+        }
     }
 
     /// Enables parallel phase-1 mining.
@@ -87,32 +91,43 @@ impl Partition {
         // Partitions are independent, so they mine in parallel (scoped
         // threads; the paper notes Partition "favours parallelism").
         let backend = self.backend;
-        let mine_one = move |range: &std::ops::Range<usize>| -> Option<(MiningOutcome, Option<Ossm>)> {
-            let part = Dataset::new(
-                dataset.num_items(),
-                dataset.transactions()[range.clone()].to_vec(),
-            );
-            if part.is_empty() {
-                return None;
-            }
-            let local_min = ((min_support * part.len() as u64).div_ceil(n.max(1))).max(1);
-            let ossm = ossm_segments.map(|segs| {
-                let pages = PageStore::with_page_count(part.clone(), (segs * 4).max(1));
-                OssmBuilder::new(segs).strategy(Strategy::Rc).build(&pages).0
-            });
-            let outcome = match &ossm {
-                Some(map) => Apriori::new()
-                    .with_backend(backend)
-                    .mine_filtered(&part, local_min, &OssmFilter::new(map)),
-                None => Apriori::new().with_backend(backend).mine(&part, local_min),
+        let mine_one =
+            move |range: &std::ops::Range<usize>| -> Option<(MiningOutcome, Option<Ossm>)> {
+                let part = Dataset::new(
+                    dataset.num_items(),
+                    dataset.transactions()[range.clone()].to_vec(),
+                );
+                if part.is_empty() {
+                    return None;
+                }
+                let local_min = ((min_support * part.len() as u64).div_ceil(n.max(1))).max(1);
+                let ossm = ossm_segments.map(|segs| {
+                    let pages = PageStore::with_page_count(part.clone(), (segs * 4).max(1));
+                    OssmBuilder::new(segs)
+                        .strategy(Strategy::Rc)
+                        .build(&pages)
+                        .0
+                });
+                let outcome = match &ossm {
+                    Some(map) => Apriori::new().with_backend(backend).mine_filtered(
+                        &part,
+                        local_min,
+                        &OssmFilter::new(map),
+                    ),
+                    None => Apriori::new().with_backend(backend).mine(&part, local_min),
+                };
+                Some((outcome, ossm))
             };
-            Some((outcome, ossm))
-        };
         let results: Vec<Option<(MiningOutcome, Option<Ossm>)>> = if self.parallel && k > 1 {
             std::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    ranges.iter().map(|r| scope.spawn(move || mine_one(r))).collect();
-                handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|r| scope.spawn(move || mine_one(r)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition worker panicked"))
+                    .collect()
             })
         } else {
             ranges.iter().map(mine_one).collect()
@@ -189,7 +204,12 @@ mod tests {
     use ossm_data::gen::{QuestConfig, SkewedConfig};
 
     fn quest(n: usize, m: usize) -> Dataset {
-        QuestConfig { num_transactions: n, num_items: m, ..QuestConfig::small() }.generate()
+        QuestConfig {
+            num_transactions: n,
+            num_items: m,
+            ..QuestConfig::small()
+        }
+        .generate()
     }
 
     #[test]
@@ -206,8 +226,12 @@ mod tests {
     fn agrees_on_skewed_data() {
         // Skew is the adversarial case for Partition: locally frequent
         // itemsets abound in their season. Results must still be exact.
-        let d = SkewedConfig { num_transactions: 400, num_items: 20, ..SkewedConfig::small() }
-            .generate();
+        let d = SkewedConfig {
+            num_transactions: 400,
+            num_items: 20,
+            ..SkewedConfig::small()
+        }
+        .generate();
         let a = Apriori::new().mine(&d, 12);
         let p = Partition::new(4).mine(&d, 12);
         assert_eq!(a.patterns, p.patterns);

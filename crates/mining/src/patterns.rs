@@ -70,7 +70,12 @@ mod tests {
     fn lattice_dataset() -> Dataset {
         Dataset::new(
             4,
-            vec![set(&[0, 1]), set(&[0, 1, 2]), set(&[0, 1, 2]), set(&[0, 1, 3])],
+            vec![
+                set(&[0, 1]),
+                set(&[0, 1, 2]),
+                set(&[0, 1, 2]),
+                set(&[0, 1, 3]),
+            ],
         )
     }
 
@@ -100,8 +105,12 @@ mod tests {
 
     #[test]
     fn maximal_is_a_subset_of_closed() {
-        let d = QuestConfig { num_transactions: 300, num_items: 20, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 300,
+            num_items: 20,
+            ..QuestConfig::small()
+        }
+        .generate();
         let out = Apriori::new().mine(&d, 8);
         let closed = closed(&out.patterns);
         for m in maximal(&out.patterns) {
@@ -111,8 +120,12 @@ mod tests {
 
     #[test]
     fn closed_sets_losslessly_reconstruct_all_supports() {
-        let d = QuestConfig { num_transactions: 300, num_items: 18, ..QuestConfig::small() }
-            .generate();
+        let d = QuestConfig {
+            num_transactions: 300,
+            num_items: 18,
+            ..QuestConfig::small()
+        }
+        .generate();
         let out = Apriori::new().mine(&d, 6);
         let closed = closed(&out.patterns);
         assert!(closed.len() <= out.patterns.len());
@@ -124,7 +137,10 @@ mod tests {
             );
         }
         // A non-frequent probe has no closed superset.
-        assert_eq!(support_from_closed(&closed, &set(&[0, 1, 2, 3, 4, 5, 6])), None);
+        assert_eq!(
+            support_from_closed(&closed, &set(&[0, 1, 2, 3, 4, 5, 6])),
+            None
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl SequencePattern {
     /// Panics if any element is empty.
     pub fn new(elements: Vec<Itemset>) -> Self {
         assert!(!elements.is_empty(), "a pattern needs at least one element");
-        assert!(elements.iter().all(|e| !e.is_empty()), "pattern elements must be non-empty");
+        assert!(
+            elements.iter().all(|e| !e.is_empty()),
+            "pattern elements must be non-empty"
+        );
         SequencePattern { elements }
     }
 
@@ -120,7 +123,10 @@ impl SequenceDb {
                 }
             }
         }
-        SequenceDb { num_items, sequences }
+        SequenceDb {
+            num_items,
+            sequences,
+        }
     }
 
     /// Number of data sequences.
@@ -145,7 +151,10 @@ impl SequenceDb {
 
     /// Exact support: the number of data sequences containing `pattern`.
     pub fn support(&self, pattern: &SequencePattern) -> u64 {
-        self.sequences.iter().filter(|s| pattern.contained_in(s)).count() as u64
+        self.sequences
+            .iter()
+            .filter(|s| pattern.contained_in(s))
+            .count() as u64
     }
 
     /// The union transactions: one itemset per data sequence holding every
@@ -156,9 +165,7 @@ impl SequenceDb {
             self.num_items,
             self.sequences
                 .iter()
-                .map(|s| {
-                    s.iter().fold(Itemset::empty(), |acc, e| acc.union(e))
-                })
+                .map(|s| s.iter().fold(Itemset::empty(), |acc, e| acc.union(e)))
                 .collect(),
         )
     }
@@ -206,12 +213,7 @@ impl SequenceMiner {
     /// # Panics
     /// Panics if `min_support == 0`, or if the OSSM's transaction count
     /// differs from the database's sequence count.
-    pub fn mine(
-        &self,
-        db: &SequenceDb,
-        min_support: u64,
-        ossm: Option<&Ossm>,
-    ) -> SequenceOutcome {
+    pub fn mine(&self, db: &SequenceDb, min_support: u64, ossm: Option<&Ossm>) -> SequenceOutcome {
         assert!(min_support > 0, "support threshold must be at least 1");
         if let Some(map) = ossm {
             assert_eq!(
@@ -233,8 +235,12 @@ impl SequenceMiner {
         // Frequent single items seed the search and are the extension
         // alphabet everywhere below.
         let m = db.num_items();
-        let mut level1 =
-            LevelMetrics { level: 1, generated: m as u64, counted: m as u64, ..Default::default() };
+        let mut level1 = LevelMetrics {
+            level: 1,
+            generated: m as u64,
+            counted: m as u64,
+            ..Default::default()
+        };
         let union = db.union_dataset();
         let singles = union.singleton_supports();
         let mut frequent_items: Vec<u32> = Vec::new();
@@ -264,7 +270,10 @@ impl SequenceMiner {
 
         state.patterns.sort();
         state.metrics.elapsed = start.elapsed();
-        SequenceOutcome { patterns: state.patterns, metrics: state.metrics }
+        SequenceOutcome {
+            patterns: state.patterns,
+            metrics: state.metrics,
+        }
     }
 }
 
@@ -297,7 +306,10 @@ impl State<'_> {
             .copied()
             .expect("elements are non-empty");
 
-        let mut level = LevelMetrics { level: next_items, ..Default::default() };
+        let mut level = LevelMetrics {
+            level: next_items,
+            ..Default::default()
+        };
         // Canonical extensions: sequence-extend with any frequent item;
         // itemset-extend the last element with a strictly larger item.
         let mut extensions: Vec<SequencePattern> = Vec::new();
@@ -381,8 +393,14 @@ mod tests {
         assert!(pattern(&[&[0], &[1]]).contained_in(&s));
         assert!(pattern(&[&[3]]).contained_in(&s));
         assert!(!pattern(&[&[1], &[0]]).contained_in(&s), "order matters");
-        assert!(!pattern(&[&[0, 1]]).contained_in(&s), "one element must hold both");
-        assert!(!pattern(&[&[0], &[0]]).contained_in(&s), "elements bind distinct positions");
+        assert!(
+            !pattern(&[&[0, 1]]).contained_in(&s),
+            "one element must hold both"
+        );
+        assert!(
+            !pattern(&[&[0], &[0]]).contained_in(&s),
+            "elements bind distinct positions"
+        );
     }
 
     #[test]
@@ -413,9 +431,7 @@ mod tests {
             (vec![vec![0], vec![2]], 3),
             (vec![vec![1, 2]], 2),
         ] {
-            let p = SequencePattern::new(
-                els.into_iter().map(|e| set(&e)).collect(),
-            );
+            let p = SequencePattern::new(els.into_iter().map(|e| set(&e)).collect());
             assert!(out.patterns.contains(&(p.clone(), sup)), "missing {p}");
         }
     }
@@ -450,8 +466,13 @@ mod tests {
         let (ossm, _) = ossm_core::OssmBuilder::new(4).build(&store);
 
         let plain = SequenceMiner::new().with_max_items(3).mine(&db, 50, None);
-        let pruned = SequenceMiner::new().with_max_items(3).mine(&db, 50, Some(&ossm));
-        assert_eq!(plain.patterns, pruned.patterns, "OSSM changed sequence results");
+        let pruned = SequenceMiner::new()
+            .with_max_items(3)
+            .mine(&db, 50, Some(&ossm));
+        assert_eq!(
+            plain.patterns, pruned.patterns,
+            "OSSM changed sequence results"
+        );
         assert!(
             pruned.metrics.total_counted() < plain.metrics.total_counted(),
             "cross-population extensions should be pruned before scanning"

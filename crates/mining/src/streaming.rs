@@ -78,11 +78,17 @@ impl StreamingApriori {
         let mut passes = 0u64;
 
         // Level 1.
-        let mut level1 = LevelMetrics { level: 1, generated: m as u64, ..Default::default() };
+        let mut level1 = LevelMetrics {
+            level: 1,
+            generated: m as u64,
+            ..Default::default()
+        };
         let singles: Vec<u64> = match ossm {
             Some(map) => {
                 // The map's singleton supports are exact: zero I/O.
-                (0..m as u32).map(|i| map.singleton_support(ItemId(i))).collect()
+                (0..m as u32)
+                    .map(|i| map.singleton_support(ItemId(i)))
+                    .collect()
             }
             None => {
                 // One pass to count singletons. (The page index would also
@@ -117,8 +123,11 @@ impl StreamingApriori {
             if generated.is_empty() {
                 break;
             }
-            let mut level =
-                LevelMetrics { level: k, generated: generated.len() as u64, ..Default::default() };
+            let mut level = LevelMetrics {
+                level: k,
+                generated: generated.len() as u64,
+                ..Default::default()
+            };
             let candidates: Vec<Itemset> = match ossm {
                 Some(map) => generated
                     .into_iter()
@@ -182,7 +191,12 @@ mod tests {
     }
 
     fn workload() -> Dataset {
-        QuestConfig { num_transactions: 600, num_items: 40, ..QuestConfig::small() }.generate()
+        QuestConfig {
+            num_transactions: 600,
+            num_items: 40,
+            ..QuestConfig::small()
+        }
+        .generate()
     }
 
     #[test]
@@ -191,7 +205,9 @@ mod tests {
         let path = tmp("match.pages");
         write_paged(&path, &d, 1024).expect("write");
         let mut store = DiskStore::open(&path, 4).expect("open");
-        let disk = StreamingApriori::new().mine(&mut store, 12, None).expect("mine");
+        let disk = StreamingApriori::new()
+            .mine(&mut store, 12, None)
+            .expect("mine");
         let mem = Apriori::new().mine(&d, 12);
         assert_eq!(disk.patterns, mem.patterns);
         std::fs::remove_file(&path).ok();
@@ -206,10 +222,13 @@ mod tests {
         let (ossm, _) = OssmBuilder::new(8).strategy(Strategy::Greedy).build(&pages);
 
         let mut store = DiskStore::open(&path, 4).expect("open");
-        let plain = StreamingApriori::new().mine(&mut store, 12, None).expect("mine");
+        let plain = StreamingApriori::new()
+            .mine(&mut store, 12, None)
+            .expect("mine");
         let mut store = DiskStore::open(&path, 4).expect("open");
-        let filtered =
-            StreamingApriori::new().mine(&mut store, 12, Some(&ossm)).expect("mine");
+        let filtered = StreamingApriori::new()
+            .mine(&mut store, 12, Some(&ossm))
+            .expect("mine");
 
         assert_eq!(plain.patterns, filtered.patterns);
         assert!(filtered.passes < plain.passes, "L1 pass must disappear");
@@ -224,13 +243,20 @@ mod tests {
         // from the map).
         let d = Dataset::new(
             2,
-            vec![Itemset::new([0u32]), Itemset::new([0u32]), Itemset::new([1u32]), Itemset::new([1u32])],
+            vec![
+                Itemset::new([0u32]),
+                Itemset::new([0u32]),
+                Itemset::new([1u32]),
+                Itemset::new([1u32]),
+            ],
         );
         let path = tmp("pruned.pages");
         write_paged(&path, &d, 4096).expect("write");
         let min = ossm_core::minimize_segments(&d);
         let mut store = DiskStore::open(&path, 2).expect("open");
-        let out = StreamingApriori::new().mine(&mut store, 2, Some(&min.ossm)).expect("mine");
+        let out = StreamingApriori::new()
+            .mine(&mut store, 2, Some(&min.ossm))
+            .expect("mine");
         assert_eq!(out.passes, 0);
         assert_eq!(out.page_reads, 0);
         assert_eq!(out.patterns.len(), 2, "both singletons frequent");
@@ -243,14 +269,20 @@ mod tests {
         let path = tmp("passes.pages");
         write_paged(&path, &d, 1024).expect("write");
         let mut store = DiskStore::open(&path, 4).expect("open");
-        let out = StreamingApriori::new().mine(&mut store, 12, None).expect("mine");
+        let out = StreamingApriori::new()
+            .mine(&mut store, 12, None)
+            .expect("mine");
         let counted_levels = out
             .metrics
             .levels
             .iter()
             .filter(|l| l.level >= 2 && l.counted > 0)
             .count() as u64;
-        assert_eq!(out.passes, 1 + counted_levels, "L1 pass + one per counted level");
+        assert_eq!(
+            out.passes,
+            1 + counted_levels,
+            "L1 pass + one per counted level"
+        );
         assert_eq!(out.page_reads, out.passes * store.num_pages() as u64);
         std::fs::remove_file(&path).ok();
     }
@@ -261,8 +293,12 @@ mod tests {
         let d = workload();
         let path = tmp("mismatch.pages");
         write_paged(&path, &d, 1024).expect("write");
-        let other = QuestConfig { num_transactions: 100, num_items: 40, ..QuestConfig::small() }
-            .generate();
+        let other = QuestConfig {
+            num_transactions: 100,
+            num_items: 40,
+            ..QuestConfig::small()
+        }
+        .generate();
         let pages = PageStore::with_page_count(other, 4);
         let (ossm, _) = OssmBuilder::new(2).build(&pages);
         let mut store = DiskStore::open(&path, 4).expect("open");

@@ -206,8 +206,9 @@ mod tests {
 
     #[test]
     fn iteration_is_ordered() {
-        let fp: FrequentPatterns =
-            [(set(&[2]), 1), (set(&[0]), 2), (set(&[0, 2]), 1)].into_iter().collect();
+        let fp: FrequentPatterns = [(set(&[2]), 1), (set(&[0]), 2), (set(&[0, 2]), 1)]
+            .into_iter()
+            .collect();
         let keys: Vec<&Itemset> = fp.iter().map(|(p, _)| p).collect();
         assert_eq!(keys, vec![&set(&[0]), &set(&[0, 2]), &set(&[2])]);
     }

@@ -40,7 +40,10 @@ impl VerticalIndex {
                 tidsets[item.index()].push(tid as u32);
             }
         }
-        VerticalIndex { num_transactions: dataset.len() as u64, tidsets }
+        VerticalIndex {
+            num_transactions: dataset.len() as u64,
+            tidsets,
+        }
     }
 
     /// The tidset of a single item.
@@ -169,8 +172,12 @@ fn run_vertical(
     };
 
     let m = dataset.num_items();
-    let mut level1 =
-        LevelMetrics { level: 1, generated: m as u64, counted: m as u64, ..Default::default() };
+    let mut level1 = LevelMetrics {
+        level: 1,
+        generated: m as u64,
+        counted: m as u64,
+        ..Default::default()
+    };
     let frequent_items: Vec<ItemId> = (0..m as u32)
         .map(ItemId)
         .filter(|&i| index.tidset(i).len() as u64 >= min_support)
@@ -227,7 +234,10 @@ impl Vertical<'_> {
 
             // Children: larger items, intersected tidsets — with the OSSM
             // discharging branches before the intersection happens.
-            let mut level = LevelMetrics { level: pattern.len() + 1, ..Default::default() };
+            let mut level = LevelMetrics {
+                level: pattern.len() + 1,
+                ..Default::default()
+            };
             let mut children: Vec<(ItemId, Vec<u32>)> = Vec::new();
             for (next, next_tids) in &extensions[pos + 1..] {
                 level.generated += 1;
@@ -269,7 +279,12 @@ mod tests {
     }
 
     fn quest(n: usize, m: usize) -> Dataset {
-        QuestConfig { num_transactions: n, num_items: m, ..QuestConfig::small() }.generate()
+        QuestConfig {
+            num_transactions: n,
+            num_items: m,
+            ..QuestConfig::small()
+        }
+        .generate()
     }
 
     #[test]
@@ -310,8 +325,12 @@ mod tests {
 
     #[test]
     fn genmax_agrees_with_posthoc_maximal() {
-        let d = AlarmConfig { num_windows: 250, num_alarm_types: 18, ..AlarmConfig::small() }
-            .generate();
+        let d = AlarmConfig {
+            num_windows: 250,
+            num_alarm_types: 18,
+            ..AlarmConfig::small()
+        }
+        .generate();
         let full = Apriori::new().mine(&d, 15).patterns;
         let genmax = GenMax::new().mine(&d, 15);
         let mut expected: Vec<Itemset> = patterns::maximal(&full);
@@ -353,7 +372,11 @@ mod tests {
         assert_eq!(out.patterns.support_of(&set(&[0])), Some(3));
         assert_eq!(out.patterns.support_of(&set(&[0, 1])), Some(2));
         assert_eq!(out.patterns.support_of(&set(&[0, 2])), Some(2));
-        assert_eq!(out.patterns.support_of(&set(&[0, 1, 2])), None, "support 1 < 2");
+        assert_eq!(
+            out.patterns.support_of(&set(&[0, 1, 2])),
+            None,
+            "support 1 < 2"
+        );
         let closed = Charm::new().mine(&d, 2);
         assert!(closed.patterns.len() <= out.patterns.len());
     }

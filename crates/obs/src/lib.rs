@@ -1,0 +1,77 @@
+//! `ossm-obs` — zero-cost-when-disabled observability for the OSSM
+//! reproduction.
+//!
+//! The paper's value proposition is quantitative: how many candidates does
+//! the eq. (1) upper bound prune before the counting pass, and how much
+//! accuracy does a constrained segmentation give up (eq. 2)? This crate
+//! gives every layer a way to answer those questions at runtime:
+//!
+//! - [`Counter`] — an atomic event counter, declared as a `static` so hot
+//!   loops pay one relaxed `fetch_add` per event;
+//! - [`Histogram`] — log2-bucketed value distribution (bound slack,
+//!   transaction lengths, …);
+//! - phase timers — monotonic wall-clock spans recorded via the RAII
+//!   [`PhaseGuard`] returned by [`phase`];
+//! - [`MetricsRegistry`] — the global sink all of the above register with,
+//!   supporting labeled [`Scope`]s for dynamic names (per-level miner
+//!   counts, per-strategy build timings);
+//! - [`Reporter`] — renders a [`Snapshot`] as a human table or JSON lines.
+//!
+//! # Zero cost when disabled
+//!
+//! Everything is gated on the `enabled` cargo feature. Without it, every
+//! type here is a zero-sized stub and every method an empty
+//! `#[inline(always)]` body, so instrumented call sites compile to
+//! nothing — no atomics, no registry, no strings. Consumer crates expose
+//! this as their own `obs` feature (on by default) forwarding to
+//! `ossm-obs/enabled`; `--no-default-features` turns the whole chain off.
+//! Code that wants to skip *computing* an expensive observation (not just
+//! recording it) can branch on the [`ENABLED`] constant, which the
+//! optimizer folds away.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Whether instrumentation is compiled in. `const`, so `if
+/// ossm_obs::ENABLED { … }` costs nothing when the feature is off.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, up to `i = 64` for `u64::MAX`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `64 − leading_zeros(v)`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (`0`, then powers of two).
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+mod report;
+mod snapshot;
+
+pub use report::{Reporter, StatsFormat};
+pub use snapshot::{HistogramSnapshot, PhaseSnapshot, Snapshot};
+
+#[cfg(feature = "enabled")]
+mod live;
+#[cfg(feature = "enabled")]
+pub use live::{phase, registry, Counter, Histogram, MetricsRegistry, PhaseGuard, Scope};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{phase, registry, Counter, Histogram, MetricsRegistry, PhaseGuard, Scope};

@@ -1,0 +1,293 @@
+//! The real implementation, compiled when the `enabled` feature is on.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramSnapshot, PhaseSnapshot, Snapshot};
+use crate::{bucket_index, bucket_lower_bound, NUM_BUCKETS};
+
+/// A monotonic event counter.
+///
+/// Declare as a `static` so the hot path is a single relaxed `fetch_add`;
+/// the counter registers itself with the global [`MetricsRegistry`] on
+/// first use.
+///
+/// ```
+/// static BOUND_EVALS: ossm_obs::Counter = ossm_obs::Counter::new("core.bound.evals");
+/// BOUND_EVALS.incr();
+/// ```
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A counter named `name`. `const`, so it can initialize a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry()
+                .counters
+                .lock()
+                .expect("counter list poisoned")
+                .push(self);
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` values.
+///
+/// Bucket 0 counts zeros; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i)`. Used for quantities whose *scale* matters more than
+/// exact quantiles — e.g. the bound slack `ub(X) − sup(X)`.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A histogram named `name`. `const`, so it can initialize a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        // A `const` local is the array-repeat idiom for non-Copy elements.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            buckets: [ZERO; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&'static self, value: u64) {
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_lower_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry()
+                .histograms
+                .lock()
+                .expect("histogram list poisoned")
+                .push(self);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Dynamic {
+    counters: BTreeMap<String, u64>,
+    phases: BTreeMap<String, PhaseSnapshot>,
+}
+
+/// The global sink every metric registers with.
+///
+/// Obtain it with [`registry`]. Static [`Counter`]s and [`Histogram`]s
+/// register themselves on first use; dynamic (string-named) counters and
+/// phase timings land in an internal map, optionally namespaced through a
+/// [`Scope`].
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<&'static Counter>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+    dynamic: Mutex<Dynamic>,
+}
+
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn registry() -> &'static MetricsRegistry {
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        counters: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+        dynamic: Mutex::new(Dynamic::default()),
+    })
+}
+
+/// Starts timing a phase; the span is recorded when the guard drops.
+pub fn phase(name: impl Into<String>) -> PhaseGuard {
+    PhaseGuard {
+        name: name.into(),
+        start: Instant::now(),
+    }
+}
+
+impl MetricsRegistry {
+    /// A scope that prefixes every dynamic metric name with `label.`.
+    pub fn scope(&'static self, label: impl Into<String>) -> Scope {
+        Scope {
+            prefix: label.into(),
+        }
+    }
+
+    /// Adds `n` to the dynamic counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut dyn_ = self.dynamic_lock();
+        *dyn_.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    fn dynamic_lock(&self) -> MutexGuard<'_, Dynamic> {
+        self.dynamic.lock().expect("dynamic metrics poisoned")
+    }
+
+    fn record_phase(&self, name: String, nanos: u64) {
+        let mut dyn_ = self.dynamic_lock();
+        let p = dyn_.phases.entry(name).or_default();
+        p.nanos += nanos;
+        p.calls += 1;
+    }
+
+    /// A deterministic copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for c in self.counters.lock().expect("counter list poisoned").iter() {
+            let v = c.get();
+            if v > 0 {
+                *snap.counters.entry(c.name.to_string()).or_insert(0) += v;
+            }
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("histogram list poisoned")
+            .iter()
+        {
+            let s = h.snapshot();
+            if s.count > 0 {
+                snap.histograms.insert(h.name.to_string(), s);
+            }
+        }
+        let dyn_ = self.dynamic_lock();
+        for (name, v) in &dyn_.counters {
+            if *v > 0 {
+                *snap.counters.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+        for (name, p) in &dyn_.phases {
+            snap.phases.insert(name.clone(), *p);
+        }
+        snap
+    }
+
+    /// Zeroes every registered metric. Call at the start of a measured
+    /// run so the snapshot reflects only that run.
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("counter list poisoned").iter() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("histogram list poisoned")
+            .iter()
+        {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+        }
+        let mut dyn_ = self.dynamic_lock();
+        dyn_.counters.clear();
+        dyn_.phases.clear();
+    }
+}
+
+/// Prefixes dynamic metric names, e.g. `mining.apriori` →
+/// `mining.apriori.level2.generated`.
+pub struct Scope {
+    prefix: String,
+}
+
+impl Scope {
+    /// Adds `n` to the scoped dynamic counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        registry().add(&format!("{}.{name}", self.prefix), n);
+    }
+
+    /// Starts timing a scoped phase.
+    pub fn phase(&self, name: &str) -> PhaseGuard {
+        phase(format!("{}.{name}", self.prefix))
+    }
+}
+
+/// RAII span: records elapsed wall-clock time into the registry on drop.
+#[must_use = "the span ends when the guard drops"]
+pub struct PhaseGuard {
+    name: String,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        registry().record_phase(std::mem::take(&mut self.name), nanos);
+    }
+}

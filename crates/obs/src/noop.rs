@@ -1,0 +1,104 @@
+//! Zero-sized stubs, compiled when the `enabled` feature is off.
+//!
+//! Every type is a ZST and every method an empty `#[inline(always)]`
+//! body, so instrumented call sites vanish in release builds. The API
+//! mirrors [`crate::live`] exactly; consumer code never needs `cfg`.
+
+use crate::snapshot::Snapshot;
+
+/// Disabled stand-in for the live `Counter`: a ZST whose methods do
+/// nothing.
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing (instrumentation disabled).
+    pub const fn new(_name: &'static str) -> Self {
+        Counter
+    }
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn incr(&'static self) {}
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn add(&'static self, _n: u64) {}
+
+    /// Always 0 (instrumentation disabled).
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Disabled stand-in for the live `Histogram`.
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing (instrumentation disabled).
+    pub const fn new(_name: &'static str) -> Self {
+        Histogram
+    }
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn record(&'static self, _value: u64) {}
+}
+
+/// Disabled stand-in for the live `MetricsRegistry`.
+pub struct MetricsRegistry;
+
+static REGISTRY: MetricsRegistry = MetricsRegistry;
+
+/// The process-wide registry (a ZST here).
+#[inline(always)]
+pub fn registry() -> &'static MetricsRegistry {
+    &REGISTRY
+}
+
+/// Starts a phase span that records nothing.
+#[inline(always)]
+pub fn phase(_name: impl Into<String>) -> PhaseGuard {
+    PhaseGuard
+}
+
+impl MetricsRegistry {
+    /// A scope over nothing.
+    #[inline(always)]
+    pub fn scope(&'static self, _label: impl Into<String>) -> Scope {
+        Scope
+    }
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn add(&self, _name: &str, _n: u64) {}
+
+    /// Always empty (instrumentation disabled).
+    #[inline(always)]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+/// Disabled stand-in for the live `Scope`.
+pub struct Scope;
+
+impl Scope {
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn add(&self, _name: &str, _n: u64) {}
+
+    /// Starts a span that records nothing.
+    #[inline(always)]
+    pub fn phase(&self, _name: &str) -> PhaseGuard {
+        PhaseGuard
+    }
+}
+
+/// Disabled stand-in for the live `PhaseGuard` (drop records nothing).
+#[must_use = "the span ends when the guard drops"]
+pub struct PhaseGuard;

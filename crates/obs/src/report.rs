@@ -1,0 +1,253 @@
+//! Renders [`Snapshot`]s for humans (aligned table) and machines (JSON
+//! lines). JSON is hand-rolled — the workspace builds offline, so no
+//! serde — and emits one self-contained object per line so downstream
+//! tools can stream-parse with a line splitter.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::Snapshot;
+
+/// Output format for a stats report, parsed from `--stats [table|json]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Aligned human-readable table.
+    #[default]
+    Table,
+    /// One JSON object per line.
+    Json,
+}
+
+impl std::str::FromStr for StatsFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "table" => Ok(StatsFormat::Table),
+            "json" => Ok(StatsFormat::Json),
+            other => Err(format!(
+                "unknown stats format {other:?} (expected table or json)"
+            )),
+        }
+    }
+}
+
+/// Renders snapshots.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Reporter {
+    /// Output format.
+    pub format: StatsFormat,
+}
+
+impl Reporter {
+    /// A reporter producing `format` output.
+    pub fn new(format: StatsFormat) -> Self {
+        Reporter { format }
+    }
+
+    /// Renders `snapshot` in the configured format. The result ends with
+    /// a newline unless the snapshot is empty.
+    pub fn render(&self, snapshot: &Snapshot) -> String {
+        match self.format {
+            StatsFormat::Table => render_table(snapshot),
+            StatsFormat::Json => render_json_lines(snapshot),
+        }
+    }
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+fn render_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let width = snap.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        out.push_str("counters\n");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !snap.phases.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let width = snap.phases.keys().map(|k| k.len()).max().unwrap_or(0);
+        out.push_str("phases\n");
+        for (name, p) in &snap.phases {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {total:>10}  ({calls} call{s})",
+                total = fmt_nanos(p.nanos),
+                calls = p.calls,
+                s = if p.calls == 1 { "" } else { "s" },
+            );
+        }
+    }
+    if !snap.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("histograms\n");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}  count={count} mean={mean:.1}",
+                count = h.count,
+                mean = h.mean(),
+            );
+            for &(lo, n) in &h.buckets {
+                let _ = writeln!(out, "    ≥{lo:<12}  {n}");
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json_lines(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json_escape(name),
+        );
+    }
+    for (name, p) in &snap.phases {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"phase\",\"name\":\"{}\",\"nanos\":{},\"calls\":{}}}",
+            json_escape(name),
+            p.nanos,
+            p.calls,
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|&(lo, n)| format!("[{lo},{n}]"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            buckets.join(","),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HistogramSnapshot, PhaseSnapshot};
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("core.bound.evals".into(), 42);
+        snap.counters.insert("mining.pruned".into(), 7);
+        snap.phases.insert(
+            "core.build.segment".into(),
+            PhaseSnapshot {
+                nanos: 1_500_000,
+                calls: 2,
+            },
+        );
+        snap.histograms.insert(
+            "mining.bound.slack".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 10,
+                buckets: vec![(0, 1), (4, 2)],
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn table_lists_all_sections() {
+        let text = Reporter::new(StatsFormat::Table).render(&sample());
+        assert!(text.contains("counters"));
+        assert!(text.contains("core.bound.evals"));
+        assert!(text.contains("42"));
+        assert!(text.contains("phases"));
+        assert!(text.contains("1.50ms"));
+        assert!(text.contains("histograms"));
+        assert!(text.contains("count=3"));
+    }
+
+    #[test]
+    fn json_lines_are_parseable_objects() {
+        let text = Reporter::new(StatsFormat::Json).render(&sample());
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "line {line:?}"
+            );
+            // Balanced-brace sanity check: rough stand-in for a parser.
+            let opens = line.matches('{').count();
+            let closes = line.matches('}').count();
+            assert_eq!(opens, closes, "line {line:?}");
+        }
+        assert!(text.contains(r#""type":"counter""#));
+        assert!(text.contains(r#""buckets":[[0,1],[4,2]]"#));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let r = Reporter::new(StatsFormat::Json);
+        assert_eq!(r.render(&sample()), r.render(&sample()));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Snapshot::default();
+        assert!(Reporter::new(StatsFormat::Table).render(&snap).is_empty());
+        assert!(Reporter::new(StatsFormat::Json).render(&snap).is_empty());
+    }
+
+    #[test]
+    fn escapes_control_characters_in_names() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("weird\"name\n".into(), 1);
+        let text = Reporter::new(StatsFormat::Json).render(&snap);
+        assert!(text.contains(r#"weird\"name\n"#));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn stats_format_parses() {
+        assert_eq!("table".parse::<StatsFormat>().unwrap(), StatsFormat::Table);
+        assert_eq!("json".parse::<StatsFormat>().unwrap(), StatsFormat::Json);
+        assert!("csv".parse::<StatsFormat>().is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Histogram bucket math, valid with or without the `enabled` feature.
+
+use ossm_obs::{bucket_index, bucket_lower_bound, NUM_BUCKETS};
+
+#[test]
+fn zero_gets_its_own_bucket() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_lower_bound(0), 0);
+}
+
+#[test]
+fn power_of_two_boundaries() {
+    // Bucket i ≥ 1 covers [2^(i-1), 2^i): each power of two starts a new
+    // bucket, and the value just below it closes the previous one.
+    for i in 1..64 {
+        let lo = 1u64 << (i - 1);
+        assert_eq!(bucket_index(lo), i, "2^{} must open bucket {i}", i - 1);
+        assert_eq!(bucket_index(lo * 2 - 1), i, "top of bucket {i}");
+        assert_eq!(bucket_lower_bound(i), lo);
+    }
+}
+
+#[test]
+fn extremes_stay_in_range() {
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    assert_eq!(bucket_lower_bound(NUM_BUCKETS - 1), 1u64 << 63);
+}
+
+#[test]
+fn index_is_monotone_in_the_value() {
+    let mut last = 0;
+    for v in [0u64, 1, 2, 3, 5, 8, 100, 1 << 20, u64::MAX / 2, u64::MAX] {
+        let i = bucket_index(v);
+        assert!(i >= last, "bucket_index must be monotone ({v} -> {i})");
+        last = i;
+    }
+}
+
+#[test]
+fn every_value_lands_at_or_above_its_bucket_lower_bound() {
+    for v in [0u64, 1, 2, 7, 63, 64, 999, 1 << 33, u64::MAX] {
+        let i = bucket_index(v);
+        assert!(
+            bucket_lower_bound(i) <= v,
+            "{v} below its bucket's lower bound"
+        );
+        if i + 1 < NUM_BUCKETS {
+            assert!(v < bucket_lower_bound(i + 1), "{v} reaches the next bucket");
+        }
+    }
+}

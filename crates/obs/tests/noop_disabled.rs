@@ -1,0 +1,41 @@
+//! Compile-and-behavior test of the disabled (no-op) build: the default
+//! feature set of `ossm-obs` is empty, so a bare `cargo test -p ossm-obs`
+//! runs this file. Everything must compile against the same API as the
+//! live build and record nothing.
+#![cfg(not(feature = "enabled"))]
+
+use ossm_obs::{phase, registry, Counter, Histogram, Reporter, StatsFormat};
+
+static COUNTER: Counter = Counter::new("noop.counter");
+static HISTOGRAM: Histogram = Histogram::new("noop.histogram");
+
+#[test]
+#[allow(clippy::assertions_on_constants)] // the constant IS the subject under test
+fn stubs_are_zero_sized() {
+    assert!(!ossm_obs::ENABLED);
+    assert_eq!(std::mem::size_of::<Counter>(), 0);
+    assert_eq!(std::mem::size_of::<Histogram>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::MetricsRegistry>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::Scope>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::PhaseGuard>(), 0);
+}
+
+#[test]
+fn recording_is_compiled_away() {
+    // The full instrumentation surface must be callable…
+    COUNTER.incr();
+    COUNTER.add(42);
+    HISTOGRAM.record(7);
+    registry().add("noop.dynamic", 3);
+    let scope = registry().scope("noop.scope");
+    scope.add("x", 1);
+    drop(scope.phase("span"));
+    drop(phase("noop.phase"));
+    // …and leave no trace.
+    assert_eq!(COUNTER.get(), 0);
+    let snap = registry().snapshot();
+    assert!(snap.is_empty(), "disabled builds must record nothing");
+    assert!(Reporter::new(StatsFormat::Table).render(&snap).is_empty());
+    assert!(Reporter::new(StatsFormat::Json).render(&snap).is_empty());
+    registry().reset(); // must also be a no-op, not a panic
+}

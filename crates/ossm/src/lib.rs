@@ -37,7 +37,7 @@ pub mod prelude {
     pub use ossm_core::{
         minimize_segments, recommend, theorem1_bound, Aggregate, ApplicationProfile, BubbleList,
         BuildReport, Configuration, GeneralizedOssm, IncrementalOssm, LossCalculator, Ossm,
-        OssmBuilder, RecommendedStrategy, SegmentationAlgorithm, Segmentation, Strategy,
+        OssmBuilder, RecommendedStrategy, Segmentation, SegmentationAlgorithm, Strategy,
     };
     pub use ossm_data::{
         disk::{DiskStore, DiskStoreWriter},
@@ -48,7 +48,7 @@ pub mod prelude {
     pub use ossm_mining::{
         Apriori, CandidateFilter, Charm, ConstrainedApriori, Constraint, CorrelationMiner,
         CountingBackend, DepthProject, Dhp, Eclat, FpGrowth, FrequentPatterns, GenMax,
-        MiningOutcome, NoFilter, OssmFilter, Partition, SequenceDb, SequenceMiner,
-        SequencePattern, SerialEpisode, SerialEpisodeMiner, StreamingApriori, WindowLog,
+        MiningOutcome, NoFilter, OssmFilter, Partition, SequenceDb, SequenceMiner, SequencePattern,
+        SerialEpisode, SerialEpisodeMiner, StreamingApriori, WindowLog,
     };
 }

@@ -50,7 +50,10 @@ fn main() {
     let max_len = with.patterns.max_len();
     println!("longest frequent alarm combinations ({max_len} alarms):");
     for episode in with.patterns.of_len(max_len).into_iter().take(5) {
-        let support = with.patterns.support_of(episode).expect("pattern is frequent");
+        let support = with
+            .patterns
+            .support_of(episode)
+            .expect("pattern is frequent");
         println!("  alarms {episode}: co-fire in {support} windows");
     }
 
@@ -61,7 +64,11 @@ fn main() {
     println!(
         "\nvariability: skew score {:.2} ({}), {} distinct segment configurations",
         report.skew_score,
-        if report.is_skewed() { "skewed — storms detected" } else { "uniform" },
+        if report.is_skewed() {
+            "skewed — storms detected"
+        } else {
+            "uniform"
+        },
         report.distinct_configurations
     );
 
@@ -72,11 +79,17 @@ fn main() {
     use ossm_mining::{SerialEpisodeMiner, WindowLog};
     let mut events = Vec::new();
     for t in 0..30_000u64 {
-        events.push(Event { time: t, kind: (t % 17) as u32 });
+        events.push(Event {
+            time: t,
+            kind: (t % 17) as u32,
+        });
         if t % 7 == 0 {
             // A root-cause alarm (20) followed by its consequence (21).
             events.push(Event { time: t, kind: 20 });
-            events.push(Event { time: t + 1, kind: 21 });
+            events.push(Event {
+                time: t + 1,
+                kind: 21,
+            });
         }
     }
     let sequence = EventSequence::new(22, events);
@@ -84,10 +97,18 @@ fn main() {
     let windows = log.to_dataset();
     let serial_min = windows.absolute_threshold(0.5);
     let window_store = PageStore::with_page_count(windows, 30);
-    let (episode_ossm, _) = OssmBuilder::new(10).strategy(Strategy::Rc).build(&window_store);
+    let (episode_ossm, _) = OssmBuilder::new(10)
+        .strategy(Strategy::Rc)
+        .build(&window_store);
     let serial =
-        SerialEpisodeMiner::new().with_max_len(3).mine(&log, serial_min, Some(&episode_ossm));
-    let mut cascades: Vec<_> = serial.episodes.iter().filter(|(e, _)| e.len() >= 2).collect();
+        SerialEpisodeMiner::new()
+            .with_max_len(3)
+            .mine(&log, serial_min, Some(&episode_ossm));
+    let mut cascades: Vec<_> = serial
+        .episodes
+        .iter()
+        .filter(|(e, _)| e.len() >= 2)
+        .collect();
     cascades.sort_by_key(|(_, s)| std::cmp::Reverse(*s));
     println!(
         "\nserial episodes over {} windows ({} candidate tests OSSM-pruned):",

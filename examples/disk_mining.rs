@@ -53,9 +53,15 @@ fn main() -> std::io::Result<()> {
     let without = StreamingApriori::new().mine(&mut store, min_support, None)?;
     let mut store2 = DiskStore::open(&path, 64)?;
     let with = StreamingApriori::new().mine(&mut store2, min_support, Some(&ossm))?;
-    assert_eq!(without.patterns, with.patterns, "the OSSM never changes the answer");
+    assert_eq!(
+        without.patterns, with.patterns,
+        "the OSSM never changes the answer"
+    );
 
-    println!("\n{:<22} {:>8} {:>12} {:>10}", "", "passes", "page reads", "patterns");
+    println!(
+        "\n{:<22} {:>8} {:>12} {:>10}",
+        "", "passes", "page reads", "patterns"
+    );
     println!(
         "{:<22} {:>8} {:>12} {:>10}",
         "streaming Apriori",

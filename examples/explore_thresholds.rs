@@ -42,9 +42,11 @@ fn main() {
     for fraction in [0.03, 0.02, 0.015, 0.01, 0.0075, 0.005] {
         let min_support = store.dataset().absolute_threshold(fraction);
         let without = apriori.mine(store.dataset(), min_support);
-        let with =
-            apriori.mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm));
-        assert_eq!(without.patterns, with.patterns, "answers must agree at {fraction}");
+        let with = apriori.mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm));
+        assert_eq!(
+            without.patterns, with.patterns,
+            "answers must agree at {fraction}"
+        );
         println!(
             "{:>8.2}% | {:>9} | {:>14} | {:>14} | {:>7.2}x",
             fraction * 100.0,

@@ -41,7 +41,10 @@ fn main() {
     let apriori = Apriori::new().with_backend(CountingBackend::HashTree);
     let without = apriori.mine(store.dataset(), min_support);
     let with = apriori.mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm));
-    assert_eq!(without.patterns, with.patterns, "the OSSM never changes the answer");
+    assert_eq!(
+        without.patterns, with.patterns,
+        "the OSSM never changes the answer"
+    );
 
     println!(
         "frequent patterns: {} (longest has {} items)",

@@ -5,81 +5,101 @@
 //! makes OSSM filtering lossless), and refining a segmentation must never
 //! loosen the bound.
 
-use proptest::prelude::*;
+mod testkit;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use testkit::{case_rng, mask_itemset};
 
 use ossm_core::{Aggregate, Ossm, Segmentation};
 use ossm_data::{Dataset, ItemId, Itemset, PageStore};
 
+const CASES: u64 = 64;
+
 /// Random dataset + random transaction-to-segment assignment.
-fn assigned_dataset() -> impl Strategy<Value = (Dataset, Vec<usize>, usize)> {
-    (2usize..=8, 1usize..=5).prop_flat_map(|(m, segs)| {
-        let tx = proptest::collection::vec((1u32..(1 << m), 0..segs), 1..40);
-        tx.prop_map(move |rows| {
-            let mut transactions = Vec::with_capacity(rows.len());
-            let mut assignment = Vec::with_capacity(rows.len());
-            for (mask, seg) in rows {
-                transactions
-                    .push(Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)));
-                assignment.push(seg);
-            }
-            (Dataset::new(m, transactions), assignment, segs)
-        })
-    })
+fn assigned_dataset(rng: &mut StdRng) -> (Dataset, Vec<usize>, usize) {
+    let m = rng.gen_range(2usize..=8);
+    let segs = rng.gen_range(1usize..=5);
+    let n = rng.gen_range(1usize..40);
+    let mut transactions = Vec::with_capacity(n);
+    let mut assignment = Vec::with_capacity(n);
+    for _ in 0..n {
+        transactions.push(mask_itemset(m, rng.gen_range(1u32..(1 << m))));
+        assignment.push(rng.gen_range(0..segs));
+    }
+    (Dataset::new(m, transactions), assignment, segs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bound_never_undercounts((d, assignment, segs) in assigned_dataset()) {
+#[test]
+fn bound_never_undercounts() {
+    for case in 0..CASES {
+        let (d, assignment, segs) = assigned_dataset(&mut case_rng(0xB0B1, case));
         let ossm = Ossm::from_transaction_assignment(&d, &assignment, segs);
         let m = d.num_items();
         for mask in 1u32..(1u32 << m) {
-            let x = Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0));
-            prop_assert!(
+            let x = mask_itemset(m, mask);
+            assert!(
                 ossm.upper_bound(&x) >= d.support(&x),
-                "bound {} < support {} for {}", ossm.upper_bound(&x), d.support(&x), x
+                "case {case}: bound {} < support {} for {}",
+                ossm.upper_bound(&x),
+                d.support(&x),
+                x
             );
         }
     }
+}
 
-    #[test]
-    fn refining_a_segmentation_tightens_bounds((d, assignment, segs) in assigned_dataset()) {
+#[test]
+fn refining_a_segmentation_tightens_bounds() {
+    for case in 0..CASES {
+        let (d, assignment, segs) = assigned_dataset(&mut case_rng(0xB0B2, case));
         // Coarse = everything in one segment; fine = the random assignment.
         let coarse = Ossm::from_transaction_assignment(&d, &vec![0; d.len()], 1);
         let fine = Ossm::from_transaction_assignment(&d, &assignment, segs);
         let m = d.num_items();
         for mask in 1u32..(1u32 << m) {
-            let x = Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0));
-            prop_assert!(
+            let x = mask_itemset(m, mask);
+            assert!(
                 fine.upper_bound(&x) <= coarse.upper_bound(&x),
-                "refinement loosened the bound for {}", x
+                "case {case}: refinement loosened the bound for {x}"
             );
         }
     }
+}
 
-    #[test]
-    fn singleton_bounds_are_exact((d, assignment, segs) in assigned_dataset()) {
+#[test]
+fn singleton_bounds_are_exact() {
+    for case in 0..CASES {
+        let (d, assignment, segs) = assigned_dataset(&mut case_rng(0xB0B3, case));
         let ossm = Ossm::from_transaction_assignment(&d, &assignment, segs);
         for i in 0..d.num_items() as u32 {
             let item = ItemId(i);
-            prop_assert_eq!(
+            assert_eq!(
                 ossm.upper_bound(&Itemset::singleton(item)),
-                d.support(&Itemset::singleton(item))
+                d.support(&Itemset::singleton(item)),
+                "case {case}"
             );
-            prop_assert_eq!(ossm.singleton_support(item), d.support(&Itemset::singleton(item)));
+            assert_eq!(
+                ossm.singleton_support(item),
+                d.support(&Itemset::singleton(item)),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn pair_specialization_matches_general_bound((d, assignment, segs) in assigned_dataset()) {
+#[test]
+fn pair_specialization_matches_general_bound() {
+    for case in 0..CASES {
+        let (d, assignment, segs) = assigned_dataset(&mut case_rng(0xB0B4, case));
         let ossm = Ossm::from_transaction_assignment(&d, &assignment, segs);
         let m = d.num_items() as u32;
         for a in 0..m {
             for b in (a + 1)..m {
-                prop_assert_eq!(
+                assert_eq!(
                     ossm.upper_bound_pair(ItemId(a), ItemId(b)),
-                    ossm.upper_bound(&Itemset::new([a, b]))
+                    ossm.upper_bound(&Itemset::new([a, b])),
+                    "case {case}: pair ({a}, {b})"
                 );
             }
         }
@@ -102,7 +122,7 @@ fn one_transaction_per_segment_is_exact() {
     let assignment: Vec<usize> = (0..d.len()).collect();
     let ossm = Ossm::from_transaction_assignment(&d, &assignment, d.len());
     for mask in 1u32..16 {
-        let x = Itemset::new((0..4u32).filter(|&i| mask & (1 << i) != 0));
+        let x = mask_itemset(4, mask);
         assert_eq!(ossm.upper_bound(&x), d.support(&x), "itemset {x}");
     }
 }

@@ -6,7 +6,9 @@
 //! of groups never exceeds `min(|T|, 2^m − m)`; and the same holds at page
 //! granularity relative to the page-level map.
 
-use proptest::prelude::*;
+mod testkit;
+
+use testkit::{case_rng, mask_itemset, random_dataset};
 
 use ossm_core::minimize::{
     exactness_violations, minimize_page_segments, minimize_segments, relative_violations,
@@ -14,70 +16,84 @@ use ossm_core::minimize::{
 use ossm_core::{theorem1_bound, Ossm, Segmentation};
 use ossm_data::{Dataset, Itemset, PageStore};
 
+const CASES: u64 = 64;
+
 /// A random small dataset: up to 40 transactions over `m ≤ 8` items.
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=8).prop_flat_map(|m| {
-        let tx = proptest::collection::vec(1u32..(1 << m), 1..40);
-        tx.prop_map(move |masks| {
-            let transactions = masks
-                .into_iter()
-                .map(|mask| Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)))
-                .collect();
-            Dataset::new(m, transactions)
-        })
-    })
+fn dataset(case: u64, salt: u64) -> Dataset {
+    random_dataset(&mut case_rng(salt, case), 2, 8, 1, 40, false)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn minimized_ossm_is_exact_for_every_itemset(d in dataset_strategy()) {
+#[test]
+fn minimized_ossm_is_exact_for_every_itemset() {
+    for case in 0..CASES {
+        let d = dataset(case, 0xE0E1);
         let min = minimize_segments(&d);
-        prop_assert!(exactness_violations(&min.ossm, &d).is_empty());
+        assert!(
+            exactness_violations(&min.ossm, &d).is_empty(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn segment_count_respects_theorem_1(d in dataset_strategy()) {
+#[test]
+fn segment_count_respects_theorem_1() {
+    for case in 0..CASES {
+        let d = dataset(case, 0xE0E2);
         let min = minimize_segments(&d);
-        prop_assert!(
+        assert!(
             min.num_segments as u64 <= theorem1_bound(d.len() as u64, d.num_items()),
-            "{} segments exceeds min({}, 2^{} - {})",
-            min.num_segments, d.len(), d.num_items(), d.num_items()
+            "case {case}: {} segments exceeds min({}, 2^{} - {})",
+            min.num_segments,
+            d.len(),
+            d.num_items(),
+            d.num_items()
         );
         // The assignment must be a valid dense segmentation.
-        prop_assert!(min.assignment.iter().all(|&s| s < min.num_segments));
+        assert!(min.assignment.iter().all(|&s| s < min.num_segments));
         for s in 0..min.num_segments {
-            prop_assert!(min.assignment.contains(&s), "segment {s} is empty");
+            assert!(
+                min.assignment.contains(&s),
+                "case {case}: segment {s} is empty"
+            );
         }
     }
+}
 
-    #[test]
-    fn page_minimization_loses_nothing_relative_to_pages(d in dataset_strategy()) {
+#[test]
+fn page_minimization_loses_nothing_relative_to_pages() {
+    for case in 0..CASES {
+        let d = dataset(case, 0xE0E3);
         for pages in [1usize, 3, 7] {
             let store = PageStore::with_page_count(d.clone(), pages);
             let p = store.num_pages();
             let fine = Ossm::from_pages(&store, &Segmentation::identity(p));
             let seg = minimize_page_segments(&store);
             let coarse = Ossm::from_pages(&store, &seg);
-            prop_assert!(seg.num_segments() <= p);
-            prop_assert!(
+            assert!(seg.num_segments() <= p);
+            assert!(
                 relative_violations(&coarse, &fine).is_empty(),
-                "page grouping changed a bound at p = {}", pages
+                "case {case}: page grouping changed a bound at p = {pages}"
             );
         }
     }
+}
 
-    #[test]
-    fn exact_ossm_filters_apriori_to_its_frequent_sets(d in dataset_strategy()) {
+#[test]
+fn exact_ossm_filters_apriori_to_its_frequent_sets() {
+    for case in 0..CASES {
         // With an exact OSSM every counted candidate at level ≥ 2 is truly
         // frequent: the structure subsumes the counting for pruning.
+        let d = dataset(case, 0xE0E4);
         let min = minimize_segments(&d);
         let filter = ossm_mining::OssmFilter::new(&min.ossm);
         let out = ossm_mining::Apriori::new().mine_filtered(&d, 2, &filter);
         for level in &out.metrics.levels {
             if level.level >= 2 {
-                prop_assert_eq!(level.counted, level.frequent, "level {}", level.level);
+                assert_eq!(
+                    level.counted, level.frequent,
+                    "case {case}: level {}",
+                    level.level
+                );
             }
         }
     }
@@ -99,12 +115,14 @@ fn duplicates_collapse() {
 fn all_configurations_realized_hits_the_bound() {
     let m = 4;
     // One transaction per non-empty subset of 4 items.
-    let transactions: Vec<Itemset> = (1u32..(1 << m))
-        .map(|mask| Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)))
-        .collect();
+    let transactions: Vec<Itemset> = (1u32..(1 << m)).map(|mask| mask_itemset(m, mask)).collect();
     let d = Dataset::new(m, transactions);
     let min = minimize_segments(&d);
     assert_eq!(min.num_segments as u64, theorem1_bound(d.len() as u64, m));
-    assert_eq!(min.num_segments, (1 << m) - m, "2^4 − 4 = 12 configurations");
+    assert_eq!(
+        min.num_segments,
+        (1 << m) - m,
+        "2^4 − 4 = 12 configurations"
+    );
     assert!(exactness_violations(&min.ossm, &d).is_empty());
 }

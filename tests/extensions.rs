@@ -19,8 +19,12 @@ fn generalized_ossm_strictly_outprunes_the_base_map_somewhere() {
     // Seasonal data, coarse 4-segment map, bubble pairs tracked: for at
     // least one candidate pair the generalized bound must be strictly
     // tighter, and it must never be looser or unsound.
-    let d = SkewedConfig { num_transactions: 2000, num_items: 40, ..SkewedConfig::default() }
-        .generate();
+    let d = SkewedConfig {
+        num_transactions: 2000,
+        num_items: 40,
+        ..SkewedConfig::default()
+    }
+    .generate();
     let threshold = d.absolute_threshold(0.01);
     let store = PageStore::with_page_count(d, 20);
     let (_, seg, _) = OssmBuilder::new(4)
@@ -42,7 +46,10 @@ fn generalized_ossm_strictly_outprunes_the_base_map_somewhere() {
             }
         }
     }
-    assert!(strictly_tighter > 0, "tracking pairs should tighten some bound");
+    assert!(
+        strictly_tighter > 0,
+        "tracking pairs should tighten some bound"
+    );
 }
 
 #[test]
@@ -56,26 +63,34 @@ fn generalized_ossm_is_a_valid_lossless_filter() {
             "generalized-OSSM"
         }
     }
-    let d = QuestConfig { num_transactions: 1200, num_items: 60, ..QuestConfig::small() }
-        .generate();
+    let d = QuestConfig {
+        num_transactions: 1200,
+        num_items: 60,
+        ..QuestConfig::small()
+    }
+    .generate();
     let min_support = d.absolute_threshold(0.02);
     let store = PageStore::with_page_count(d, 20);
-    let (_, seg, _) =
-        OssmBuilder::new(6).strategy(Strategy::Rc).build_with_segmentation(&store);
+    let (_, seg, _) = OssmBuilder::new(6)
+        .strategy(Strategy::Rc)
+        .build_with_segmentation(&store);
     let bubble = BubbleList::from_store(&store, min_support, 15);
     let g = GeneralizedOssm::from_pages(&store, &seg, bubble_pairs(&bubble));
 
     let plain = Apriori::new().mine(store.dataset(), min_support);
-    let filtered =
-        Apriori::new().mine_filtered(store.dataset(), min_support, &GeneralFilter(&g));
+    let filtered = Apriori::new().mine_filtered(store.dataset(), min_support, &GeneralFilter(&g));
     assert_eq!(plain.patterns, filtered.patterns);
     assert!(filtered.metrics.total_counted() <= plain.metrics.total_counted());
 }
 
 #[test]
 fn incremental_map_filters_mining_losslessly_after_streaming() {
-    let d = SkewedConfig { num_transactions: 3000, num_items: 50, ..SkewedConfig::default() }
-        .generate();
+    let d = SkewedConfig {
+        num_transactions: 3000,
+        num_items: 50,
+        ..SkewedConfig::default()
+    }
+    .generate();
     let min_support = d.absolute_threshold(0.015);
     // Stream the data in 30 chunks into a 10-segment incremental map.
     let mut inc = IncrementalOssm::new(10, LossCalculator::all_items());
@@ -84,16 +99,19 @@ fn incremental_map_filters_mining_losslessly_after_streaming() {
     }
     let snapshot = inc.snapshot();
     let plain = Apriori::new().mine(&d, min_support);
-    let filtered =
-        Apriori::new().mine_filtered(&d, min_support, &OssmFilter::new(&snapshot));
+    let filtered = Apriori::new().mine_filtered(&d, min_support, &OssmFilter::new(&snapshot));
     assert_eq!(plain.patterns, filtered.patterns);
     assert!(filtered.metrics.total_counted() <= plain.metrics.total_counted());
 }
 
 #[test]
 fn disk_pipeline_matches_memory_pipeline_with_io_savings() {
-    let d = QuestConfig { num_transactions: 3000, num_items: 80, ..QuestConfig::small() }
-        .generate();
+    let d = QuestConfig {
+        num_transactions: 3000,
+        num_items: 80,
+        ..QuestConfig::small()
+    }
+    .generate();
     let min_support = d.absolute_threshold(0.02);
     let path = tmpdir().join("pipeline.pages");
     ossm_data::disk::write_paged(&path, &d, 2048).expect("write");
@@ -105,16 +123,26 @@ fn disk_pipeline_matches_memory_pipeline_with_io_savings() {
         .into_iter()
         .map(|(v, n)| Aggregate::new(v, n))
         .collect();
-    assert_eq!(store.io_stats().page_reads, 0, "segmentation input needs no page I/O");
+    assert_eq!(
+        store.io_stats().page_reads,
+        0,
+        "segmentation input needs no page I/O"
+    );
     let seg = ossm_core::seg::Greedy::default().segment(&aggs, 8);
     let ossm = Ossm::from_aggregates(seg.merge_aggregates(&aggs));
 
-    let plain = StreamingApriori::new().mine(&mut store, min_support, None).expect("mine");
+    let plain = StreamingApriori::new()
+        .mine(&mut store, min_support, None)
+        .expect("mine");
     let mut store2 = DiskStore::open(&path, 8).expect("open");
-    let filtered =
-        StreamingApriori::new().mine(&mut store2, min_support, Some(&ossm)).expect("mine");
+    let filtered = StreamingApriori::new()
+        .mine(&mut store2, min_support, Some(&ossm))
+        .expect("mine");
     assert_eq!(plain.patterns, filtered.patterns);
-    assert!(filtered.page_reads < plain.page_reads, "the OSSM must save physical I/O");
+    assert!(
+        filtered.page_reads < plain.page_reads,
+        "the OSSM must save physical I/O"
+    );
 
     // And both agree with the fully in-memory reference.
     let mem = Apriori::new().mine(&d, min_support);
@@ -127,7 +155,10 @@ fn episode_mining_over_windows_with_ossm() {
     // Build an alarm-like event sequence with a planted co-firing pair.
     let mut events = Vec::new();
     for t in 0..4000u64 {
-        events.push(Event { time: t, kind: (t % 17) as u32 });
+        events.push(Event {
+            time: t,
+            kind: (t % 17) as u32,
+        });
         if t % 5 == 0 {
             // kinds 20 and 21 co-fire every 5 ticks.
             events.push(Event { time: t, kind: 20 });
@@ -152,13 +183,20 @@ fn episode_mining_over_windows_with_ossm() {
 
 #[test]
 fn constrained_mining_with_ossm_matches_post_filtering() {
-    let d = QuestConfig { num_transactions: 1500, num_items: 60, ..QuestConfig::small() }
-        .generate();
+    let d = QuestConfig {
+        num_transactions: 1500,
+        num_items: 60,
+        ..QuestConfig::small()
+    }
+    .generate();
     let min_support = d.absolute_threshold(0.02);
     let store = PageStore::with_page_count(d, 15);
     let (ossm, _) = OssmBuilder::new(6).build(&store);
 
-    let constraint = Constraint::MaxSum { values: (0..60u64).collect(), bound: 50 };
+    let constraint = Constraint::MaxSum {
+        values: (0..60u64).collect(),
+        bound: 50,
+    };
     let mined = ConstrainedApriori::new()
         .with_constraint(constraint.clone())
         .mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm));
@@ -171,8 +209,12 @@ fn constrained_mining_with_ossm_matches_post_filtering() {
 
 #[test]
 fn condensed_representations_compose_with_every_miner() {
-    let d = SkewedConfig { num_transactions: 1000, num_items: 30, ..SkewedConfig::small() }
-        .generate();
+    let d = SkewedConfig {
+        num_transactions: 1000,
+        num_items: 30,
+        ..SkewedConfig::small()
+    }
+    .generate();
     let min_support = d.absolute_threshold(0.03);
     let full = FpGrowth::new().mine(&d, min_support).patterns;
     let closed_sets = closed(&full);
@@ -193,8 +235,12 @@ fn condensed_representations_compose_with_every_miner() {
 
 #[test]
 fn ossm_persistence_roundtrips_through_the_facade() {
-    let d = QuestConfig { num_transactions: 800, num_items: 40, ..QuestConfig::small() }
-        .generate();
+    let d = QuestConfig {
+        num_transactions: 800,
+        num_items: 40,
+        ..QuestConfig::small()
+    }
+    .generate();
     let store = PageStore::with_page_count(d, 10);
     let (ossm, _) = OssmBuilder::new(5).build(&store);
     let path = tmpdir().join("facade.ossm");

@@ -1,111 +1,162 @@
 //! Property tests for the equation-(2) loss quantity (Lemma 2) and the
 //! O(m log m) evaluation's equivalence to the paper's O(m²) pair loop.
 
-use proptest::prelude::*;
+mod testkit;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use testkit::case_rng;
 
 use ossm_core::loss::{pair_min_sum, pair_min_sum_naive};
 use ossm_core::{Aggregate, LossCalculator, Segmentation};
 
-fn aggregate_strategy(m: usize) -> impl Strategy<Value = Aggregate> {
-    proptest::collection::vec(0u64..500, m).prop_map(|v| {
-        let n = v.iter().copied().max().unwrap_or(0);
-        Aggregate::new(v, n)
-    })
+const CASES: u64 = 128;
+
+fn random_aggregate(rng: &mut StdRng, m: usize) -> Aggregate {
+    let v: Vec<u64> = (0..m).map(|_| rng.gen_range(0u64..500)).collect();
+    let n = v.iter().copied().max().unwrap_or(0);
+    Aggregate::new(v, n)
 }
 
-fn aggregates_strategy() -> impl Strategy<Value = Vec<Aggregate>> {
-    (1usize..=12).prop_flat_map(|m| proptest::collection::vec(aggregate_strategy(m), 2..6))
+/// 2–5 aggregates over a common random item count `1..=12`.
+fn random_aggregates(rng: &mut StdRng) -> Vec<Aggregate> {
+    let m = rng.gen_range(1usize..=12);
+    let k = rng.gen_range(2usize..6);
+    (0..k).map(|_| random_aggregate(rng, m)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn sorted_pair_min_sum_equals_naive(w in proptest::collection::vec(0u64..10_000, 0..40)) {
-        prop_assert_eq!(pair_min_sum(&w), pair_min_sum_naive(&w));
+#[test]
+fn sorted_pair_min_sum_equals_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x1051, case);
+        let len = rng.gen_range(0usize..40);
+        let w: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..10_000)).collect();
+        assert_eq!(pair_min_sum(&w), pair_min_sum_naive(&w), "case {case}");
     }
+}
 
-    #[test]
-    fn fast_and_naive_losses_agree(segs in aggregates_strategy()) {
+#[test]
+fn fast_and_naive_losses_agree() {
+    for case in 0..CASES {
+        let segs = random_aggregates(&mut case_rng(0x1052, case));
         let fast = LossCalculator::all_items();
         let naive = LossCalculator::all_items().with_naive_evaluation();
-        prop_assert_eq!(fast.merge_loss(&segs[0], &segs[1]), naive.merge_loss(&segs[0], &segs[1]));
-        prop_assert_eq!(fast.set_loss(segs.iter()), naive.set_loss(segs.iter()));
+        assert_eq!(
+            fast.merge_loss(&segs[0], &segs[1]),
+            naive.merge_loss(&segs[0], &segs[1]),
+            "case {case}"
+        );
+        assert_eq!(
+            fast.set_loss(segs.iter()),
+            naive.set_loss(segs.iter()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn loss_is_nonnegative_and_zero_for_identical_configs(segs in aggregates_strategy()) {
+#[test]
+fn loss_is_nonnegative_and_zero_for_identical_configs() {
+    for case in 0..CASES {
+        let segs = random_aggregates(&mut case_rng(0x1053, case));
         let calc = LossCalculator::all_items();
         // Lemma 2(a/b): loss ≥ 0 always (we can't easily synthesize equal
         // configurations here, so test the scaled-copy case below
         // deterministically); merge_loss of a segment with a scaled copy
         // of itself is 0 (same configuration).
-        prop_assert!(calc.set_loss(segs.iter()) < u64::MAX);
+        assert!(calc.set_loss(segs.iter()) < u64::MAX);
         let a = &segs[0];
         let doubled = Aggregate::new(
             a.supports().iter().map(|&v| v * 2).collect(),
             a.transactions() * 2,
         );
-        prop_assert_eq!(calc.merge_loss(a, &doubled), 0, "same configuration must cost 0");
+        assert_eq!(
+            calc.merge_loss(a, &doubled),
+            0,
+            "case {case}: same configuration must cost 0"
+        );
     }
+}
 
-    #[test]
-    fn loss_is_monotone_under_set_growth(segs in aggregates_strategy()) {
+#[test]
+fn loss_is_monotone_under_set_growth() {
+    for case in 0..CASES {
         // Lemma 2(c): S ⊆ S' ⇒ loss(S) ≤ loss(S').
+        let segs = random_aggregates(&mut case_rng(0x1054, case));
         let calc = LossCalculator::all_items();
         for k in 2..=segs.len() {
             let smaller = calc.set_loss(segs[..k - 1].iter());
             let larger = calc.set_loss(segs[..k].iter());
-            prop_assert!(smaller <= larger, "loss shrank when adding segment {}", k - 1);
+            assert!(
+                smaller <= larger,
+                "case {case}: loss shrank when adding segment {}",
+                k - 1
+            );
         }
     }
+}
 
-    #[test]
-    fn scoped_loss_never_exceeds_full_loss(segs in aggregates_strategy()) {
+#[test]
+fn scoped_loss_never_exceeds_full_loss() {
+    for case in 0..CASES {
+        let segs = random_aggregates(&mut case_rng(0x1055, case));
         let m = segs[0].num_items();
         let full = LossCalculator::all_items();
         // Every-other-item bubble list.
         let scope: Vec<u32> = (0..m as u32).step_by(2).collect();
         if scope.is_empty() {
-            return Ok(());
+            continue;
         }
         let scoped = LossCalculator::scoped(scope);
-        prop_assert!(scoped.merge_loss(&segs[0], &segs[1]) <= full.merge_loss(&segs[0], &segs[1]));
-        prop_assert!(scoped.set_loss(segs.iter()) <= full.set_loss(segs.iter()));
+        assert!(
+            scoped.merge_loss(&segs[0], &segs[1]) <= full.merge_loss(&segs[0], &segs[1]),
+            "case {case}"
+        );
+        assert!(
+            scoped.set_loss(segs.iter()) <= full.set_loss(segs.iter()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn segmentation_loss_decomposes_over_groups(segs in aggregates_strategy()) {
+#[test]
+fn segmentation_loss_decomposes_over_groups() {
+    for case in 0..CASES {
+        let segs = random_aggregates(&mut case_rng(0x1056, case));
         let calc = LossCalculator::all_items();
         let n = segs.len();
         // Split into two groups: first half, second half.
         let cut = n / 2;
         if cut == 0 || cut == n {
-            return Ok(());
+            continue;
         }
-        let seg = Segmentation::from_groups(
-            vec![(0..cut).collect(), (cut..n).collect()],
-            n,
-        );
+        let seg = Segmentation::from_groups(vec![(0..cut).collect(), (cut..n).collect()], n);
         let total = calc.segmentation_loss(&segs, &seg);
-        let by_hand =
-            calc.set_loss(segs[..cut].iter()) + calc.set_loss(segs[cut..].iter());
-        prop_assert_eq!(total, by_hand);
+        let by_hand = calc.set_loss(segs[..cut].iter()) + calc.set_loss(segs[cut..].iter());
+        assert_eq!(total, by_hand, "case {case}");
         // The identity segmentation always costs zero.
-        prop_assert_eq!(calc.segmentation_loss(&segs, &Segmentation::identity(n)), 0);
+        assert_eq!(
+            calc.segmentation_loss(&segs, &Segmentation::identity(n)),
+            0,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn loss_equals_sum_of_pairwise_bound_slack(segs in aggregates_strategy()) {
+#[test]
+fn loss_equals_sum_of_pairwise_bound_slack() {
+    for case in 0..CASES {
         // Direct check of equation (2): loss(S) is exactly the total
         // increase, over all item pairs, of the merged bound vs the
         // separated bound.
         use ossm_core::Ossm;
         use ossm_data::Itemset;
+        let segs = random_aggregates(&mut case_rng(0x1057, case));
         let calc = LossCalculator::all_items();
         let m = segs[0].num_items();
         let separate = Ossm::from_aggregates(segs.clone());
-        let merged_agg = segs[1..].iter().fold(segs[0].clone(), |acc, s| acc.merged(s));
+        let merged_agg = segs[1..]
+            .iter()
+            .fold(segs[0].clone(), |acc, s| acc.merged(s));
         let merged = Ossm::from_aggregates(vec![merged_agg]);
         let mut expected = 0u64;
         for x in 0..m as u32 {
@@ -114,7 +165,7 @@ proptest! {
                 expected += merged.upper_bound(&pair) - separate.upper_bound(&pair);
             }
         }
-        prop_assert_eq!(calc.set_loss(segs.iter()), expected);
+        assert_eq!(calc.set_loss(segs.iter()), expected, "case {case}");
     }
 }
 

@@ -6,113 +6,141 @@
 //! FP-growth shares no candidate-generation code with the others, which
 //! makes this the strongest correctness oracle in the repository.
 
-use proptest::prelude::*;
+mod testkit;
+
+use rand::Rng;
+use testkit::{case_rng, random_dataset};
 
 use ossm_core::{minimize_segments, OssmBuilder, Strategy as SegStrategy};
-use ossm_data::{Dataset, Itemset, PageStore};
-use ossm_mining::{
-    Apriori, CountingBackend, DepthProject, Dhp, FpGrowth, OssmFilter, Partition,
-};
+use ossm_data::{Dataset, PageStore};
+use ossm_mining::{Apriori, CountingBackend, DepthProject, Dhp, FpGrowth, OssmFilter, Partition};
 
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=10).prop_flat_map(|m| {
-        let tx = proptest::collection::vec(1u32..(1u32 << m), 1..60);
-        tx.prop_map(move |masks| {
-            let transactions = masks
-                .into_iter()
-                .map(|mask| Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)))
-                .collect();
-            Dataset::new(m, transactions)
-        })
-    })
+const CASES: u64 = 48;
+
+fn dataset(case: u64, salt: u64) -> Dataset {
+    random_dataset(&mut case_rng(salt, case), 2, 10, 1, 60, false)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_miners_agree((d, min_support) in dataset_strategy()
-        .prop_flat_map(|d| {
-            let n = d.len() as u64;
-            (Just(d), 1..=n.max(1))
-        }))
-    {
+#[test]
+fn all_miners_agree() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x3141, case);
+        let d = random_dataset(&mut rng, 2, 10, 1, 60, false);
+        let min_support = rng.gen_range(1..=(d.len() as u64).max(1));
         let reference = Apriori::new().mine(&d, min_support).patterns;
         let hash = Apriori::new()
             .with_backend(CountingBackend::HashTree)
             .mine(&d, min_support)
             .patterns;
-        prop_assert_eq!(&reference, &hash, "hash-tree backend diverged");
+        assert_eq!(reference, hash, "case {case}: hash-tree backend diverged");
         let dhp = Dhp::new(64).mine(&d, min_support).patterns;
-        prop_assert_eq!(&reference, &dhp, "DHP diverged");
+        assert_eq!(reference, dhp, "case {case}: DHP diverged");
         let partition = Partition::new(3).mine(&d, min_support).patterns;
-        prop_assert_eq!(&reference, &partition, "Partition diverged");
+        assert_eq!(reference, partition, "case {case}: Partition diverged");
         let depth = DepthProject::new().mine(&d, min_support).patterns;
-        prop_assert_eq!(&reference, &depth, "DepthProject diverged");
+        assert_eq!(reference, depth, "case {case}: DepthProject diverged");
         let fp = FpGrowth::new().mine(&d, min_support).patterns;
-        prop_assert_eq!(&reference, &fp, "FP-growth diverged");
+        assert_eq!(reference, fp, "case {case}: FP-growth diverged");
         let eclat = ossm_mining::Eclat::new().mine(&d, min_support).patterns;
-        prop_assert_eq!(&reference, &eclat, "Eclat diverged");
+        assert_eq!(reference, eclat, "case {case}: Eclat diverged");
         // The condensed miners must agree with post-hoc condensation.
         let charm = ossm_mining::Charm::new().mine(&d, min_support).patterns;
-        prop_assert_eq!(&charm, &ossm_mining::patterns::closed(&reference), "CHARM diverged");
+        assert_eq!(
+            charm,
+            ossm_mining::patterns::closed(&reference),
+            "case {case}: CHARM diverged"
+        );
         // Downward closure must hold for whatever was produced.
-        prop_assert!(reference.closure_violation().is_none());
+        assert!(reference.closure_violation().is_none(), "case {case}");
     }
+}
 
-    #[test]
-    fn ossm_filter_never_changes_any_miner(d in dataset_strategy()) {
+#[test]
+fn ossm_filter_never_changes_any_miner() {
+    for case in 0..CASES {
+        let d = dataset(case, 0x3142);
         let min_support = (d.len() as u64 / 5).max(2);
         // Two OSSMs: the exact minimized one and a deliberately coarse one.
         let exact = minimize_segments(&d).ossm;
         let store = PageStore::with_page_count(d.clone(), 4);
-        let coarse = OssmBuilder::new(2).strategy(SegStrategy::Random).build(&store).0;
+        let coarse = OssmBuilder::new(2)
+            .strategy(SegStrategy::Random)
+            .build(&store)
+            .0;
 
         let plain = Apriori::new().mine(&d, min_support);
         for ossm in [&exact, &coarse] {
             let filter = OssmFilter::new(ossm);
             let a = Apriori::new().mine_filtered(&d, min_support, &filter);
-            prop_assert_eq!(&plain.patterns, &a.patterns, "Apriori+OSSM diverged");
-            prop_assert!(a.metrics.total_counted() <= plain.metrics.total_counted());
+            assert_eq!(
+                plain.patterns, a.patterns,
+                "case {case}: Apriori+OSSM diverged"
+            );
+            assert!(a.metrics.total_counted() <= plain.metrics.total_counted());
             let h = Dhp::new(64).mine_filtered(&d, min_support, &filter);
-            prop_assert_eq!(&plain.patterns, &h.patterns, "DHP+OSSM diverged");
+            assert_eq!(plain.patterns, h.patterns, "case {case}: DHP+OSSM diverged");
             let dp = DepthProject::new().mine_filtered(&d, min_support, &filter);
-            prop_assert_eq!(&plain.patterns, &dp.patterns, "DepthProject+OSSM diverged");
+            assert_eq!(
+                plain.patterns, dp.patterns,
+                "case {case}: DepthProject+OSSM diverged"
+            );
         }
         let pm = Partition::new(3).mine_with_ossms(&d, min_support, 2);
-        prop_assert_eq!(&plain.patterns, &pm.patterns, "Partition+OSSMs diverged");
+        assert_eq!(
+            plain.patterns, pm.patterns,
+            "case {case}: Partition+OSSMs diverged"
+        );
     }
+}
 
-    #[test]
-    fn reported_supports_are_true_supports(d in dataset_strategy()) {
+#[test]
+fn reported_supports_are_true_supports() {
+    for case in 0..CASES {
+        let d = dataset(case, 0x3143);
         let min_support = (d.len() as u64 / 4).max(1);
         let out = FpGrowth::new().mine(&d, min_support);
         for (pattern, support) in out.patterns.iter() {
-            prop_assert_eq!(support, d.support(pattern), "wrong support for {}", pattern);
-            prop_assert!(support >= min_support);
+            assert_eq!(
+                support,
+                d.support(pattern),
+                "case {case}: wrong support for {pattern}"
+            );
+            assert!(support >= min_support, "case {case}");
         }
     }
 }
 
 /// Deterministic check on realistic generated data (bigger than the
-/// proptest inputs, one fixed seed per generator).
+/// randomized inputs, one fixed seed per generator).
 #[test]
 fn agreement_on_all_three_paper_workloads() {
     use ossm_data::gen::{AlarmConfig, QuestConfig, SkewedConfig};
     let workloads: Vec<(Dataset, u64)> = vec![
         (
-            QuestConfig { num_transactions: 500, num_items: 40, ..QuestConfig::small() }
-                .generate(),
+            QuestConfig {
+                num_transactions: 500,
+                num_items: 40,
+                ..QuestConfig::small()
+            }
+            .generate(),
             10,
         ),
         (
-            SkewedConfig { num_transactions: 500, num_items: 30, ..SkewedConfig::small() }
-                .generate(),
+            SkewedConfig {
+                num_transactions: 500,
+                num_items: 30,
+                ..SkewedConfig::small()
+            }
+            .generate(),
             15,
         ),
         (
-            AlarmConfig { num_windows: 400, num_alarm_types: 25, ..AlarmConfig::small() }
-                .generate(),
+            AlarmConfig {
+                num_windows: 400,
+                num_alarm_types: 25,
+                ..AlarmConfig::small()
+            }
+            .generate(),
             25,
         ),
     ];
@@ -120,8 +148,14 @@ fn agreement_on_all_three_paper_workloads() {
         let reference = Apriori::new().mine(&d, min_support).patterns;
         assert_eq!(reference, Dhp::default().mine(&d, min_support).patterns);
         assert_eq!(reference, Partition::new(4).mine(&d, min_support).patterns);
-        assert_eq!(reference, DepthProject::new().mine(&d, min_support).patterns);
+        assert_eq!(
+            reference,
+            DepthProject::new().mine(&d, min_support).patterns
+        );
         assert_eq!(reference, FpGrowth::new().mine(&d, min_support).patterns);
-        assert!(!reference.is_empty(), "workload should produce some patterns");
+        assert!(
+            !reference.is_empty(),
+            "workload should produce some patterns"
+        );
     }
 }

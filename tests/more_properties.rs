@@ -1,62 +1,66 @@
 //! Additional property tests: counting back-ends, persistence codecs,
 //! episode/sequence semantics, and the generators' structural invariants.
 
-use proptest::prelude::*;
+mod testkit;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use testkit::{case_rng, mask_itemset, random_dataset};
 
 use ossm_data::{Dataset, Itemset};
 
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=10).prop_flat_map(|m| {
-        let tx = proptest::collection::vec(0u32..(1u32 << m), 0..50);
-        tx.prop_map(move |masks| {
-            let transactions = masks
-                .into_iter()
-                .map(|mask| Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)))
-                .collect();
-            Dataset::new(m, transactions)
-        })
-    })
+const CASES: u64 = 64;
+
+fn dataset(rng: &mut StdRng) -> Dataset {
+    random_dataset(rng, 2, 10, 0, 50, true)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hash_tree_always_matches_linear_counting(
-        d in dataset_strategy(),
-        cand_masks in proptest::collection::vec(1u32..1024, 1..30),
-    ) {
+#[test]
+fn hash_tree_always_matches_linear_counting() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5051, case);
+        let d = dataset(&mut rng);
         let m = d.num_items();
-        let candidates: Vec<Itemset> = cand_masks
-            .into_iter()
-            .map(|mask| Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0)))
+        let num_cands = rng.gen_range(1usize..30);
+        let candidates: Vec<Itemset> = (0..num_cands)
+            .map(|_| {
+                let mask = rng.gen_range(1u32..1024);
+                Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0))
+            })
             .filter(|c| !c.is_empty())
             .collect();
         if candidates.is_empty() {
-            return Ok(());
+            continue;
         }
-        prop_assert_eq!(
+        assert_eq!(
             ossm_mining::hashtree::count_hash_tree(d.transactions(), &candidates),
-            ossm_mining::support::count_linear(d.transactions(), &candidates)
+            ossm_mining::support::count_linear(d.transactions(), &candidates),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn flat_codec_roundtrips(d in dataset_strategy()) {
+#[test]
+fn flat_codec_roundtrips() {
+    for case in 0..CASES {
+        let d = dataset(&mut case_rng(0x5052, case));
         let mut buf = Vec::new();
         ossm_data::io::write_dataset(&mut buf, &d).expect("write");
         let back = ossm_data::io::read_dataset(&mut buf.as_slice()).expect("read");
-        prop_assert_eq!(back, d);
+        assert_eq!(back, d, "case {case}");
     }
+}
 
-    #[test]
-    fn paged_codec_roundtrips_and_indexes_correctly(d in dataset_strategy()) {
-        let dir = std::env::temp_dir().join("ossm-proptest-pages");
-        std::fs::create_dir_all(&dir).expect("temp dir");
-        let path = dir.join(format!("pt-{}.pages", std::process::id()));
+#[test]
+fn paged_codec_roundtrips_and_indexes_correctly() {
+    let dir = std::env::temp_dir().join("ossm-proptest-pages");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for case in 0..CASES {
+        let d = dataset(&mut case_rng(0x5053, case));
+        let path = dir.join(format!("pt-{}-{case}.pages", std::process::id()));
         ossm_data::disk::write_paged(&path, &d, 256).expect("write");
         let mut store = ossm_data::disk::DiskStore::open(&path, 3).expect("open");
-        prop_assert_eq!(store.num_transactions(), d.len() as u64);
+        assert_eq!(store.num_transactions(), d.len() as u64, "case {case}");
         // The sparse index must reproduce the dataset's singleton supports.
         let mut totals = vec![0u64; d.num_items()];
         for s in store.summaries() {
@@ -64,28 +68,37 @@ proptest! {
                 totals[item as usize] += u64::from(count);
             }
         }
-        prop_assert_eq!(&totals, &d.singleton_supports());
-        prop_assert_eq!(store.to_dataset().expect("read"), d);
+        assert_eq!(totals, d.singleton_supports(), "case {case}");
+        assert_eq!(store.to_dataset().expect("read"), d, "case {case}");
         std::fs::remove_file(&path).ok();
     }
+}
 
-    #[test]
-    fn ossm_persistence_roundtrips(d in dataset_strategy()) {
+#[test]
+fn ossm_persistence_roundtrips() {
+    for case in 0..CASES {
+        let d = dataset(&mut case_rng(0x5054, case));
         if d.is_empty() {
-            return Ok(());
+            continue;
         }
         let min = ossm_core::minimize_segments(&d);
         let mut buf = Vec::new();
         ossm_core::persist::write_ossm(&mut buf, &min.ossm).expect("write");
         let back = ossm_core::persist::read_ossm(&mut buf.as_slice()).expect("read");
-        prop_assert_eq!(back, min.ossm);
+        assert_eq!(back, min.ossm, "case {case}");
     }
+}
 
-    #[test]
-    fn serial_episode_containment_matches_brute_force(
-        window in proptest::collection::vec(0u32..5, 0..12),
-        episode in proptest::collection::vec(0u32..5, 1..5),
-    ) {
+#[test]
+fn serial_episode_containment_matches_brute_force() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5055, case);
+        let window: Vec<u32> = (0..rng.gen_range(0usize..12))
+            .map(|_| rng.gen_range(0u32..5))
+            .collect();
+        let episode: Vec<u32> = (0..rng.gen_range(1usize..5))
+            .map(|_| rng.gen_range(0u32..5))
+            .collect();
         use ossm_mining::SerialEpisode;
         let e = SerialEpisode::new(episode.clone());
         // Brute force: is `episode` a subsequence of `window`?
@@ -93,20 +106,29 @@ proptest! {
             let mut it = hay.iter();
             needle.iter().all(|n| it.any(|h| h == n))
         }
-        prop_assert_eq!(e.occurs_in(&window), is_subsequence(&episode, &window));
+        assert_eq!(
+            e.occurs_in(&window),
+            is_subsequence(&episode, &window),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn sequence_pattern_support_is_antitone_under_extension(
-        masks in proptest::collection::vec(
-            proptest::collection::vec(1u32..64, 1..5), 1..15),
-        ext in 0u32..6,
-    ) {
+#[test]
+fn sequence_pattern_support_is_antitone_under_extension() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5056, case);
+        let masks: Vec<Vec<u32>> = (0..rng.gen_range(1usize..15))
+            .map(|_| {
+                (0..rng.gen_range(1usize..5))
+                    .map(|_| rng.gen_range(1u32..64))
+                    .collect()
+            })
+            .collect();
+        let ext = rng.gen_range(0u32..6);
         use ossm_mining::{SequenceDb, SequencePattern};
         let to_sets = |seq: &Vec<u32>| -> Vec<Itemset> {
-            seq.iter()
-                .map(|&mask| Itemset::new((0..6u32).filter(|&i| mask & (1 << i) != 0)))
-                .collect()
+            seq.iter().map(|&mask| mask_itemset(6, mask)).collect()
         };
         let db = SequenceDb::new(6, masks.iter().map(to_sets).collect());
         let base = SequencePattern::new(vec![Itemset::singleton(ossm_data::ItemId(ext))]);
@@ -114,22 +136,32 @@ proptest! {
             Itemset::singleton(ossm_data::ItemId(ext)),
             Itemset::singleton(ossm_data::ItemId((ext + 1) % 6)),
         ]);
-        prop_assert!(db.support(&extended) <= db.support(&base));
+        assert!(db.support(&extended) <= db.support(&base), "case {case}");
         // Union-set bound sanity: support never exceeds the union dataset's
         // support of the pattern's items.
         let union = db.union_dataset();
-        prop_assert!(db.support(&extended) <= union.support(&extended.union_items()));
+        assert!(
+            db.support(&extended) <= union.support(&extended.union_items()),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn windowing_preserves_event_mass(
-        times in proptest::collection::vec(0u64..200, 0..60),
-        width in 1u64..20,
-    ) {
+#[test]
+fn windowing_preserves_event_mass() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x5057, case);
+        let times: Vec<u64> = (0..rng.gen_range(0usize..60))
+            .map(|_| rng.gen_range(0u64..200))
+            .collect();
+        let width = rng.gen_range(1u64..20);
         use ossm_data::sequence::{Event, EventSequence};
         let events: Vec<Event> = times
             .iter()
-            .map(|&t| Event { time: t, kind: (t % 7) as u32 })
+            .map(|&t| Event {
+                time: t,
+                kind: (t % 7) as u32,
+            })
             .collect();
         let n = events.len();
         let seq = EventSequence::new(7, events);
@@ -139,33 +171,55 @@ proptest! {
         // window.
         let d = seq.windows(width, width);
         let total_kinds: usize = d.transactions().iter().map(Itemset::len).sum();
-        prop_assert!(total_kinds <= n.max(1));
+        assert!(total_kinds <= n.max(1), "case {case}");
         if n > 0 {
-            let occupied: usize =
-                d.transactions().iter().filter(|t| !t.is_empty()).count();
-            prop_assert!(occupied >= 1);
+            let occupied: usize = d.transactions().iter().filter(|t| !t.is_empty()).count();
+            assert!(occupied >= 1, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn generator_outputs_always_fit_their_domain(seed in 0u64..50) {
+#[test]
+fn generator_outputs_always_fit_their_domain() {
+    for seed in 0u64..50 {
         use ossm_data::gen::{AlarmConfig, QuestConfig, SkewedConfig};
-        let q = QuestConfig { num_transactions: 60, num_items: 15, seed, ..QuestConfig::small() }
-            .generate();
-        prop_assert_eq!(q.num_items(), 15);
-        prop_assert!(q.transactions().iter().all(|t| !t.is_empty()));
-        let s = SkewedConfig { num_transactions: 60, num_items: 15, seed, ..SkewedConfig::small() }
-            .generate();
-        prop_assert_eq!(s.len(), 60);
-        let a = AlarmConfig { num_windows: 60, num_alarm_types: 15, seed, ..AlarmConfig::small() }
-            .generate();
-        prop_assert_eq!(a.len(), 60);
+        let q = QuestConfig {
+            num_transactions: 60,
+            num_items: 15,
+            seed,
+            ..QuestConfig::small()
+        }
+        .generate();
+        assert_eq!(q.num_items(), 15);
+        assert!(
+            q.transactions().iter().all(|t| !t.is_empty()),
+            "seed {seed}"
+        );
+        let s = SkewedConfig {
+            num_transactions: 60,
+            num_items: 15,
+            seed,
+            ..SkewedConfig::small()
+        }
+        .generate();
+        assert_eq!(s.len(), 60);
+        let a = AlarmConfig {
+            num_windows: 60,
+            num_alarm_types: 15,
+            seed,
+            ..AlarmConfig::small()
+        }
+        .generate();
+        assert_eq!(a.len(), 60);
     }
+}
 
-    #[test]
-    fn closed_and_maximal_are_consistent(d in dataset_strategy()) {
+#[test]
+fn closed_and_maximal_are_consistent() {
+    for case in 0..CASES {
+        let d = dataset(&mut case_rng(0x5058, case));
         if d.is_empty() {
-            return Ok(());
+            continue;
         }
         let min_support = (d.len() as u64 / 4).max(1);
         let full = ossm_mining::Apriori::new().mine(&d, min_support).patterns;
@@ -173,12 +227,13 @@ proptest! {
         let maximal = ossm_mining::patterns::maximal(&full);
         // maximal ⊆ closed ⊆ full, and closed reconstructs every support.
         for p in &maximal {
-            prop_assert!(closed.contains(p));
+            assert!(closed.contains(p), "case {case}");
         }
         for (p, s) in full.iter() {
-            prop_assert_eq!(
+            assert_eq!(
                 ossm_mining::patterns::support_from_closed(&closed, p),
-                Some(s)
+                Some(s),
+                "case {case}"
             );
         }
     }

@@ -11,18 +11,30 @@ fn workloads() -> Vec<(&'static str, Dataset)> {
     vec![
         (
             "regular",
-            QuestConfig { num_transactions: 1500, num_items: 60, ..QuestConfig::small() }
-                .generate(),
+            QuestConfig {
+                num_transactions: 1500,
+                num_items: 60,
+                ..QuestConfig::small()
+            }
+            .generate(),
         ),
         (
             "skewed",
-            SkewedConfig { num_transactions: 1500, num_items: 60, ..SkewedConfig::small() }
-                .generate(),
+            SkewedConfig {
+                num_transactions: 1500,
+                num_items: 60,
+                ..SkewedConfig::small()
+            }
+            .generate(),
         ),
         (
             "alarm",
-            AlarmConfig { num_windows: 1500, num_alarm_types: 60, ..AlarmConfig::small() }
-                .generate(),
+            AlarmConfig {
+                num_windows: 1500,
+                num_alarm_types: 60,
+                ..AlarmConfig::small()
+            }
+            .generate(),
         ),
     ]
 }
@@ -70,18 +82,30 @@ fn pruning_workloads() -> Vec<(&'static str, Dataset)> {
     vec![
         (
             "regular",
-            QuestConfig { num_transactions: 2000, num_items: 300, ..QuestConfig::small() }
-                .generate(),
+            QuestConfig {
+                num_transactions: 2000,
+                num_items: 300,
+                ..QuestConfig::small()
+            }
+            .generate(),
         ),
         (
             "skewed",
-            SkewedConfig { num_transactions: 2000, num_items: 300, ..SkewedConfig::small() }
-                .generate(),
+            SkewedConfig {
+                num_transactions: 2000,
+                num_items: 300,
+                ..SkewedConfig::small()
+            }
+            .generate(),
         ),
         (
             "alarm",
-            AlarmConfig { num_windows: 2000, num_alarm_types: 150, ..AlarmConfig::small() }
-                .generate(),
+            AlarmConfig {
+                num_windows: 2000,
+                num_alarm_types: 150,
+                ..AlarmConfig::small()
+            }
+            .generate(),
         ),
     ]
 }
@@ -106,7 +130,10 @@ fn more_segments_prune_more() {
         let c10 = counted_at(10);
         let c40 = counted_at(40);
         assert!(c10 <= c1, "{name}: 10 segments worse than 1 ({c10} > {c1})");
-        assert!(c40 <= c10, "{name}: 40 segments worse than 10 ({c40} > {c10})");
+        assert!(
+            c40 <= c10,
+            "{name}: 40 segments worse than 10 ({c40} > {c10})"
+        );
         assert!(c40 < c1, "{name}: the OSSM never helped at all");
     }
 }
@@ -138,13 +165,20 @@ fn skewed_data_prunes_better_than_regular_with_random_segments() {
         let store = PageStore::with_page_count(d, 40);
         let apriori = Apriori::new();
         let base = apriori.mine(store.dataset(), min_support);
-        let (ossm, _) = OssmBuilder::new(10).strategy(Strategy::Random).build(&store);
+        let (ossm, _) = OssmBuilder::new(10)
+            .strategy(Strategy::Random)
+            .build(&store);
         let with = apriori.mine_filtered(store.dataset(), min_support, &OssmFilter::new(&ossm));
         with.metrics.candidate_2_itemsets_counted() as f64
             / base.metrics.candidate_2_itemsets_counted().max(1) as f64
     };
     let regular = fraction(
-        QuestConfig { num_transactions: 2000, num_items: 50, ..QuestConfig::small() }.generate(),
+        QuestConfig {
+            num_transactions: 2000,
+            num_items: 50,
+            ..QuestConfig::small()
+        }
+        .generate(),
     );
     let skewed = fraction(
         SkewedConfig {
@@ -163,8 +197,12 @@ fn skewed_data_prunes_better_than_regular_with_random_segments() {
 
 #[test]
 fn recipe_strategies_all_build_end_to_end() {
-    let d = SkewedConfig { num_transactions: 1000, num_items: 40, ..SkewedConfig::small() }
-        .generate();
+    let d = SkewedConfig {
+        num_transactions: 1000,
+        num_items: 40,
+        ..SkewedConfig::small()
+    }
+    .generate();
     let store = PageStore::with_page_count(d, 20);
     for (large_n, skew, cost, large_p) in [
         (true, true, false, false),
@@ -191,25 +229,39 @@ fn recipe_strategies_all_build_end_to_end() {
 
 #[test]
 fn bubble_list_cuts_segmentation_time_without_breaking_quality() {
-    let d = QuestConfig { num_transactions: 3000, num_items: 200, ..QuestConfig::small() }
-        .generate();
+    let d = QuestConfig {
+        num_transactions: 3000,
+        num_items: 200,
+        ..QuestConfig::small()
+    }
+    .generate();
     let store = PageStore::with_page_count(d, 60);
-    let (_, full) = OssmBuilder::new(10).strategy(Strategy::Greedy).build(&store);
-    let (ossm_b, bubbled) =
-        OssmBuilder::new(10).strategy(Strategy::Greedy).bubble(0.01, 10.0).build(&store);
+    let (_, full) = OssmBuilder::new(10)
+        .strategy(Strategy::Greedy)
+        .build(&store);
+    let (ossm_b, bubbled) = OssmBuilder::new(10)
+        .strategy(Strategy::Greedy)
+        .bubble(0.01, 10.0)
+        .build(&store);
     // Quality: the bubbled OSSM must still be sound and useful.
     assert_eq!(ossm_b.num_segments(), 10);
     assert_eq!(bubbled.bubble_len, Some(20));
     // Timing comparisons are noisy in CI; assert the structural effect
     // instead: the bubble-scoped loss computation considers 20 items, the
     // full one 200, and both produce valid segmentations.
-    assert!(bubbled.total_loss >= full.total_loss || bubbled.total_loss > 0 || full.total_loss == 0);
+    assert!(
+        bubbled.total_loss >= full.total_loss || bubbled.total_loss > 0 || full.total_loss == 0
+    );
 }
 
 #[test]
 fn single_segment_ossm_equals_global_support_bound() {
-    let d = QuestConfig { num_transactions: 500, num_items: 30, ..QuestConfig::small() }
-        .generate();
+    let d = QuestConfig {
+        num_transactions: 500,
+        num_items: 30,
+        ..QuestConfig::small()
+    }
+    .generate();
     let store = PageStore::with_page_count(d, 10);
     let single = Ossm::single_segment(&store);
     let via_builder = Ossm::from_pages(&store, &Segmentation::single(10));

@@ -1,0 +1,45 @@
+//! Shared helpers for the randomized integration tests.
+//!
+//! These suites were originally written against `proptest`; offline
+//! builds replace generated strategies with explicit seeded loops over
+//! the in-repo `rand` shim. Each case derives its generator from
+//! (`SUITE_SALT`, case index), so failures reproduce exactly and suites
+//! don't share streams.
+
+#![allow(dead_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ossm_data::{Dataset, Itemset};
+
+/// Deterministic per-case generator: `salt` names the property, `case`
+/// the iteration.
+pub fn case_rng(salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(case))
+}
+
+/// The itemset `{i : bit i of mask set}` over `m` items.
+pub fn mask_itemset(m: usize, mask: u32) -> Itemset {
+    Itemset::new((0..m as u32).filter(|&i| mask & (1 << i) != 0))
+}
+
+/// A random dataset of `n_lo..n_hi` transactions over `m_lo..=m_hi`
+/// items, each transaction a uniform non-empty subset mask (or possibly
+/// empty when `allow_empty`).
+pub fn random_dataset(
+    rng: &mut StdRng,
+    m_lo: usize,
+    m_hi: usize,
+    n_lo: usize,
+    n_hi: usize,
+    allow_empty: bool,
+) -> Dataset {
+    let m = rng.gen_range(m_lo..=m_hi);
+    let n = rng.gen_range(n_lo..n_hi);
+    let min_mask = u32::from(!allow_empty);
+    let transactions = (0..n)
+        .map(|_| mask_itemset(m, rng.gen_range(min_mask..(1u32 << m))))
+        .collect();
+    Dataset::new(m, transactions)
+}
