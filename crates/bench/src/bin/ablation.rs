@@ -4,11 +4,14 @@
 //! vs full rebuild (A5).
 //!
 //! Usage: `cargo run -p ossm-bench --release --bin ablation --
-//! [--items=…] [--trials=…] [--pages=…] [--nuser=…]`
+//! [--items=…] [--trials=…] [--pages=…] [--nuser=…]
+//! [--trace[=chrome|folded] [PATH]]`
 
-use ossm_bench::ablation;
-use ossm_bench::cli::Options;
+use ossm_bench::{ablation, traceio};
 
 fn main() {
-    print!("{}", ablation::all(&Options::from_env()));
+    traceio::main_with_trace(|opts| {
+        print!("{}", ablation::all(opts));
+        0
+    });
 }

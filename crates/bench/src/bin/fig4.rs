@@ -3,11 +3,15 @@
 //! number of segments, for the Greedy, RC, and Random algorithms.
 //!
 //! Usage: `cargo run -p ossm-bench --release --bin fig4 -- [--pages=200]
-//! [--items=1000] [--minsup=0.01] [--seed=1]`
+//! [--items=1000] [--minsup=0.01] [--seed=1]
+//! [--trace[=chrome|folded] [PATH]]`
 
-use ossm_bench::cli::Options;
 use ossm_bench::experiments::fig4;
+use ossm_bench::traceio;
 
 fn main() {
-    print!("{}", fig4(&Options::from_env()));
+    traceio::main_with_trace(|opts| {
+        print!("{}", fig4(opts));
+        0
+    });
 }

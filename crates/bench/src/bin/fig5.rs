@@ -6,10 +6,14 @@
 //! [--hybrid-pages=2500] [--full] [--items=1000] [--nuser=40] [--nmid=200]`
 //!
 //! `--full` restores the paper's 50 000 hybrid pages (5 M transactions).
+//! `--trace[=chrome|folded] [PATH]` records a span trace of the run.
 
-use ossm_bench::cli::Options;
 use ossm_bench::experiments::fig5;
+use ossm_bench::traceio;
 
 fn main() {
-    print!("{}", fig5(&Options::from_env()));
+    traceio::main_with_trace(|opts| {
+        print!("{}", fig5(opts));
+        0
+    });
 }

@@ -5,11 +5,15 @@
 //!
 //! Usage: `cargo run -p ossm-bench --release --bin fig6 -- [--pages=2500]
 //! [--full] [--items=1000] [--nuser=40] [--nmid=200]
-//! [--bubble-minsup=0.0025] [--minsup=0.01]`
+//! [--bubble-minsup=0.0025] [--minsup=0.01]
+//! [--trace[=chrome|folded] [PATH]]`
 
-use ossm_bench::cli::Options;
 use ossm_bench::experiments::fig6;
+use ossm_bench::traceio;
 
 fn main() {
-    print!("{}", fig6(&Options::from_env()));
+    traceio::main_with_trace(|opts| {
+        print!("{}", fig6(opts));
+        0
+    });
 }

@@ -3,11 +3,15 @@
 //! runtime and the number of candidate 2-itemsets.
 //!
 //! Usage: `cargo run -p ossm-bench --release --bin sec7 -- [--pages=200]
-//! [--items=1000] [--minsup=0.01] [--nuser=40] [--buckets=32768]`
+//! [--items=1000] [--minsup=0.01] [--nuser=40] [--buckets=32768]
+//! [--trace[=chrome|folded] [PATH]]`
 
-use ossm_bench::cli::Options;
 use ossm_bench::experiments::sec7;
+use ossm_bench::traceio;
 
 fn main() {
-    print!("{}", sec7(&Options::from_env()));
+    traceio::main_with_trace(|opts| {
+        print!("{}", sec7(opts));
+        0
+    });
 }

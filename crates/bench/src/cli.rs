@@ -20,10 +20,23 @@ impl Options {
     /// # Panics
     /// Panics (with a usage hint) on arguments not starting with `--`.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let (out, positionals) = Self::parse_with_positionals(args);
+        if let Some(arg) = positionals.first() {
+            panic!("unexpected argument {arg:?}: use --key=value or --flag");
+        }
+        out
+    }
+
+    /// Like [`Self::parse`], but collects positional (non-`--`) arguments
+    /// instead of rejecting them. Used by callers that take paths
+    /// positionally (the `ossm` CLI's `--trace <path>` and `obs diff`).
+    pub fn parse_with_positionals(args: impl IntoIterator<Item = String>) -> (Self, Vec<String>) {
         let mut out = Options::default();
+        let mut positionals = Vec::new();
         for arg in args {
             let Some(body) = arg.strip_prefix("--") else {
-                panic!("unexpected argument {arg:?}: use --key=value or --flag");
+                positionals.push(arg);
+                continue;
             };
             match body.split_once('=') {
                 Some((k, v)) => {
@@ -32,7 +45,7 @@ impl Options {
                 None => out.flags.push(body.to_owned()),
             }
         }
-        out
+        (out, positionals)
     }
 
     /// Parses the process's real arguments.
@@ -59,6 +72,19 @@ impl Options {
     /// Whether a bare `--flag` was passed.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw string of `--key=value`, if present. For options whose mere
+    /// presence matters (e.g. `--trace` with an optional `=format`, which
+    /// may parse as either a flag or a value).
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Overrides `--key=value` programmatically (e.g. re-running an
+    /// experiment with a different `--workload`).
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.values.insert(key.to_owned(), value.to_owned());
     }
 }
 
@@ -95,5 +121,24 @@ mod tests {
     #[should_panic(expected = "invalid value")]
     fn rejects_bad_types() {
         parse(&["--pages=abc"]).get("pages", 0usize);
+    }
+
+    #[test]
+    fn positional_variant_collects_instead_of_panicking() {
+        let (o, pos) = Options::parse_with_positionals(
+            ["--trace=folded", "out.folded", "--full", "b.json"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert_eq!(o.raw("trace"), Some("folded"));
+        assert!(o.flag("full"));
+        assert_eq!(pos, vec!["out.folded".to_owned(), "b.json".to_owned()]);
+    }
+
+    #[test]
+    fn set_overrides_values() {
+        let mut o = parse(&["--workload=regular"]);
+        o.set("workload", "skewed");
+        assert_eq!(o.raw("workload"), Some("skewed"));
     }
 }

@@ -414,6 +414,64 @@ pub fn sec7(opts: &Options) -> Section {
     }
 }
 
+/// Runs every experiment (figures 4–6, the section-7 table) in
+/// EXPERIMENTS.md order against one option set, resetting the
+/// instrumentation registry first so the snapshot describes exactly this
+/// run. Returns the stitched markdown report and all measured rows.
+pub fn run_all(opts: &Options) -> (String, Vec<SpeedupRow>) {
+    ossm_obs::registry().reset();
+    let mut markdown = String::from("# OSSM reproduction — experiment report\n\n");
+    let mut rows = Vec::new();
+    for section in [fig4(opts), fig5(opts), fig6(opts), sec7(opts)] {
+        markdown.push_str(&section.markdown);
+        markdown.push('\n');
+        rows.extend(section.rows);
+    }
+    (markdown, rows)
+}
+
+/// The `BENCH_obs.json` body for a finished run: one self-describing JSON
+/// line per speedup row, then the current instrumentation snapshot
+/// (counters, phase timings, histograms). This is the format
+/// `regress::parse_obs_lines` consumes.
+pub fn obs_json_body(rows: &[SpeedupRow]) -> String {
+    let mut body = String::new();
+    for row in rows {
+        body.push_str(&row.to_json_row());
+        body.push('\n');
+    }
+    body.push_str(
+        &ossm_obs::Reporter::new(ossm_obs::StatsFormat::Json)
+            .render(&ossm_obs::registry().snapshot()),
+    );
+    body
+}
+
+/// Fills measured-result placeholders in a document, idempotently.
+///
+/// Each `(tag, content)` pair replaces either the bare `<!-- TAG -->`
+/// marker or a previously filled `<!-- TAG --> … <!-- /TAG -->` block with
+/// a fresh block, so re-running `--write-experiments` updates results in
+/// place instead of stacking them. Errors if a tag has no marker.
+pub fn patch_placeholders(doc: &str, sections: &[(&str, &str)]) -> Result<String, String> {
+    let mut out = doc.to_owned();
+    for (tag, content) in sections {
+        let open = format!("<!-- {tag} -->");
+        let close = format!("<!-- /{tag} -->");
+        let start = out
+            .find(&open)
+            .ok_or_else(|| format!("placeholder {open} not found in document"))?;
+        let after_open = start + open.len();
+        let end = match out[after_open..].find(&close) {
+            Some(rel) => after_open + rel + close.len(),
+            None => after_open,
+        };
+        let block = format!("{open}\n\n{}\n\n{close}", content.trim());
+        out.replace_range(start..end, &block);
+    }
+    Ok(out)
+}
+
 fn strategy_label(s: Strategy) -> String {
     match s {
         Strategy::Random => "Random".into(),
@@ -479,5 +537,59 @@ mod tests {
         let section = sec7(&smoke_options());
         assert!(section.markdown.contains("DHP with the OSSM"));
         assert!(section.markdown.contains("No. of C2"));
+    }
+
+    #[test]
+    fn obs_json_body_round_trips_through_the_regress_parser() {
+        let section = fig4(&smoke_options());
+        let body = obs_json_body(&section.rows);
+        let parsed = crate::regress::parse_obs_lines(&body).expect("body parses");
+        assert!(
+            parsed
+                .metrics
+                .keys()
+                .any(|k| k.starts_with("speedup[Regular/Greedy/")),
+            "speedup rows flatten: {:?}",
+            parsed.metrics.keys().take(5).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn patch_placeholders_fills_markers_idempotently() {
+        let doc = "intro\n\n<!-- FIG4_REGULAR -->\n\nmiddle\n\n<!-- FIG5 -->\n\nend\n";
+        let once = patch_placeholders(doc, &[("FIG4_REGULAR", "|a|b|"), ("FIG5", "five")])
+            .expect("both tags present");
+        assert!(once.contains("<!-- FIG4_REGULAR -->\n\n|a|b|\n\n<!-- /FIG4_REGULAR -->"));
+        assert!(once.contains("<!-- FIG5 -->\n\nfive\n\n<!-- /FIG5 -->"));
+        assert!(once.contains("intro") && once.contains("middle") && once.contains("end"));
+        // Re-patching replaces the filled block instead of nesting it.
+        let twice = patch_placeholders(&once, &[("FIG4_REGULAR", "updated")]).unwrap();
+        assert!(twice.contains("<!-- FIG4_REGULAR -->\n\nupdated\n\n<!-- /FIG4_REGULAR -->"));
+        assert!(!twice.contains("|a|b|"));
+        assert_eq!(
+            twice.matches("FIG4_REGULAR").count(),
+            2,
+            "one open, one close"
+        );
+        // Unfilled tags stay untouched; unknown tags error.
+        assert!(twice.contains("<!-- FIG5 -->\n\nfive"));
+        assert!(patch_placeholders(doc, &[("NOPE", "x")]).is_err());
+    }
+
+    #[test]
+    fn run_all_resets_the_registry_before_measuring() {
+        ossm_obs::registry().reset();
+        let (markdown, rows) = run_all(&smoke_options());
+        for heading in ["Figure 4", "Figure 5", "Figure 6", "Section 7"] {
+            assert!(markdown.contains(heading), "missing {heading}");
+        }
+        assert!(!rows.is_empty());
+        let body = obs_json_body(&rows);
+        if ossm_obs::ENABLED {
+            assert!(
+                body.contains("core.seg.greedy.merges"),
+                "snapshot follows the rows"
+            );
+        }
     }
 }

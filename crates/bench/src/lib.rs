@@ -9,13 +9,16 @@
 //! | `fig5` | Figure 5(a) pure and 5(b) hybrid segmentation cost/speedup tables |
 //! | `fig6` | Figure 6(a)/(b) bubble-list size sweeps |
 //! | `sec7` | Section 7's DHP-with/without-OSSM table |
-//! | `all-experiments` | everything above, in EXPERIMENTS.md order |
+//! | `all-experiments` | everything above, in EXPERIMENTS.md order (plus `--write-experiments`) |
+//! | `regress` | the bench regression gate: fresh run vs `BENCH_baseline.json` |
 //!
 //! Criterion ablation benches live in `benches/` (`loss`, `counting`,
 //! `bound`, `segmentation`, `miners`).
 //!
 //! All binaries accept `--pages=N --items=M --minsup=F --seed=S` plus
-//! binary-specific knobs, and print markdown tables.
+//! binary-specific knobs, and print markdown tables. Every binary also
+//! takes `--trace[=chrome|folded] [PATH]` to record a hierarchical span
+//! trace of the run (see `traceio`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,8 +26,10 @@
 pub mod ablation;
 pub mod cli;
 pub mod experiments;
+pub mod regress;
 pub mod runner;
 pub mod table;
+pub mod traceio;
 pub mod workloads;
 
 pub use cli::Options;

@@ -1,0 +1,412 @@
+//! The bench regression gate: compares two `BENCH_obs.json` files
+//! (committed baseline vs fresh run) metric by metric.
+//!
+//! A `BENCH_obs.json` is the line-oriented stream `all-experiments`
+//! writes: speedup rows (`"type":"speedup"`) followed by the
+//! instrumentation snapshot (`"type":"counter" | "phase" | "histogram"`).
+//! This module flattens both files into `name → value` maps and diffs
+//! them under per-metric relative thresholds:
+//!
+//! * **count metrics** (candidate counts, loss, counter values, phase call
+//!   counts, …) are deterministic for a seeded workload, so they are gated
+//!   *symmetrically*: any relative drift beyond `count_drift` fails —
+//!   an unexplained drop in `core.bound.pruned` is as suspicious as a
+//!   rise in `c2_counted`.
+//! * **timing metrics** (any name ending in `nanos`) are machine-
+//!   dependent, so they are reported always but gated only when a
+//!   `time_regress` threshold is given (and only against *increases*).
+//!
+//! A metric present in the baseline but missing from the current run
+//! always fails — silently losing instrumentation is itself a regression.
+//! New metrics only report (adding instrumentation is how the baseline
+//! grows; refresh it with `regress --write-baseline`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ossm_obs::json::{self, Json};
+
+/// Flattened metrics of one `BENCH_obs.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsData {
+    /// `metric name → value`, names as produced by [`parse_obs_lines`].
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// True for metrics measuring wall-clock time (nanosecond-valued), which
+/// vary run to run and are gated separately from deterministic counts.
+pub fn is_timing(name: &str) -> bool {
+    name.ends_with("nanos")
+}
+
+/// Parses the line-oriented `BENCH_obs.json` format into flat metrics.
+/// Lines with an unknown `type` are ignored (forward compatibility).
+pub fn parse_obs_lines(text: &str) -> Result<ObsData, String> {
+    let mut out = ObsData::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ty = v.get("type").and_then(Json::as_str).unwrap_or_default();
+        let str_of = |key: &str| v.get(key).and_then(Json::as_str).unwrap_or("?").to_owned();
+        let num_of = |key: &str| v.get(key).and_then(Json::as_f64);
+        match ty {
+            "speedup" => {
+                let prefix = format!(
+                    "speedup[{}/{}/n{}]",
+                    str_of("workload"),
+                    str_of("strategy"),
+                    num_of("n_user").unwrap_or(0.0)
+                );
+                for key in [
+                    "c2_counted",
+                    "c2_fraction",
+                    "loss",
+                    "memory_bytes",
+                    "segmentation_nanos",
+                    "mining_nanos",
+                ] {
+                    if let Some(value) = num_of(key) {
+                        out.metrics.insert(format!("{prefix}.{key}"), value);
+                    }
+                }
+            }
+            "counter" => {
+                if let Some(value) = num_of("value") {
+                    out.metrics
+                        .insert(format!("counter.{}", str_of("name")), value);
+                }
+            }
+            "phase" => {
+                let name = str_of("name");
+                if let Some(nanos) = num_of("nanos") {
+                    out.metrics.insert(format!("phase.{name}.nanos"), nanos);
+                }
+                if let Some(calls) = num_of("calls") {
+                    out.metrics.insert(format!("phase.{name}.calls"), calls);
+                }
+            }
+            "histogram" => {
+                let name = str_of("name");
+                if let Some(count) = num_of("count") {
+                    out.metrics.insert(format!("histogram.{name}.count"), count);
+                }
+                if let Some(sum) = num_of("sum") {
+                    out.metrics.insert(format!("histogram.{name}.sum"), sum);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Gate thresholds (relative, e.g. `0.05` = 5 %).
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Maximum |relative drift| for deterministic count metrics.
+    pub count_drift: f64,
+    /// Maximum relative *increase* for timing metrics; `None` leaves
+    /// timings report-only (the CI-stable default).
+    pub time_regress: Option<f64>,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            count_drift: 0.05,
+            time_regress: None,
+        }
+    }
+}
+
+/// One metric's comparison.
+#[derive(Clone, Debug)]
+pub struct Diff {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// `(cur − base) / base`; infinite when `base == 0 != cur`.
+    pub change: f64,
+    /// Whether this metric breached its threshold.
+    pub failed: bool,
+}
+
+/// The full comparison of two obs files.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Metrics present in both files.
+    pub diffs: Vec<Diff>,
+    /// Metrics only in the baseline (always a failure).
+    pub missing: Vec<String>,
+    /// Metrics only in the current run (report-only).
+    pub added: Vec<String>,
+}
+
+impl Report {
+    /// True when any gated metric breached its threshold or any baseline
+    /// metric disappeared.
+    pub fn failed(&self) -> bool {
+        !self.missing.is_empty() || self.diffs.iter().any(|d| d.failed)
+    }
+
+    /// Renders the markdown report: verdict, failures, biggest movers.
+    pub fn to_markdown(&self, thresholds: &Thresholds) -> String {
+        let mut out = String::new();
+        let failures: Vec<&Diff> = self.diffs.iter().filter(|d| d.failed).collect();
+        let _ = writeln!(out, "# Bench regression report\n");
+        let _ = writeln!(
+            out,
+            "Verdict: **{}** — {} metrics compared, {} failed threshold, \
+             {} missing, {} new. Count-drift gate ±{:.1}%; timing gate {}.\n",
+            if self.failed() { "FAIL" } else { "PASS" },
+            self.diffs.len(),
+            failures.len(),
+            self.missing.len(),
+            self.added.len(),
+            thresholds.count_drift * 100.0,
+            match thresholds.time_regress {
+                Some(t) => format!("+{:.1}%", t * 100.0),
+                None => "off (report-only)".to_owned(),
+            },
+        );
+        if !failures.is_empty() {
+            let _ = writeln!(out, "## Failures\n");
+            let _ = writeln!(out, "| metric | baseline | current | change |");
+            let _ = writeln!(out, "|---|---|---|---|");
+            for d in &failures {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    d.name,
+                    fmt_value(d.base),
+                    fmt_value(d.cur),
+                    fmt_change(d.change)
+                );
+            }
+            out.push('\n');
+        }
+        if !self.missing.is_empty() {
+            let _ = writeln!(out, "## Missing from the current run\n");
+            for name in &self.missing {
+                let _ = writeln!(out, "- {name}");
+            }
+            out.push('\n');
+        }
+        if !self.added.is_empty() {
+            let _ = writeln!(
+                out,
+                "## New metrics ({}; refresh the baseline to gate them)\n",
+                self.added.len()
+            );
+            for name in self.added.iter().take(20) {
+                let _ = writeln!(out, "- {name}");
+            }
+            if self.added.len() > 20 {
+                let _ = writeln!(out, "- … and {} more", self.added.len() - 20);
+            }
+            out.push('\n');
+        }
+        // The biggest non-failing movers give the "did anything shift?"
+        // picture even on a green run.
+        let mut movers: Vec<&Diff> = self
+            .diffs
+            .iter()
+            .filter(|d| !d.failed && d.change != 0.0)
+            .collect();
+        movers.sort_by(|a, b| {
+            b.change
+                .abs()
+                .partial_cmp(&a.change.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        if !movers.is_empty() {
+            let _ = writeln!(out, "## Largest movements within thresholds\n");
+            let _ = writeln!(out, "| metric | baseline | current | change |");
+            let _ = writeln!(out, "|---|---|---|---|");
+            for d in movers.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    d.name,
+                    fmt_value(d.base),
+                    fmt_value(d.cur),
+                    fmt_change(d.change)
+                );
+            }
+        }
+        out
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn fmt_change(change: f64) -> String {
+    if change.is_infinite() {
+        "new-nonzero".to_owned()
+    } else {
+        format!("{:+.2}%", change * 100.0)
+    }
+}
+
+/// Compares `current` against `baseline` under `thresholds`.
+pub fn compare(baseline: &ObsData, current: &ObsData, thresholds: &Thresholds) -> Report {
+    let mut report = Report::default();
+    for (name, &base) in &baseline.metrics {
+        let Some(&cur) = current.metrics.get(name) else {
+            report.missing.push(name.clone());
+            continue;
+        };
+        let change = if base == 0.0 {
+            if cur == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (cur - base) / base
+        };
+        let failed = if is_timing(name) {
+            thresholds.time_regress.is_some_and(|t| change > t)
+        } else {
+            change.abs() > thresholds.count_drift
+        };
+        report.diffs.push(Diff {
+            name: name.clone(),
+            base,
+            cur,
+            change,
+            failed,
+        });
+    }
+    for name in current.metrics.keys() {
+        if !baseline.metrics.contains_key(name) {
+            report.added.push(name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"type":"speedup","workload":"Regular","strategy":"Greedy","n_user":6,"segmentation_nanos":1000,"mining_nanos":2000,"speedup":1.5,"c2_counted":100,"c2_fraction":0.25,"loss":7,"memory_bytes":4096}"#,
+        "\n",
+        r#"{"type":"counter","name":"core.bound.evals","value":128}"#,
+        "\n",
+        r#"{"type":"phase","name":"core.build.segment","nanos":5000,"calls":3}"#,
+        "\n",
+        r#"{"type":"histogram","name":"mining.bound.slack","count":12,"sum":40,"buckets":[[0,4],[4,8]]}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parses_every_line_type() {
+        let d = parse_obs_lines(SAMPLE).unwrap();
+        let m = &d.metrics;
+        assert_eq!(m.get("speedup[Regular/Greedy/n6].c2_counted"), Some(&100.0));
+        assert_eq!(m.get("speedup[Regular/Greedy/n6].loss"), Some(&7.0));
+        assert_eq!(
+            m.get("speedup[Regular/Greedy/n6].mining_nanos"),
+            Some(&2000.0)
+        );
+        assert_eq!(m.get("counter.core.bound.evals"), Some(&128.0));
+        assert_eq!(m.get("phase.core.build.segment.nanos"), Some(&5000.0));
+        assert_eq!(m.get("phase.core.build.segment.calls"), Some(&3.0));
+        assert_eq!(m.get("histogram.mining.bound.slack.count"), Some(&12.0));
+        assert_eq!(m.get("histogram.mining.bound.slack.sum"), Some(&40.0));
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let d = parse_obs_lines(SAMPLE).unwrap();
+        let report = compare(&d, &d, &Thresholds::default());
+        assert!(!report.failed());
+        assert!(report.missing.is_empty() && report.added.is_empty());
+        assert!(report.to_markdown(&Thresholds::default()).contains("PASS"));
+    }
+
+    #[test]
+    fn count_drift_fails_in_both_directions() {
+        let base = parse_obs_lines(SAMPLE).unwrap();
+        for value in [100, 160] {
+            // 128 ± 25% on core.bound.evals, beyond the 5% gate.
+            let cur =
+                parse_obs_lines(&SAMPLE.replace(r#""value":128"#, &format!(r#""value":{value}"#)))
+                    .unwrap();
+            let report = compare(&base, &cur, &Thresholds::default());
+            assert!(report.failed(), "value {value} must fail");
+            let md = report.to_markdown(&Thresholds::default());
+            assert!(md.contains("FAIL") && md.contains("core.bound.evals"));
+        }
+    }
+
+    #[test]
+    fn timings_are_report_only_by_default() {
+        let base = parse_obs_lines(SAMPLE).unwrap();
+        let cur = parse_obs_lines(&SAMPLE.replace(r#""nanos":5000"#, r#""nanos":500000"#)).unwrap();
+        assert!(!compare(&base, &cur, &Thresholds::default()).failed());
+        // With an explicit timing gate, a 100x slowdown fails…
+        let gated = Thresholds {
+            time_regress: Some(0.5),
+            ..Thresholds::default()
+        };
+        assert!(compare(&base, &cur, &gated).failed());
+        // …but a speedup never does.
+        let faster = parse_obs_lines(&SAMPLE.replace(r#""nanos":5000"#, r#""nanos":50"#)).unwrap();
+        assert!(!compare(&base, &faster, &gated).failed());
+    }
+
+    #[test]
+    fn missing_metrics_fail_and_new_metrics_report() {
+        let base = parse_obs_lines(SAMPLE).unwrap();
+        let cur = parse_obs_lines(&SAMPLE.replace(
+            r#"{"type":"counter","name":"core.bound.evals","value":128}"#,
+            r#"{"type":"counter","name":"core.bound.other","value":128}"#,
+        ))
+        .unwrap();
+        let report = compare(&base, &cur, &Thresholds::default());
+        assert!(report.failed(), "losing a metric is a regression");
+        assert_eq!(report.missing, vec!["counter.core.bound.evals".to_owned()]);
+        assert_eq!(report.added, vec!["counter.core.bound.other".to_owned()]);
+        // New-only metrics alone must not fail.
+        let grown = compare(&cur, &base, &Thresholds::default());
+        assert_eq!(grown.missing, vec!["counter.core.bound.other".to_owned()]);
+    }
+
+    #[test]
+    fn zero_baseline_fails_only_when_current_is_nonzero() {
+        let base = parse_obs_lines(&SAMPLE.replace(r#""value":128"#, r#""value":0"#)).unwrap();
+        let same = compare(&base, &base, &Thresholds::default());
+        assert!(!same.failed(), "0 -> 0 is no drift");
+        let cur = parse_obs_lines(&SAMPLE.replace(r#""value":128"#, r#""value":3"#)).unwrap();
+        let report = compare(&base, &cur, &Thresholds::default());
+        assert!(report.failed(), "0 -> 3 is unbounded drift");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let err = parse_obs_lines("{\"type\":\"counter\"\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn timing_classifier_matches_the_naming_convention() {
+        assert!(is_timing("phase.core.build.segment.nanos"));
+        assert!(is_timing("speedup[Regular/Greedy/n6].mining_nanos"));
+        assert!(!is_timing("phase.core.build.segment.calls"));
+        assert!(!is_timing("counter.core.bound.evals"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared `--trace[=chrome|folded]` handling for the `ossm` CLI and every
+//! bench binary.
+//!
+//! The flag contract, identical everywhere:
+//!
+//! * `--trace` — record a Chrome trace (the default format);
+//! * `--trace=chrome` / `--trace=folded` — select the exporter;
+//! * the output path is the first positional argument when the caller
+//!   accepts one (the `ossm` CLI), or `--trace-out=PATH`; otherwise the
+//!   format's conventional file name (`trace.json` / `trace.folded`) in
+//!   the working directory.
+//!
+//! In builds without the `obs` feature the flag still parses and writes a
+//! valid (empty) document, so scripts and CI pipelines work unchanged —
+//! the file just notes that instrumentation was compiled out.
+
+use std::path::PathBuf;
+
+use ossm_obs::TraceFormat;
+
+use crate::cli::Options;
+
+/// A resolved `--trace` request: export format plus output path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Export format.
+    pub format: TraceFormat,
+    /// Where the rendered trace is written.
+    pub path: PathBuf,
+}
+
+impl TraceConfig {
+    /// Interprets `--trace` from parsed options. `positional` is the
+    /// caller-supplied output path, if it accepts one. Returns `None` when
+    /// no `--trace` was given, `Err` on an unknown format.
+    pub fn from_options(opts: &Options, positional: Option<&str>) -> Result<Option<Self>, String> {
+        let format = match opts.raw("trace") {
+            Some(fmt) => fmt.parse::<TraceFormat>()?,
+            None if opts.flag("trace") => TraceFormat::default(),
+            None => return Ok(None),
+        };
+        let path = positional
+            .map(PathBuf::from)
+            .or_else(|| opts.raw("trace-out").map(PathBuf::from))
+            .unwrap_or_else(|| PathBuf::from(format.default_file_name()));
+        Ok(Some(TraceConfig { format, path }))
+    }
+
+    /// Starts trace collection (a no-op without the `obs` feature).
+    pub fn begin(&self) {
+        ossm_obs::trace_begin();
+    }
+
+    /// Stops collection, writes the rendered trace to `self.path`, and
+    /// returns a one-line human note about what was written.
+    pub fn finish(&self) -> Result<String, String> {
+        let trace = ossm_obs::trace_take();
+        let body = trace.render(self.format);
+        std::fs::write(&self.path, &body)
+            .map_err(|e| format!("cannot write trace to {}: {e}", self.path.display()))?;
+        let note = if ossm_obs::ENABLED {
+            format!(
+                "trace: wrote {} spans ({}) to {}",
+                trace.len(),
+                self.format,
+                self.path.display()
+            )
+        } else {
+            format!(
+                "trace: instrumentation compiled out (build with the obs feature); \
+                 wrote an empty {} trace to {}",
+                self.format,
+                self.path.display()
+            )
+        };
+        Ok(note)
+    }
+}
+
+/// Entry-point wrapper shared by the experiment binaries: parses the
+/// process arguments (allowing one positional trace-output path), starts
+/// trace collection if `--trace` was given, runs `body`, writes the trace,
+/// and exits with `body`'s status code. Argument or trace-I/O errors exit
+/// non-zero with a message on stderr.
+pub fn main_with_trace(body: impl FnOnce(&Options) -> i32) -> ! {
+    let (opts, positionals) = Options::parse_with_positionals(std::env::args().skip(1));
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    };
+    if positionals.len() > 1 {
+        fail(format!(
+            "unexpected argument {:?}: at most one positional (the --trace output path) is accepted",
+            positionals[1]
+        ));
+    }
+    let trace = match TraceConfig::from_options(&opts, positionals.first().map(String::as_str)) {
+        Ok(tc) => tc,
+        Err(e) => fail(e),
+    };
+    if trace.is_none() {
+        if let Some(arg) = positionals.first() {
+            fail(format!(
+                "unexpected argument {arg:?}: positional paths are only used with --trace"
+            ));
+        }
+    }
+    if let Some(tc) = &trace {
+        tc.begin();
+    }
+    let status = body(&opts);
+    if let Some(tc) = &trace {
+        match tc.finish() {
+            Ok(note) => eprintln!("{note}"),
+            Err(e) => fail(e),
+        }
+    }
+    std::process::exit(status);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn absent_flag_means_no_tracing() {
+        assert_eq!(TraceConfig::from_options(&opts(&[]), None), Ok(None));
+        assert_eq!(
+            TraceConfig::from_options(&opts(&["--full"]), Some("x")),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn bare_flag_defaults_to_chrome() {
+        let tc = TraceConfig::from_options(&opts(&["--trace"]), None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(tc.format, TraceFormat::Chrome);
+        assert_eq!(tc.path, PathBuf::from("trace.json"));
+    }
+
+    #[test]
+    fn format_and_path_resolution() {
+        let tc = TraceConfig::from_options(&opts(&["--trace=folded"]), Some("/tmp/t.folded"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(tc.format, TraceFormat::Folded);
+        assert_eq!(tc.path, PathBuf::from("/tmp/t.folded"));
+
+        let tc = TraceConfig::from_options(&opts(&["--trace=folded", "--trace-out=o.txt"]), None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(tc.path, PathBuf::from("o.txt"));
+    }
+
+    #[test]
+    fn unknown_format_is_an_error() {
+        assert!(TraceConfig::from_options(&opts(&["--trace=svg"]), None).is_err());
+    }
+
+    #[test]
+    fn finish_writes_a_parseable_document() {
+        let dir = std::env::temp_dir().join("ossm-traceio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let tc = TraceConfig {
+            format: TraceFormat::Chrome,
+            path: path.clone(),
+        };
+        tc.begin();
+        drop(ossm_obs::span("traceio.test"));
+        let note = tc.finish().expect("write");
+        assert!(note.starts_with("trace:"), "{note}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = ossm_obs::json::parse(&text).expect("chrome trace parses");
+        let events = json.as_array().expect("array");
+        if ossm_obs::ENABLED {
+            assert!(events
+                .iter()
+                .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("traceio.test")));
+        } else {
+            assert!(events.is_empty(), "disabled builds record nothing");
+        }
+    }
+}

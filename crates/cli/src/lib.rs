@@ -23,7 +23,9 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use ossm_bench::cli::Options;
+use ossm_bench::regress;
 use ossm_bench::table::{fmt_bytes, fmt_duration, Table};
+use ossm_bench::traceio::TraceConfig;
 use ossm_core::{
     persist, recommend, ApplicationProfile, Ossm, OssmBuilder, RecommendedStrategy, Strategy,
 };
@@ -52,35 +54,85 @@ commands:
             fpgrowth|eclat|charm|genmax|streaming] [--ossm=FILE.ossm]
             [--top=K]
   recipe    --nuser=N --pages=P [--skewed] [--cost-sensitive]
+  obs       diff BASELINE.json CURRENT.json [--count-drift=0.05]
+            [--max-time-regress=F]   (compare two instrumentation
+            snapshots, e.g. BENCH_baseline.json vs a fresh BENCH_obs.json)
   help
 
 global flags:
   --stats=table|json   append an instrumentation report (bound
                        evaluations, pruned candidates, phase timings)
                        to the command's output; bare --stats means
-                       --stats=table. Needs the default `obs` feature.";
+                       --stats=table. Needs the default `obs` feature.
+  --trace[=chrome|folded] [PATH]
+                       record a hierarchical span trace of the command
+                       and write it to PATH (or --trace-out=PATH, or
+                       trace.json / trace.folded). chrome traces open in
+                       Perfetto / chrome://tracing; folded stacks feed
+                       flamegraph.pl. Needs the default `obs` feature.";
 
 /// Runs a CLI invocation; returns the report to print.
 pub fn run(args: &[String]) -> Result<String, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
-    let opts = Options::parse(rest.iter().cloned());
+    let (opts, positionals) = Options::parse_with_positionals(rest.iter().cloned());
+    // `obs diff` consumes its positionals itself (they are input files, so
+    // a trace path there must go through --trace-out); for every other
+    // command the only legal positional is the --trace output path.
+    let trace = if command == "obs" {
+        TraceConfig::from_options(&opts, None)?
+    } else {
+        let tc = TraceConfig::from_options(&opts, positionals.first().map(String::as_str))?;
+        match (&tc, positionals.len()) {
+            (None, 1..) => {
+                return Err(format!(
+                    "unexpected argument {:?}: positional paths are only used with --trace",
+                    positionals[0]
+                ))
+            }
+            (Some(_), 2..) => {
+                return Err(format!(
+                    "unexpected argument {:?}: --trace takes at most one output path",
+                    positionals[1]
+                ))
+            }
+            _ => {}
+        }
+        tc
+    };
     let stats = stats_format(&opts)?;
     if stats.is_some() {
         // Report only what *this* invocation records.
         ossm_obs::registry().reset();
     }
-    let report = match command.as_str() {
-        "generate" => generate(&opts),
-        "pack" => pack(&opts),
-        "inspect" => inspect(&opts),
-        "segment" => segment(&opts),
-        "mine" => mine(&opts),
-        "recipe" => recipe(&opts),
-        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
-        other => Err(format!("unknown command {other:?}")),
+    if let Some(tc) = &trace {
+        tc.begin();
+    }
+    // The root span covers the whole command, so every miner/builder span
+    // hangs off `cli.<command>` in the exported trace. Scoped so it closes
+    // before `finish()` drains the buffer.
+    let report = {
+        let _cmd_span = ossm_obs::span(format!("cli.{command}"));
+        match command.as_str() {
+            "generate" => generate(&opts),
+            "pack" => pack(&opts),
+            "inspect" => inspect(&opts),
+            "segment" => segment(&opts),
+            "mine" => mine(&opts),
+            "recipe" => recipe(&opts),
+            "obs" => obs(&opts, &positionals),
+            "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+            other => Err(format!("unknown command {other:?}")),
+        }
     }?;
+    let report = match &trace {
+        None => report,
+        Some(tc) => {
+            let note = tc.finish()?;
+            format!("{report}{note}\n")
+        }
+    };
     match stats {
         None => Ok(report),
         Some(format) => {
@@ -394,6 +446,41 @@ fn recipe(opts: &Options) -> Result<String, String> {
     ))
 }
 
+/// `ossm obs diff BASELINE CURRENT` — compares two instrumentation
+/// snapshot files (the `BENCH_obs.json` line format) with the same
+/// flattening and thresholds as the `regress` bench binary, and prints its
+/// markdown report. Informational: the exit-code gate lives in `regress`.
+fn obs(opts: &Options, positionals: &[String]) -> Result<String, String> {
+    const OBS_USAGE: &str =
+        "usage: ossm obs diff BASELINE.json CURRENT.json [--count-drift=0.05] [--max-time-regress=F]";
+    match positionals.split_first() {
+        Some((sub, files)) if sub == "diff" => {
+            let [baseline_path, current_path] = files else {
+                return Err(format!("obs diff takes exactly two files\n{OBS_USAGE}"));
+            };
+            let read = |path: &String| -> Result<regress::ObsData, String> {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                regress::parse_obs_lines(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            let baseline = read(baseline_path)?;
+            let current = read(current_path)?;
+            let thresholds = regress::Thresholds {
+                count_drift: opts.get("count-drift", 0.05f64),
+                time_regress: opts
+                    .raw("max-time-regress")
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .map_err(|e| format!("--max-time-regress={v}: invalid value ({e})"))
+                    })
+                    .transpose()?,
+            };
+            Ok(regress::compare(&baseline, &current, &thresholds).to_markdown(&thresholds))
+        }
+        Some((other, _)) => Err(format!("unknown obs subcommand {other:?}\n{OBS_USAGE}")),
+        None => Err(format!("missing obs subcommand\n{OBS_USAGE}")),
+    }
+}
+
 #[derive(PartialEq, Eq, Debug)]
 enum FileKind {
     Flat,
@@ -630,5 +717,151 @@ mod tests {
     #[test]
     fn segment_requires_input() {
         assert!(run(&["segment".to_owned()]).is_err());
+    }
+
+    /// Serializes tests that drive the process-global trace collector, so
+    /// one test's `trace_take` cannot drain another's spans.
+    fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        match LOCK.get_or_init(|| std::sync::Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn generated_db(name: &str) -> PathBuf {
+        let db = tmp(name);
+        run_ok(&[
+            "generate",
+            "--kind=skewed",
+            "--transactions=1200",
+            "--items=50",
+            &format!("--out={}", db.to_str().unwrap()),
+        ]);
+        db
+    }
+
+    #[test]
+    fn mine_with_trace_writes_a_chrome_trace() {
+        let _guard = trace_lock();
+        let db = generated_db("trace-chrome.db");
+        let out = tmp("trace-chrome.json");
+        let report = run_ok(&[
+            "mine",
+            &format!("--in={}", db.to_str().unwrap()),
+            "--minsup=0.05",
+            "--trace=chrome",
+            out.to_str().unwrap(),
+        ]);
+        assert!(report.contains("trace:"), "{report}");
+        let text = std::fs::read_to_string(&out).expect("trace file written");
+        let events = ossm_obs::json::parse(&text)
+            .expect("valid JSON")
+            .as_array()
+            .expect("chrome traces are a JSON array")
+            .to_vec();
+        if ossm_obs::ENABLED {
+            assert!(!events.is_empty());
+            for e in &events {
+                assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"), "{text}");
+                assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+            }
+            let names: Vec<&str> = events
+                .iter()
+                .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+                .collect();
+            assert!(names.contains(&"cli.mine"), "{names:?}");
+            assert!(names.contains(&"mining.apriori"), "{names:?}");
+        } else {
+            assert!(events.is_empty(), "disabled builds record nothing");
+            assert!(report.contains("compiled out"), "{report}");
+        }
+        for f in [db, out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn mine_with_trace_writes_folded_stacks() {
+        let _guard = trace_lock();
+        let db = generated_db("trace-folded.db");
+        let out = tmp("trace-folded.folded");
+        run_ok(&[
+            "mine",
+            &format!("--in={}", db.to_str().unwrap()),
+            "--minsup=0.05",
+            "--trace=folded",
+            out.to_str().unwrap(),
+        ]);
+        let text = std::fs::read_to_string(&out).expect("trace file written");
+        if ossm_obs::ENABLED {
+            assert!(
+                text.lines().any(|l| l.starts_with("cli.mine")),
+                "stacks are rooted at the command span:\n{text}"
+            );
+            assert!(text.contains("cli.mine;mining.apriori"), "{text}");
+            for line in text.lines() {
+                let (_, value) = line.rsplit_once(' ').expect("`stack value` shape");
+                value.parse::<u64>().expect("integer self-time");
+            }
+        } else {
+            assert!(text.is_empty(), "disabled builds record nothing");
+        }
+        for f in [db, out] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn positional_arguments_need_a_trace_flag() {
+        let err = run(&["recipe".to_owned(), "stray".to_owned()]).unwrap_err();
+        assert!(err.contains("only used with --trace"), "{err}");
+        let err = run(&[
+            "recipe".to_owned(),
+            "--trace".to_owned(),
+            "a".to_owned(),
+            "b".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("at most one output path"), "{err}");
+    }
+
+    #[test]
+    fn obs_diff_compares_two_snapshots() {
+        let base = tmp("diff-base.json");
+        let cur = tmp("diff-cur.json");
+        std::fs::write(
+            &base,
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":100}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &cur,
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":103}\n",
+        )
+        .unwrap();
+        let args = |b: &Path, c: &Path| {
+            vec![
+                "obs".to_owned(),
+                "diff".to_owned(),
+                b.to_str().unwrap().to_owned(),
+                c.to_str().unwrap().to_owned(),
+            ]
+        };
+        // 3% drift: inside the default 5% gate.
+        let report = run(&args(&base, &cur)).expect("diff runs");
+        assert!(report.contains("**PASS**"), "{report}");
+        assert!(report.contains("counter.c"), "{report}");
+        // Tighter gate: the same drift fails.
+        let mut tight = args(&base, &cur);
+        tight.push("--count-drift=0.01".to_owned());
+        assert!(run(&tight).expect("diff runs").contains("**FAIL**"));
+        // Argument errors.
+        assert!(run(&["obs".to_owned()]).is_err());
+        assert!(run(&["obs".to_owned(), "diff".to_owned()]).is_err());
+        assert!(run(&["obs".to_owned(), "bogus".to_owned()]).is_err());
+        for f in [base, cur] {
+            std::fs::remove_file(f).ok();
+        }
     }
 }

@@ -158,6 +158,7 @@ impl OssmBuilder {
             store.num_pages() > 0,
             "cannot build an OSSM over zero pages"
         );
+        let _build_span = ossm_obs::span("core.build");
         let start = Instant::now();
         let inputs = {
             let _span = ossm_obs::phase("core.build.aggregate");

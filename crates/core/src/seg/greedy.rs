@@ -59,6 +59,7 @@ impl SegmentationAlgorithm for Greedy {
         if let Some(t) = trivial(inputs, n_user) {
             return t;
         }
+        let _seg_span = ossm_obs::span("core.seg.greedy");
         // Slab of segments by id; `None` = merged away. Ids only grow, so a
         // heap entry is stale iff either of its ids is dead.
         let mut slab: Vec<Option<(Aggregate, Vec<usize>)>> = inputs
@@ -71,17 +72,24 @@ impl SegmentationAlgorithm for Greedy {
         // Step 1: all initial pairwise losses. Min-heap via Reverse; ties
         // resolve to the smallest (a, b) ids for determinism.
         let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
-        for a in 0..inputs.len() {
-            for b in (a + 1)..inputs.len() {
-                let loss = self.calc.merge_loss(&inputs[a], &inputs[b]);
-                LOSS_EVALS.incr();
-                heap.push(Reverse((loss, a, b)));
-                HEAP_PUSHES.incr();
+        {
+            let mut s = ossm_obs::detail_span("core.seg.greedy.init_losses");
+            s.watch(&LOSS_EVALS);
+            for a in 0..inputs.len() {
+                for b in (a + 1)..inputs.len() {
+                    let loss = self.calc.merge_loss(&inputs[a], &inputs[b]);
+                    LOSS_EVALS.incr();
+                    heap.push(Reverse((loss, a, b)));
+                    HEAP_PUSHES.incr();
+                }
             }
         }
 
         // Step 2: repeatedly merge the globally closest pair.
         while alive > n_user {
+            let mut round = ossm_obs::detail_span("core.seg.greedy.round");
+            round.watch(&LOSS_EVALS);
+            round.watch(&STALE_POPS);
             let Reverse((_, a, b)) = heap.pop().expect("heap cannot drain before n_user");
             if slab[a].is_none() || slab[b].is_none() {
                 STALE_POPS.incr();

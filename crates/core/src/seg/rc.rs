@@ -51,6 +51,7 @@ impl SegmentationAlgorithm for RandomClosest {
         if let Some(t) = trivial(inputs, n_user) {
             return t;
         }
+        let _seg_span = ossm_obs::span("core.seg.rc");
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Working set of live segments: (aggregate, original input indices).
         let mut live: Vec<(Aggregate, Vec<usize>)> = inputs
@@ -59,6 +60,8 @@ impl SegmentationAlgorithm for RandomClosest {
             .map(|(i, a)| (a.clone(), vec![i]))
             .collect();
         while live.len() > n_user {
+            let mut round = ossm_obs::detail_span("core.seg.rc.round");
+            round.watch(&LOSS_EVALS);
             // Step 2: pick a random segment S1.
             let i = rng.gen_range(0..live.len());
             // Step 3: find the closest segment S2 (min merge loss; ties to

@@ -345,6 +345,8 @@ impl DiskStore {
         let m = self.m;
         let file = &mut self.file;
         let txs = self.pool.get_or_load(p as u64, || {
+            let mut span = ossm_obs::detail_span("data.disk.read_page");
+            span.attach("page", p as u64);
             let mut buf = vec![0u8; page_bytes];
             file.seek(SeekFrom::Start(offset))?;
             file.read_exact(&mut buf)?;
@@ -356,6 +358,9 @@ impl DiskStore {
     /// Streams every transaction through `visit`, page by page. Returns
     /// the number of pages read for the pass.
     pub fn scan(&mut self, mut visit: impl FnMut(&Itemset)) -> io::Result<u64> {
+        let mut scan_span = ossm_obs::span("data.disk.scan");
+        scan_span.watch(&PAGE_READS);
+        scan_span.watch(&POOL_HITS);
         let pages = self.num_pages();
         for p in 0..pages {
             for t in self.read_page(p)? {

@@ -74,6 +74,7 @@ impl Apriori {
         filter: &dyn CandidateFilter,
     ) -> MiningOutcome {
         assert!(min_support > 0, "support threshold must be at least 1");
+        let _mine_span = ossm_obs::span("mining.apriori");
         let start = Instant::now();
         let mut patterns = FrequentPatterns::new();
         let mut metrics = MiningMetrics::default();
@@ -87,20 +88,27 @@ impl Apriori {
             generated: m as u64,
             ..Default::default()
         };
-        let survivors: Vec<ItemId> = (0..m as u32)
-            .map(ItemId)
-            .filter(|&i| filter.may_be_frequent(&Itemset::singleton(i), min_support))
-            .collect();
-        level.filtered_out = m as u64 - survivors.len() as u64;
-        level.counted = survivors.len() as u64;
-        let all_supports = dataset.singleton_supports();
         let mut frequent: Vec<Itemset> = Vec::new();
-        for item in survivors {
-            let sup = all_supports[item.index()];
-            obs::record_bound_outcome(filter, &Itemset::singleton(item), sup, min_support);
-            if sup >= min_support {
-                frequent.push(Itemset::singleton(item));
-                patterns.insert(Itemset::singleton(item), sup);
+        {
+            let _level_span = ossm_obs::span("mining.apriori.level1");
+            let survivors: Vec<ItemId> = {
+                let _s = ossm_obs::span("mining.apriori.prune");
+                (0..m as u32)
+                    .map(ItemId)
+                    .filter(|&i| filter.may_be_frequent(&Itemset::singleton(i), min_support))
+                    .collect()
+            };
+            level.filtered_out = m as u64 - survivors.len() as u64;
+            level.counted = survivors.len() as u64;
+            let _count_span = ossm_obs::span("mining.apriori.count");
+            let all_supports = dataset.singleton_supports();
+            for item in survivors {
+                let sup = all_supports[item.index()];
+                obs::record_bound_outcome(filter, &Itemset::singleton(item), sup, min_support);
+                if sup >= min_support {
+                    frequent.push(Itemset::singleton(item));
+                    patterns.insert(Itemset::singleton(item), sup);
+                }
             }
         }
         level.frequent = frequent.len() as u64;
@@ -110,7 +118,11 @@ impl Apriori {
         // Levels 2..: join, prune, filter, count.
         let mut k = 2;
         while !frequent.is_empty() && self.max_len.map_or(true, |max| k <= max) {
-            let generated = generate_candidates(&frequent);
+            let mut level_span = ossm_obs::span(format!("mining.apriori.level{k}"));
+            let generated = {
+                let _s = ossm_obs::span("mining.apriori.gen");
+                generate_candidates(&frequent)
+            };
             if generated.is_empty() {
                 break;
             }
@@ -119,13 +131,20 @@ impl Apriori {
                 generated: generated.len() as u64,
                 ..Default::default()
             };
-            let candidates: Vec<Itemset> = generated
-                .into_iter()
-                .filter(|c| filter.may_be_frequent(c, min_support))
-                .collect();
+            let candidates: Vec<Itemset> = {
+                let _s = ossm_obs::span("mining.apriori.prune");
+                generated
+                    .into_iter()
+                    .filter(|c| filter.may_be_frequent(c, min_support))
+                    .collect()
+            };
             level.filtered_out = level.generated - candidates.len() as u64;
             level.counted = candidates.len() as u64;
-            let counts = count_with(self.backend, dataset.transactions(), &candidates);
+            let counts = {
+                let mut s = ossm_obs::span("mining.apriori.count");
+                s.attach("candidates", candidates.len() as u64);
+                count_with(self.backend, dataset.transactions(), &candidates)
+            };
             let mut next = Vec::new();
             for (c, sup) in candidates.into_iter().zip(counts) {
                 obs::record_bound_outcome(filter, &c, sup, min_support);
@@ -135,6 +154,8 @@ impl Apriori {
                 }
             }
             level.frequent = next.len() as u64;
+            level_span.attach("generated", level.generated);
+            level_span.attach("frequent", level.frequent);
             obs::record_level("apriori", &level);
             metrics.push_level(level);
             frequent = next;

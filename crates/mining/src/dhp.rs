@@ -90,12 +90,14 @@ impl Dhp {
         filter: &dyn CandidateFilter,
     ) -> MiningOutcome {
         assert!(min_support > 0, "support threshold must be at least 1");
+        let _mine_span = ossm_obs::span("mining.dhp");
         let start = Instant::now();
         let mut patterns = FrequentPatterns::new();
         let mut metrics = MiningMetrics::default();
         let m = dataset.num_items();
 
         // Pass 1: singleton counts + pair bucket counts in one scan.
+        let pass1_span = ossm_obs::span("mining.dhp.pass1");
         let mut singles = vec![0u64; m];
         let mut buckets = vec![0u64; self.num_buckets];
         for t in dataset.transactions() {
@@ -124,32 +126,45 @@ impl Dhp {
         };
         obs::record_level("dhp", &level1);
         metrics.push_level(level1);
+        drop(pass1_span);
 
         // Level 2: the hash table admits a pair only if its bucket count
         // reaches the threshold; the filter (OSSM) then prunes further.
-        let mut admitted: Vec<Itemset> = Vec::new();
-        for (i, &a) in l1.iter().enumerate() {
-            for &b in &l1[i + 1..] {
-                if buckets[pair_bucket(a, b, self.num_buckets)] >= min_support {
-                    admitted.push(Itemset::from_sorted(vec![a, b]));
+        let _level2_span = ossm_obs::span("mining.dhp.level2");
+        let admitted: Vec<Itemset> = {
+            let _s = ossm_obs::span("mining.dhp.hash_admit");
+            let mut admitted = Vec::new();
+            for (i, &a) in l1.iter().enumerate() {
+                for &b in &l1[i + 1..] {
+                    if buckets[pair_bucket(a, b, self.num_buckets)] >= min_support {
+                        admitted.push(Itemset::from_sorted(vec![a, b]));
+                    }
                 }
             }
-        }
+            admitted
+        };
         let mut level2 = LevelMetrics {
             level: 2,
             generated: admitted.len() as u64,
             ..Default::default()
         };
-        let candidates: Vec<Itemset> = admitted
-            .into_iter()
-            .filter(|c| filter.may_be_frequent(c, min_support))
-            .collect();
+        let candidates: Vec<Itemset> = {
+            let _s = ossm_obs::span("mining.dhp.prune");
+            admitted
+                .into_iter()
+                .filter(|c| filter.may_be_frequent(c, min_support))
+                .collect()
+        };
         level2.filtered_out = level2.generated - candidates.len() as u64;
         level2.counted = candidates.len() as u64;
 
         // Working copy of the data for trimming between levels.
         let mut work: Vec<Itemset> = dataset.transactions().to_vec();
-        let counts = count_with(self.backend, &work, &candidates);
+        let counts = {
+            let mut s = ossm_obs::span("mining.dhp.count");
+            s.attach("candidates", candidates.len() as u64);
+            count_with(self.backend, &work, &candidates)
+        };
         let mut frequent: Vec<Itemset> = Vec::new();
         for (c, sup) in candidates.into_iter().zip(counts) {
             obs::record_bound_outcome(filter, &c, sup, min_support);
@@ -161,14 +176,20 @@ impl Dhp {
         level2.frequent = frequent.len() as u64;
         obs::record_level("dhp", &level2);
         metrics.push_level(level2);
+        drop(_level2_span);
 
         // Levels ≥ 3: Apriori generation over trimmed data.
         let mut k = 3;
         while !frequent.is_empty() {
+            let _level_span = ossm_obs::span(format!("mining.dhp.level{k}"));
             if self.trimming {
+                let _s = ossm_obs::span("mining.dhp.trim");
                 work = trim(&work, &frequent, k);
             }
-            let generated = generate_candidates(&frequent);
+            let generated = {
+                let _s = ossm_obs::span("mining.dhp.gen");
+                generate_candidates(&frequent)
+            };
             if generated.is_empty() {
                 break;
             }
@@ -177,13 +198,20 @@ impl Dhp {
                 generated: generated.len() as u64,
                 ..Default::default()
             };
-            let candidates: Vec<Itemset> = generated
-                .into_iter()
-                .filter(|c| filter.may_be_frequent(c, min_support))
-                .collect();
+            let candidates: Vec<Itemset> = {
+                let _s = ossm_obs::span("mining.dhp.prune");
+                generated
+                    .into_iter()
+                    .filter(|c| filter.may_be_frequent(c, min_support))
+                    .collect()
+            };
             level.filtered_out = level.generated - candidates.len() as u64;
             level.counted = candidates.len() as u64;
-            let counts = count_with(self.backend, &work, &candidates);
+            let counts = {
+                let mut s = ossm_obs::span("mining.dhp.count");
+                s.attach("candidates", candidates.len() as u64);
+                count_with(self.backend, &work, &candidates)
+            };
             let mut next = Vec::new();
             for (c, sup) in candidates.into_iter().zip(counts) {
                 obs::record_bound_outcome(filter, &c, sup, min_support);

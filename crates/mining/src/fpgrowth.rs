@@ -115,6 +115,7 @@ impl FpGrowth {
     /// Panics if `min_support == 0`.
     pub fn mine(&self, dataset: &Dataset, min_support: u64) -> MiningOutcome {
         assert!(min_support > 0, "support threshold must be at least 1");
+        let _mine_span = ossm_obs::span("mining.fpgrowth");
         let start = Instant::now();
         let mut patterns = FrequentPatterns::new();
 
@@ -136,27 +137,37 @@ impl FpGrowth {
         }
 
         // Build the global tree over rank-encoded transactions.
-        let mut tree = Tree::new(frequent_items.len());
-        let mut ranked: Vec<u32> = Vec::new();
-        for t in dataset.transactions() {
-            ranked.clear();
-            ranked.extend(t.items().iter().filter_map(|i| {
-                let r = rank_of[i.index()];
-                (r != NONE).then_some(r)
-            }));
-            ranked.sort_unstable();
-            tree.insert(&ranked, 1);
-        }
+        let tree = {
+            let mut s = ossm_obs::span("mining.fpgrowth.build_tree");
+            s.watch(&NODES_CREATED);
+            let mut tree = Tree::new(frequent_items.len());
+            let mut ranked: Vec<u32> = Vec::new();
+            for t in dataset.transactions() {
+                ranked.clear();
+                ranked.extend(t.items().iter().filter_map(|i| {
+                    let r = rank_of[i.index()];
+                    (r != NONE).then_some(r)
+                }));
+                ranked.sort_unstable();
+                tree.insert(&ranked, 1);
+            }
+            tree
+        };
 
         // Recursive mining; `suffix` holds original item ids.
-        let mut suffix: Vec<u32> = Vec::new();
-        mine_tree(
-            &tree,
-            &frequent_items,
-            min_support,
-            &mut suffix,
-            &mut patterns,
-        );
+        {
+            let mut s = ossm_obs::span("mining.fpgrowth.grow");
+            s.watch(&TREES_BUILT);
+            s.watch(&NODES_CREATED);
+            let mut suffix: Vec<u32> = Vec::new();
+            mine_tree(
+                &tree,
+                &frequent_items,
+                min_support,
+                &mut suffix,
+                &mut patterns,
+            );
+        }
 
         let metrics = MiningMetrics {
             levels: Vec::new(),

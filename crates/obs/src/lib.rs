@@ -15,7 +15,14 @@
 //! - [`MetricsRegistry`] — the global sink all of the above register with,
 //!   supporting labeled [`Scope`]s for dynamic names (per-level miner
 //!   counts, per-strategy build timings);
-//! - [`Reporter`] — renders a [`Snapshot`] as a human table or JSON lines.
+//! - [`Reporter`] — renders a [`Snapshot`] as a human table or JSON lines;
+//! - hierarchical spans — [`span`] opens an RAII [`SpanGuard`] that feeds
+//!   the phase aggregates *and*, between [`trace_begin`] and
+//!   [`trace_take`], records a [`SpanEvent`] with a parent link taken
+//!   from a thread-local span stack. The collected [`Trace`] exports as
+//!   Chrome trace-event JSON or folded flamegraph stacks
+//!   ([`TraceFormat`]). [`detail_span`] is the hot-loop variant that is
+//!   inert unless a trace is being recorded.
 //!
 //! # Zero cost when disabled
 //!
@@ -51,8 +58,16 @@ pub fn bucket_index(value: u64) -> usize {
 }
 
 /// Inclusive lower bound of bucket `i` (`0`, then powers of two).
+///
+/// Panics on `index ≥ NUM_BUCKETS`: the shift `1 << (index − 1)` would
+/// otherwise be UB-masked into a silently wrong small value in release
+/// builds (e.g. `bucket_lower_bound(65)` would quietly return 1).
 #[inline]
 pub fn bucket_lower_bound(index: usize) -> u64 {
+    assert!(
+        index < NUM_BUCKETS,
+        "bucket index {index} out of range 0..{NUM_BUCKETS}"
+    );
     if index == 0 {
         0
     } else {
@@ -60,18 +75,27 @@ pub fn bucket_lower_bound(index: usize) -> u64 {
     }
 }
 
+pub mod json;
 mod report;
 mod snapshot;
+mod trace;
 
 pub use report::{Reporter, StatsFormat};
 pub use snapshot::{HistogramSnapshot, PhaseSnapshot, Snapshot};
+pub use trace::{SpanEvent, Trace, TraceFormat};
 
 #[cfg(feature = "enabled")]
 mod live;
 #[cfg(feature = "enabled")]
-pub use live::{phase, registry, Counter, Histogram, MetricsRegistry, PhaseGuard, Scope};
+pub use live::{
+    detail_span, phase, registry, span, trace_active, trace_begin, trace_take, Counter, Histogram,
+    MetricsRegistry, PhaseGuard, Scope, SpanGuard,
+};
 
 #[cfg(not(feature = "enabled"))]
 mod noop;
 #[cfg(not(feature = "enabled"))]
-pub use noop::{phase, registry, Counter, Histogram, MetricsRegistry, PhaseGuard, Scope};
+pub use noop::{
+    detail_span, phase, registry, span, trace_active, trace_begin, trace_take, Counter, Histogram,
+    MetricsRegistry, PhaseGuard, Scope, SpanGuard,
+};

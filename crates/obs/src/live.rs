@@ -1,11 +1,13 @@
 //! The real implementation, compiled when the `enabled` feature is on.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use crate::snapshot::{HistogramSnapshot, PhaseSnapshot, Snapshot};
+use crate::trace::{SpanEvent, Trace};
 use crate::{bucket_index, bucket_lower_bound, NUM_BUCKETS};
 
 /// A monotonic event counter.
@@ -172,10 +174,34 @@ pub fn registry() -> &'static MetricsRegistry {
 }
 
 /// Starts timing a phase; the span is recorded when the guard drops.
-pub fn phase(name: impl Into<String>) -> PhaseGuard {
-    PhaseGuard {
-        name: name.into(),
-        start: Instant::now(),
+///
+/// Alias of [`span`], kept for the flat-metrics vocabulary of PR 1: every
+/// phase *is* a span, and the aggregated per-name wall-clock totals in the
+/// snapshot are unchanged.
+pub fn phase(name: impl Into<String>) -> SpanGuard {
+    span(name)
+}
+
+/// Opens a hierarchical span: an RAII guard that, on drop, adds its
+/// elapsed wall-clock time to the phase aggregate under `name` and — when
+/// a trace is being recorded (see [`trace_begin`]) — emits a
+/// [`SpanEvent`] whose parent is the span enclosing it on the same thread.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    SpanGuard {
+        inner: Some(Box::new(SpanInner::open(name.into(), true))),
+    }
+}
+
+/// Opens a span only while a trace is being recorded; otherwise returns an
+/// inert guard that costs a single atomic load. For hot loops (per
+/// merge-round, per page-read) where even the phase-aggregate mutex would
+/// be too much overhead in untraced runs.
+pub fn detail_span(name: impl Into<String>) -> SpanGuard {
+    if !trace_active() {
+        return SpanGuard { inner: None };
+    }
+    SpanGuard {
+        inner: Some(Box::new(SpanInner::open(name.into(), false))),
     }
 }
 
@@ -273,21 +299,188 @@ impl Scope {
     }
 
     /// Starts timing a scoped phase.
-    pub fn phase(&self, name: &str) -> PhaseGuard {
-        phase(format!("{}.{name}", self.prefix))
+    pub fn phase(&self, name: &str) -> SpanGuard {
+        span(format!("{}.{name}", self.prefix))
     }
 }
 
-/// RAII span: records elapsed wall-clock time into the registry on drop.
-#[must_use = "the span ends when the guard drops"]
-pub struct PhaseGuard {
-    name: String,
-    start: Instant,
+/// Former name of [`SpanGuard`], kept so PR 1 call sites and docs read
+/// unchanged.
+pub type PhaseGuard = SpanGuard;
+
+// ---------------------------------------------------------------------------
+// Span tracing
+// ---------------------------------------------------------------------------
+
+/// Monotonic process-unique span ids (0 is never issued, so it can never
+/// collide with a parent reference).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Dense per-thread ids for trace `tid` fields.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+/// Whether a trace is currently being collected. Checked with a relaxed
+/// load on every span open, so untraced runs pay almost nothing extra.
+static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Collected events plus the shared time origin. Lives behind a mutex that
+/// spans touch only at *drop* (one push), never per nested child.
+static TRACE_BUF: OnceLock<Mutex<Vec<SpanEvent>>> = OnceLock::new();
+/// The instant all span timestamps are measured from. Set once per
+/// process: traces within one run share an origin, and Perfetto/Chrome
+/// normalize to the earliest event anyway.
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn trace_buf() -> &'static Mutex<Vec<SpanEvent>> {
+    TRACE_BUF.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-impl Drop for PhaseGuard {
+fn trace_epoch() -> Instant {
+    *TRACE_EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    /// This thread's dense trace id.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    /// Ids of the currently open traced spans on this thread; the top is
+    /// the parent of the next span opened here.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Starts collecting a span trace. Any previously collected (but not yet
+/// taken) events are discarded.
+pub fn trace_begin() {
+    trace_epoch(); // pin the time origin before the first span
+    trace_buf().lock().expect("trace buffer poisoned").clear();
+    TRACE_ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// True while a trace is being collected.
+#[inline]
+pub fn trace_active() -> bool {
+    TRACE_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Stops collecting and returns everything recorded since
+/// [`trace_begin`]. Spans still open at this point are simply absent from
+/// the trace (their completed children appear as roots).
+pub fn trace_take() -> Trace {
+    TRACE_ACTIVE.store(false, Ordering::SeqCst);
+    let events = std::mem::take(&mut *trace_buf().lock().expect("trace buffer poisoned"));
+    Trace { events }
+}
+
+/// Live state of an open span. Boxed inside the guard's `Option` so the
+/// inert [`detail_span`] path moves nothing bigger than a pointer.
+struct SpanInner {
+    name: String,
+    start: Instant,
+    /// Add the elapsed time to the phase aggregates on drop (true for
+    /// [`span`]/[`phase`], false for [`detail_span`], which only exists
+    /// while tracing).
+    record_phase: bool,
+    /// Trace bookkeeping, present when tracing was active at open.
+    trace: Option<TraceState>,
+}
+
+struct TraceState {
+    id: u64,
+    parent: Option<u64>,
+    start_nanos: u64,
+    args: Vec<(String, u64)>,
+    /// Counters watched via [`SpanGuard::watch`]: their value at watch
+    /// time, turned into a delta attachment at drop.
+    watches: Vec<(&'static Counter, u64)>,
+}
+
+impl SpanInner {
+    fn open(name: String, record_phase: bool) -> Self {
+        let trace = trace_active().then(|| {
+            let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+            let parent = SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                let parent = s.last().copied();
+                s.push(id);
+                parent
+            });
+            TraceState {
+                id,
+                parent,
+                start_nanos: u64::try_from(trace_epoch().elapsed().as_nanos()).unwrap_or(u64::MAX),
+                args: Vec::new(),
+                watches: Vec::new(),
+            }
+        });
+        SpanInner {
+            name,
+            start: Instant::now(),
+            record_phase,
+            trace,
+        }
+    }
+}
+
+/// RAII span guard returned by [`span`], [`phase`] and [`detail_span`]:
+/// records elapsed wall-clock time into the registry (and the active
+/// trace, if any) on drop.
+#[must_use = "the span ends when the guard drops"]
+pub struct SpanGuard {
+    inner: Option<Box<SpanInner>>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value pair to the span's trace event. No-op when no
+    /// trace is being recorded.
+    pub fn attach(&mut self, key: &str, value: u64) {
+        if let Some(trace) = self.inner.as_mut().and_then(|i| i.trace.as_mut()) {
+            trace.args.push((key.to_string(), value));
+        }
+    }
+
+    /// Watches `counter`: at drop, the counter's delta over the span's
+    /// lifetime is attached as `<counter name>.delta`. No-op when no trace
+    /// is being recorded.
+    pub fn watch(&mut self, counter: &'static Counter) {
+        if let Some(trace) = self.inner.as_mut().and_then(|i| i.trace.as_mut()) {
+            trace.watches.push((counter, counter.get()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        registry().record_phase(std::mem::take(&mut self.name), nanos);
+        let Some(mut inner) = self.inner.take() else {
+            return;
+        };
+        let nanos = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(mut trace) = inner.trace.take() {
+            // Always rebalance the thread stack, even if collection
+            // stopped while this span was open.
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                debug_assert_eq!(s.last().copied(), Some(trace.id), "span drop order");
+                s.pop();
+            });
+            if trace_active() {
+                for (counter, start_value) in trace.watches.drain(..) {
+                    let delta = counter.get().saturating_sub(start_value);
+                    trace.args.push((format!("{}.delta", counter.name), delta));
+                }
+                let event = SpanEvent {
+                    id: trace.id,
+                    parent: trace.parent,
+                    name: inner.name.clone(),
+                    thread: THREAD_ID.with(|t| *t),
+                    start_nanos: trace.start_nanos,
+                    duration_nanos: nanos,
+                    args: trace.args,
+                };
+                trace_buf()
+                    .lock()
+                    .expect("trace buffer poisoned")
+                    .push(event);
+            }
+        }
+        if inner.record_phase {
+            registry().record_phase(std::mem::take(&mut inner.name), nanos);
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! mirrors [`crate::live`] exactly; consumer code never needs `cfg`.
 
 use crate::snapshot::Snapshot;
+use crate::trace::Trace;
 
 /// Disabled stand-in for the live `Counter`: a ZST whose methods do
 /// nothing.
@@ -58,8 +59,36 @@ pub fn registry() -> &'static MetricsRegistry {
 
 /// Starts a phase span that records nothing.
 #[inline(always)]
-pub fn phase(_name: impl Into<String>) -> PhaseGuard {
-    PhaseGuard
+pub fn phase(_name: impl Into<String>) -> SpanGuard {
+    SpanGuard
+}
+
+/// Opens a span that records nothing.
+#[inline(always)]
+pub fn span(_name: impl Into<String>) -> SpanGuard {
+    SpanGuard
+}
+
+/// Opens a detail span that records nothing.
+#[inline(always)]
+pub fn detail_span(_name: impl Into<String>) -> SpanGuard {
+    SpanGuard
+}
+
+/// Does nothing (instrumentation disabled): no trace will be collected.
+#[inline(always)]
+pub fn trace_begin() {}
+
+/// Always false (instrumentation disabled).
+#[inline(always)]
+pub fn trace_active() -> bool {
+    false
+}
+
+/// Always empty (instrumentation disabled).
+#[inline(always)]
+pub fn trace_take() -> Trace {
+    Trace::default()
 }
 
 impl MetricsRegistry {
@@ -94,11 +123,24 @@ impl Scope {
 
     /// Starts a span that records nothing.
     #[inline(always)]
-    pub fn phase(&self, _name: &str) -> PhaseGuard {
-        PhaseGuard
+    pub fn phase(&self, _name: &str) -> SpanGuard {
+        SpanGuard
     }
 }
 
-/// Disabled stand-in for the live `PhaseGuard` (drop records nothing).
+/// Disabled stand-in for the live `SpanGuard` (drop records nothing).
 #[must_use = "the span ends when the guard drops"]
-pub struct PhaseGuard;
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn attach(&mut self, _key: &str, _value: u64) {}
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn watch(&mut self, _counter: &'static Counter) {}
+}
+
+/// Former name of [`SpanGuard`], kept for PR 1 call sites.
+pub type PhaseGuard = SpanGuard;

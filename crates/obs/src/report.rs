@@ -228,6 +228,49 @@ mod tests {
         assert_eq!(r.render(&sample()), r.render(&sample()));
     }
 
+    // Golden renderings: the exact bytes are the contract. Snapshot maps
+    // are BTreeMaps, so key order (and thus output order) is stable.
+    #[test]
+    fn golden_table_rendering() {
+        let expected = "\
+counters
+  core.bound.evals  42
+  mining.pruned     7
+
+phases
+  core.build.segment      1.50ms  (2 calls)
+
+histograms
+  mining.bound.slack  count=3 mean=3.3
+    ≥0             1
+    ≥4             2
+";
+        assert_eq!(
+            Reporter::new(StatsFormat::Table).render(&sample()),
+            expected
+        );
+    }
+
+    #[test]
+    fn golden_json_rendering() {
+        let expected = concat!(
+            r#"{"type":"counter","name":"core.bound.evals","value":42}"#,
+            "\n",
+            r#"{"type":"counter","name":"mining.pruned","value":7}"#,
+            "\n",
+            r#"{"type":"phase","name":"core.build.segment","nanos":1500000,"calls":2}"#,
+            "\n",
+            r#"{"type":"histogram","name":"mining.bound.slack","count":3,"sum":10,"buckets":[[0,1],[4,2]]}"#,
+            "\n",
+        );
+        let text = Reporter::new(StatsFormat::Json).render(&sample());
+        assert_eq!(text, expected);
+        // Every line must round-trip through the in-crate JSON parser.
+        for line in text.lines() {
+            crate::json::parse(line).expect("reporter output must be valid JSON");
+        }
+    }
+
     #[test]
     fn empty_snapshot_renders_empty() {
         let snap = Snapshot::default();

@@ -1,0 +1,418 @@
+//! Hierarchical span traces and their exporters.
+//!
+//! A [`Trace`] is the flat list of completed [`SpanEvent`]s collected
+//! between `trace_begin()` and `trace_take()`. Hierarchy lives in the
+//! parent links (assigned from a thread-local span stack at span creation),
+//! so the flat list reconstructs into a tree per thread. Two export
+//! formats cover the standard tooling:
+//!
+//! * [`Trace::to_chrome_json`] — Chrome trace-event JSON (an array of
+//!   complete `"ph":"X"` events), loadable in `chrome://tracing` and
+//!   [Perfetto](https://ui.perfetto.dev);
+//! * [`Trace::to_folded`] — folded-stack text (`root;child;leaf <nanos>`),
+//!   the input format of Brendan Gregg's `flamegraph.pl` and of
+//!   [speedscope](https://speedscope.app). Values are **self-time
+//!   nanoseconds**, so the values of all lines sum to the total duration
+//!   of the root spans.
+//!
+//! This module is compiled in both feature configurations: with
+//! instrumentation disabled a [`Trace`] is simply always empty, and both
+//! exporters render the corresponding empty document.
+
+use std::fmt::Write as _;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (dotted, e.g. `mining.apriori.count`).
+    pub name: String,
+    /// Small dense id of the recording thread (not the OS tid).
+    pub thread: u64,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_nanos: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_nanos: u64,
+    /// Attached key/value pairs (explicit attachments and counter deltas).
+    pub args: Vec<(String, u64)>,
+}
+
+/// A collected span trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Completed spans, in drop order (children precede parents).
+    pub events: Vec<SpanEvent>,
+}
+
+/// Trace export format, parsed from `--trace[=chrome|folded]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON (`chrome://tracing`, Perfetto).
+    #[default]
+    Chrome,
+    /// Folded stacks (flamegraph.pl / speedscope input).
+    Folded,
+}
+
+impl TraceFormat {
+    /// Conventional file name for this format (`trace.json` /
+    /// `trace.folded`), used when no output path is given.
+    pub fn default_file_name(self) -> &'static str {
+        match self {
+            TraceFormat::Chrome => "trace.json",
+            TraceFormat::Folded => "trace.folded",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Chrome => "chrome",
+            TraceFormat::Folded => "folded",
+        })
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "folded" => Ok(TraceFormat::Folded),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected chrome or folded)"
+            )),
+        }
+    }
+}
+
+impl Trace {
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no spans were recorded (or instrumentation is compiled
+    /// out).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total duration of the root spans — spans with no parent, plus spans
+    /// whose parent never completed inside the trace window. This is the
+    /// quantity the folded export's values sum to.
+    pub fn root_duration_nanos(&self) -> u64 {
+        let ids: std::collections::HashSet<u64> = self.events.iter().map(|e| e.id).collect();
+        self.events
+            .iter()
+            .filter(|e| e.parent.map_or(true, |p| !ids.contains(&p)))
+            .map(|e| e.duration_nanos)
+            .sum()
+    }
+
+    /// Renders the trace in `format`.
+    pub fn render(&self, format: TraceFormat) -> String {
+        match format {
+            TraceFormat::Chrome => self.to_chrome_json(),
+            TraceFormat::Folded => self.to_folded(),
+        }
+    }
+
+    /// Chrome trace-event JSON: one complete (`"ph":"X"`) event per span,
+    /// timestamps and durations in fractional microseconds, attachments in
+    /// `args`. The whole document is a JSON array, which both
+    /// `chrome://tracing` and Perfetto accept.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{",
+                escape(&e.name),
+                e.thread,
+                e.start_nanos / 1_000,
+                e.start_nanos % 1_000,
+                e.duration_nanos / 1_000,
+                e.duration_nanos % 1_000,
+            );
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{v}", escape(k));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Folded stacks: `root;child;leaf <self-nanos>` per line, identical
+    /// stacks aggregated, lines sorted for determinism. Self time is a
+    /// span's duration minus its children's durations (saturating, so
+    /// clock granularity can only under-report), which makes the values of
+    /// all lines sum to [`Self::root_duration_nanos`] — a flamegraph of
+    /// the output has the same total width as the traced run.
+    pub fn to_folded(&self) -> String {
+        use std::collections::{BTreeMap, HashMap};
+        let by_id: HashMap<u64, &SpanEvent> = self.events.iter().map(|e| (e.id, e)).collect();
+        let mut child_nanos: HashMap<u64, u64> = HashMap::new();
+        for e in &self.events {
+            if let Some(p) = e.parent {
+                if by_id.contains_key(&p) {
+                    *child_nanos.entry(p).or_insert(0) += e.duration_nanos;
+                }
+            }
+        }
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        for e in &self.events {
+            let self_nanos = e
+                .duration_nanos
+                .saturating_sub(child_nanos.get(&e.id).copied().unwrap_or(0));
+            // Build the frame path by walking the parent chain.
+            let mut frames = vec![e.name.as_str()];
+            let mut cur = e.parent;
+            while let Some(p) = cur {
+                match by_id.get(&p) {
+                    Some(parent) => {
+                        frames.push(parent.name.as_str());
+                        cur = parent.parent;
+                    }
+                    None => break,
+                }
+            }
+            frames.reverse();
+            *stacks.entry(frames.join(";")).or_insert(0) += self_nanos;
+        }
+        let mut out = String::new();
+        for (stack, nanos) in stacks {
+            let _ = writeln!(out, "{stack} {nanos}");
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root (10µs) ├─ child_a (4µs) ─ leaf (1µs)
+    ///              └─ child_b (3µs)       … plus a second-thread root (2µs).
+    fn sample() -> Trace {
+        let ev = |id, parent, name: &str, thread, start, dur| SpanEvent {
+            id,
+            parent,
+            name: name.into(),
+            thread,
+            start_nanos: start,
+            duration_nanos: dur,
+            args: Vec::new(),
+        };
+        Trace {
+            events: vec![
+                ev(3, Some(2), "leaf", 1, 1_500, 1_000),
+                ev(2, Some(1), "child_a", 1, 1_000, 4_000),
+                ev(4, Some(1), "child_b", 1, 6_000, 3_000),
+                ev(1, None, "root", 1, 0, 10_000),
+                ev(5, None, "other", 2, 0, 2_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn folded_values_sum_to_root_duration() {
+        let t = sample();
+        let folded = t.to_folded();
+        let total: u64 = folded
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, t.root_duration_nanos());
+        assert_eq!(total, 12_000, "10µs root + 2µs second-thread root");
+    }
+
+    #[test]
+    fn folded_paths_follow_parent_links() {
+        let folded = sample().to_folded();
+        assert!(folded.contains("root;child_a;leaf 1000\n"), "{folded}");
+        assert!(folded.contains("root;child_a 3000\n"), "4µs − 1µs leaf");
+        assert!(folded.contains("root;child_b 3000\n"), "{folded}");
+        assert!(folded.contains("root 3000\n"), "10µs − 4µs − 3µs");
+        assert!(folded.contains("other 2000\n"), "{folded}");
+    }
+
+    #[test]
+    fn folded_aggregates_identical_stacks() {
+        let mut t = sample();
+        // A second leaf under child_a with the same name.
+        t.events.push(SpanEvent {
+            id: 6,
+            parent: Some(2),
+            name: "leaf".into(),
+            thread: 1,
+            start_nanos: 3_000,
+            duration_nanos: 500,
+            args: Vec::new(),
+        });
+        let folded = t.to_folded();
+        assert!(folded.contains("root;child_a;leaf 1500\n"), "{folded}");
+        assert_eq!(
+            folded.matches("root;child_a;leaf").count(),
+            1,
+            "identical stacks must merge: {folded}"
+        );
+    }
+
+    #[test]
+    fn orphaned_spans_become_roots() {
+        // A span whose parent id is not in the trace (parent outlived the
+        // trace window) roots its own stack and counts toward the total.
+        let t = Trace {
+            events: vec![SpanEvent {
+                id: 9,
+                parent: Some(1234),
+                name: "orphan".into(),
+                thread: 1,
+                start_nanos: 0,
+                duration_nanos: 7,
+                args: Vec::new(),
+            }],
+        };
+        assert_eq!(t.root_duration_nanos(), 7);
+        assert_eq!(t.to_folded(), "orphan 7\n");
+    }
+
+    #[test]
+    fn chrome_json_is_an_array_of_complete_events() {
+        let mut t = sample();
+        t.events[0].args = vec![("page".into(), 3)];
+        let json = crate::json::parse(&t.to_chrome_json()).expect("valid JSON");
+        let events = json.as_array().expect("top-level array");
+        assert_eq!(events.len(), 5);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(e.get("name").is_some());
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+        }
+        // The leaf's attachment survives as a Chrome `args` entry.
+        let leaf = events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("leaf"))
+            .expect("leaf event");
+        let page = leaf.get("args").and_then(|a| a.get("page"));
+        assert_eq!(page.and_then(|v| v.as_f64()), Some(3.0));
+    }
+
+    #[test]
+    fn chrome_timestamps_are_microseconds() {
+        let t = sample();
+        let json = crate::json::parse(&t.to_chrome_json()).expect("valid JSON");
+        let root = json
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("root"))
+            .expect("root event");
+        assert_eq!(root.get("dur").and_then(|v| v.as_f64()), Some(10.0));
+    }
+
+    #[test]
+    fn golden_chrome_event() {
+        let t = Trace {
+            events: vec![SpanEvent {
+                id: 1,
+                parent: None,
+                name: "root".into(),
+                thread: 1,
+                start_nanos: 1_234,
+                duration_nanos: 10_000,
+                args: vec![("page".into(), 3)],
+            }],
+        };
+        assert_eq!(
+            t.to_chrome_json(),
+            "[\n{\"name\":\"root\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+             \"ts\":1.234,\"dur\":10.000,\"args\":{\"page\":3}}\n]\n"
+        );
+    }
+
+    #[test]
+    fn golden_folded_document() {
+        assert_eq!(
+            sample().to_folded(),
+            "other 2000\n\
+             root 3000\n\
+             root;child_a 3000\n\
+             root;child_a;leaf 1000\n\
+             root;child_b 3000\n"
+        );
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_documents() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.root_duration_nanos(), 0);
+        assert_eq!(t.to_folded(), "");
+        let json = crate::json::parse(&t.to_chrome_json()).expect("valid JSON");
+        assert_eq!(json.as_array().map(<[_]>::len), Some(0));
+    }
+
+    #[test]
+    fn trace_format_parses_and_names_files() {
+        assert_eq!(
+            "chrome".parse::<TraceFormat>().unwrap(),
+            TraceFormat::Chrome
+        );
+        assert_eq!(
+            "folded".parse::<TraceFormat>().unwrap(),
+            TraceFormat::Folded
+        );
+        assert!("svg".parse::<TraceFormat>().is_err());
+        assert_eq!(TraceFormat::Chrome.default_file_name(), "trace.json");
+        assert_eq!(TraceFormat::Folded.default_file_name(), "trace.folded");
+    }
+
+    #[test]
+    fn names_are_escaped_in_chrome_json() {
+        let t = Trace {
+            events: vec![SpanEvent {
+                id: 1,
+                parent: None,
+                name: "weird\"name".into(),
+                thread: 1,
+                start_nanos: 0,
+                duration_nanos: 1,
+                args: Vec::new(),
+            }],
+        };
+        let text = t.to_chrome_json();
+        assert!(text.contains("weird\\\"name"), "{text}");
+        assert!(crate::json::parse(&text).is_ok());
+    }
+}

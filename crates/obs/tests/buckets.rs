@@ -11,13 +11,55 @@ fn zero_gets_its_own_bucket() {
 #[test]
 fn power_of_two_boundaries() {
     // Bucket i ≥ 1 covers [2^(i-1), 2^i): each power of two starts a new
-    // bucket, and the value just below it closes the previous one.
-    for i in 1..64 {
+    // bucket, and the value just below it closes the previous one. Bucket
+    // 64, the last one, is covered too — its top is u64::MAX, so the
+    // `lo * 2 - 1` upper-edge expression must not be computed for it.
+    for i in 1..NUM_BUCKETS {
         let lo = 1u64 << (i - 1);
         assert_eq!(bucket_index(lo), i, "2^{} must open bucket {i}", i - 1);
-        assert_eq!(bucket_index(lo * 2 - 1), i, "top of bucket {i}");
+        let top = if i == NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            lo * 2 - 1
+        };
+        assert_eq!(bucket_index(top), i, "top of bucket {i}");
         assert_eq!(bucket_lower_bound(i), lo);
     }
+}
+
+#[test]
+fn lower_bound_and_index_round_trip() {
+    // bucket_lower_bound is a section of bucket_index: the lower bound of
+    // every bucket indexes back into that bucket, exactly.
+    for i in 0..NUM_BUCKETS {
+        assert_eq!(
+            bucket_index(bucket_lower_bound(i)),
+            i,
+            "round trip through bucket {i}"
+        );
+    }
+    // And values one below a bucket's lower bound fall in an earlier
+    // bucket (strict monotonicity at every boundary).
+    for i in 2..NUM_BUCKETS {
+        assert_eq!(bucket_index(bucket_lower_bound(i) - 1), i - 1);
+    }
+    assert_eq!(bucket_index(bucket_lower_bound(1) - 1), 0, "1 - 1 = 0");
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn lower_bound_rejects_out_of_range_indices() {
+    // Pre-fix, `1u64 << (NUM_BUCKETS - 1)` wrapped the shift amount in
+    // release builds and silently returned 1; now it must panic clearly.
+    let _ = bucket_lower_bound(NUM_BUCKETS);
+}
+
+#[test]
+fn max_values_saturate_in_the_last_bucket() {
+    assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    assert_eq!(bucket_index(u64::MAX - 1), NUM_BUCKETS - 1);
+    assert_eq!(bucket_index(1u64 << 63), NUM_BUCKETS - 1);
+    assert_eq!(bucket_index((1u64 << 63) - 1), NUM_BUCKETS - 2);
 }
 
 #[test]

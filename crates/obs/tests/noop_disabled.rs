@@ -18,6 +18,7 @@ fn stubs_are_zero_sized() {
     assert_eq!(std::mem::size_of::<ossm_obs::MetricsRegistry>(), 0);
     assert_eq!(std::mem::size_of::<ossm_obs::Scope>(), 0);
     assert_eq!(std::mem::size_of::<ossm_obs::PhaseGuard>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::SpanGuard>(), 0);
 }
 
 #[test]
@@ -31,6 +32,19 @@ fn recording_is_compiled_away() {
     scope.add("x", 1);
     drop(scope.phase("span"));
     drop(phase("noop.phase"));
+    // The span-tracing surface too: open spans, attach data, record a
+    // "trace" — all of it must compile away and yield an empty trace.
+    ossm_obs::trace_begin();
+    assert!(!ossm_obs::trace_active(), "tracing can never activate");
+    {
+        let mut s = ossm_obs::span("noop.span");
+        s.attach("page", 3);
+        s.watch(&COUNTER);
+        drop(ossm_obs::detail_span("noop.detail"));
+    }
+    let trace = ossm_obs::trace_take();
+    assert!(trace.is_empty(), "disabled builds collect no spans");
+    assert_eq!(trace.to_folded(), "");
     // …and leave no trace.
     assert_eq!(COUNTER.get(), 0);
     let snap = registry().snapshot();

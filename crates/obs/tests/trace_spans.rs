@@ -1,0 +1,169 @@
+//! Live behavior of the hierarchical span layer (compiled only with
+//! `--features enabled`).
+//!
+//! These tests share the process-global trace collector, so they run
+//! under a mutex: cargo runs tests in this binary on multiple threads,
+//! and `trace_begin`/`trace_take` bracket a *process*-wide recording.
+
+#![cfg(feature = "enabled")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ossm_obs::{detail_span, registry, span, trace_active, trace_begin, trace_take, Counter};
+
+fn trace_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    // A test that panicked mid-trace poisons the mutex; the lock is still
+    // a valid serialization point.
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn spans_nest_through_the_thread_local_stack() {
+    let _serial = trace_lock();
+    trace_begin();
+    {
+        let _root = span("t.root");
+        {
+            let _child = span("t.child");
+            let _leaf = span("t.leaf");
+        }
+        let _sibling = span("t.sibling");
+    }
+    let trace = trace_take();
+    assert_eq!(trace.len(), 4);
+    let find = |name: &str| {
+        trace
+            .events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+    let root = find("t.root");
+    assert_eq!(root.parent, None);
+    assert_eq!(find("t.child").parent, Some(root.id));
+    assert_eq!(find("t.leaf").parent, Some(find("t.child").id));
+    assert_eq!(find("t.sibling").parent, Some(root.id));
+}
+
+#[test]
+fn folded_export_of_a_real_trace_sums_to_the_root_duration() {
+    let _serial = trace_lock();
+    trace_begin();
+    {
+        let _root = span("t.sum.root");
+        for _ in 0..3 {
+            let _inner = span("t.sum.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    let trace = trace_take();
+    let folded = trace.to_folded();
+    let total: u64 = folded
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    let root = trace.root_duration_nanos();
+    assert!(root >= 3_000_000, "three 1ms sleeps inside the root");
+    // Self times telescope, so the sum matches the root duration exactly
+    // up to the saturating subtraction (acceptance bound: within 1%).
+    let diff = root.abs_diff(total);
+    assert!(
+        diff * 100 <= root,
+        "folded sum {total} vs root duration {root}"
+    );
+}
+
+#[test]
+fn spans_record_phase_aggregates_with_or_without_a_trace() {
+    let _serial = trace_lock();
+    assert!(!trace_active());
+    drop(span("t.phase.alias"));
+    let snap = registry().snapshot();
+    let p = snap.phases.get("t.phase.alias").expect("phase recorded");
+    assert!(p.calls >= 1);
+}
+
+#[test]
+fn detail_spans_are_inert_without_a_trace() {
+    let _serial = trace_lock();
+    assert!(!trace_active());
+    drop(detail_span("t.detail.untraced"));
+    let snap = registry().snapshot();
+    assert!(
+        !snap.phases.contains_key("t.detail.untraced"),
+        "detail spans must not touch the registry when untraced"
+    );
+
+    trace_begin();
+    drop(detail_span("t.detail.traced"));
+    let trace = trace_take();
+    assert!(
+        trace.events.iter().any(|e| e.name == "t.detail.traced"),
+        "detail spans must appear in an active trace"
+    );
+    assert!(
+        !registry().snapshot().phases.contains_key("t.detail.traced"),
+        "detail spans never feed the phase aggregates"
+    );
+}
+
+#[test]
+fn attachments_and_counter_deltas_land_in_args() {
+    static WATCHED: Counter = Counter::new("t.watched");
+    let _serial = trace_lock();
+    trace_begin();
+    {
+        let mut s = span("t.args");
+        s.attach("page", 7);
+        s.watch(&WATCHED);
+        WATCHED.add(5);
+    }
+    let trace = trace_take();
+    let e = trace.events.iter().find(|e| e.name == "t.args").unwrap();
+    assert!(e.args.contains(&("page".to_string(), 7)));
+    assert!(e.args.contains(&("t.watched.delta".to_string(), 5)));
+}
+
+#[test]
+fn trace_take_stops_collection_and_drains() {
+    let _serial = trace_lock();
+    trace_begin();
+    assert!(trace_active());
+    drop(span("t.drain.one"));
+    let first = trace_take();
+    assert!(!trace_active());
+    assert_eq!(first.len(), 1);
+    // After take, new spans still aggregate phases but record no events.
+    drop(span("t.drain.two"));
+    assert!(trace_take().is_empty());
+}
+
+#[test]
+fn spans_on_other_threads_get_their_own_roots() {
+    let _serial = trace_lock();
+    trace_begin();
+    {
+        let _root = span("t.thread.main");
+        std::thread::scope(|sc| {
+            sc.spawn(|| drop(span("t.thread.worker")));
+        });
+    }
+    let trace = trace_take();
+    let main = trace
+        .events
+        .iter()
+        .find(|e| e.name == "t.thread.main")
+        .unwrap();
+    let worker = trace
+        .events
+        .iter()
+        .find(|e| e.name == "t.thread.worker")
+        .unwrap();
+    assert_eq!(
+        worker.parent, None,
+        "parent links never cross thread boundaries"
+    );
+    assert_ne!(worker.thread, main.thread);
+}
