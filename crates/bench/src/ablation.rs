@@ -187,7 +187,8 @@ pub fn incremental_vs_rebuild(opts: &Options) -> String {
     let store = Workload::skewed(pages, items).store();
     let min_support = store.dataset().absolute_threshold(0.01);
 
-    let mut inc = IncrementalOssm::new(n_user, LossCalculator::all_items());
+    let mut inc = IncrementalOssm::new(n_user, LossCalculator::all_items())
+        .expect("segment budget is positive");
     inc.append_store(&store);
     let streamed = inc.snapshot();
     let (rebuilt, _) = OssmBuilder::new(n_user)

@@ -54,6 +54,11 @@ commands:
             fpgrowth|eclat|charm|genmax|streaming] [--ossm=FILE.ossm]
             [--top=K]
   recipe    --nuser=N --pages=P [--skewed] [--cost-sensitive]
+  verify    --in=FILE             (check every checksum of a paged store
+            or OSSM map; exits non-zero on any corruption)
+  repair    --in=FILE.pages [--out=FILE.pages]   (rewrite a damaged
+            paged store from its intact pages and index; lost pages keep
+            their exact index aggregate or a widened sound one)
   obs       diff BASELINE.json CURRENT.json [--count-drift=0.05]
             [--max-time-regress=F]   (compare two instrumentation
             snapshots, e.g. BENCH_baseline.json vs a fresh BENCH_obs.json)
@@ -121,6 +126,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
             "segment" => segment(&opts),
             "mine" => mine(&opts),
             "recipe" => recipe(&opts),
+            "verify" => verify(&opts),
+            "repair" => repair(&opts),
             "obs" => obs(&opts, &positionals),
             "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
             other => Err(format!("unknown command {other:?}")),
@@ -276,6 +283,16 @@ fn inspect(opts: &Options) -> Result<String, String> {
                 );
             }
         }
+        FileKind::Map => {
+            let ossm = persist::load(&input).map_err(|e| format!("{}: {e}", input.display()))?;
+            let _ = writeln!(
+                out,
+                "OSSM map: {} segments over {} items, {} transactions",
+                ossm.num_segments(),
+                ossm.num_items(),
+                ossm.num_transactions()
+            );
+        }
     }
     Ok(out)
 }
@@ -329,7 +346,8 @@ fn segment(opts: &Options) -> Result<String, String> {
     let save: String = opts.get("out", String::new());
     if !save.is_empty() {
         let path = PathBuf::from(save);
-        persist::save(&path, &ossm).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        persist::save_atomic(&path, &ossm)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
         let _ = writeln!(out, "saved -> {}", path.display());
     }
     Ok(out)
@@ -446,6 +464,87 @@ fn recipe(opts: &Options) -> Result<String, String> {
     ))
 }
 
+/// `ossm verify --in=FILE` — checks every checksum of a persistent
+/// artifact. Clean files report and exit zero; any detected corruption is
+/// returned as an error, so the binary exits non-zero (scriptable as a
+/// pre-flight check before trusting a map's bounds).
+fn verify(opts: &Options) -> Result<String, String> {
+    let input = PathBuf::from(required(opts, "in")?);
+    match classify(&input)? {
+        FileKind::Paged => {
+            let scan = ossm_data::repair::scan_store(&input)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+            if scan.is_clean() {
+                Ok(format!("{}: {}\n", input.display(), scan.describe()))
+            } else {
+                Err(format!(
+                    "{}: {}\nrun `ossm repair --in={}` to rebuild from the intact parts",
+                    input.display(),
+                    scan.describe(),
+                    input.display()
+                ))
+            }
+        }
+        FileKind::Map => {
+            let ossm =
+                persist::load(&input).map_err(|e| format!("{}: corrupt: {e}", input.display()))?;
+            Ok(format!(
+                "{}: clean: OSSM over {} items, {} segments, {} transactions, checksum verified\n",
+                input.display(),
+                ossm.num_items(),
+                ossm.num_segments(),
+                ossm.num_transactions()
+            ))
+        }
+        FileKind::Flat => {
+            // The flat OSSMDATA codec predates checksums; a full decode
+            // still validates structure, domains, and item ordering.
+            let d = ossm_data::io::load(&input)
+                .map_err(|e| format!("{}: corrupt: {e}", input.display()))?;
+            Ok(format!(
+                "{}: structurally valid: {} transactions over {} items \
+                 (flat format carries no checksums)\n",
+                input.display(),
+                d.len(),
+                d.num_items()
+            ))
+        }
+    }
+}
+
+/// `ossm repair --in=FILE [--out=FILE]` — rewrites a damaged paged store
+/// as a clean v2 store, salvaging intact pages verbatim, keeping exact
+/// index aggregates for pages whose data is lost, and widening (sound
+/// over-estimate) where both are gone. Defaults to repairing in place.
+fn repair(opts: &Options) -> Result<String, String> {
+    let input = PathBuf::from(required(opts, "in")?);
+    if classify(&input)? != FileKind::Paged {
+        return Err("repair works on paged stores (see `ossm pack`)".into());
+    }
+    let out_s: String = opts.get("out", String::new());
+    let out = if out_s.is_empty() {
+        input.clone()
+    } else {
+        PathBuf::from(out_s)
+    };
+    let outcome = ossm_data::repair::repair_store(&input, &out)
+        .map_err(|e| format!("{}: {e}", input.display()))?;
+    Ok(format!(
+        "repaired {} -> {}: {} pages restored, {} kept exact index aggregates, \
+         {} widened to sound over-estimates{}\n",
+        input.display(),
+        out.display(),
+        outcome.restored,
+        outcome.quarantined,
+        outcome.widened,
+        if outcome.index_rebuilt {
+            " (index rebuilt)"
+        } else {
+            ""
+        }
+    ))
+}
+
 /// `ossm obs diff BASELINE CURRENT` — compares two instrumentation
 /// snapshot files (the `BENCH_obs.json` line format) with the same
 /// flattening and thresholds as the `regress` bench binary, and prints its
@@ -485,6 +584,7 @@ fn obs(opts: &Options, positionals: &[String]) -> Result<String, String> {
 enum FileKind {
     Flat,
     Paged,
+    Map,
 }
 
 fn classify(path: &Path) -> Result<FileKind, String> {
@@ -496,6 +596,7 @@ fn classify(path: &Path) -> Result<FileKind, String> {
     match &magic {
         b"OSSMDATA" => Ok(FileKind::Flat),
         b"OSSMPAGE" => Ok(FileKind::Paged),
+        b"OSSM-MAP" => Ok(FileKind::Map),
         _ => Err(format!("{}: unrecognized file format", path.display())),
     }
 }
@@ -507,6 +608,7 @@ fn load_dataset(path: &Path) -> Result<Dataset, String> {
             let mut store = DiskStore::open(path, 16).map_err(|e| e.to_string())?;
             store.to_dataset().map_err(|e| e.to_string())
         }
+        FileKind::Map => Err(format!("{}: is an OSSM map, not a dataset", path.display())),
     }
 }
 
@@ -824,6 +926,78 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("at most one output path"), "{err}");
+    }
+
+    #[test]
+    fn verify_and_repair_handle_a_bit_flipped_store() {
+        let db = tmp("verify.db");
+        let pages = tmp("verify.pages");
+        let map = tmp("verify.ossm");
+        let db_s = db.to_str().unwrap();
+        let pages_s = pages.to_str().unwrap();
+        let map_s = map.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--kind=regular",
+            "--transactions=1500",
+            "--items=60",
+            &format!("--out={db_s}"),
+        ]);
+        run_ok(&["pack", &format!("--in={db_s}"), &format!("--out={pages_s}")]);
+        run_ok(&[
+            "segment",
+            &format!("--in={pages_s}"),
+            "--nuser=4",
+            &format!("--out={map_s}"),
+        ]);
+
+        // Everything verifies clean right after writing.
+        assert!(run_ok(&["verify", &format!("--in={pages_s}")]).contains("clean"));
+        assert!(run_ok(&["verify", &format!("--in={map_s}")]).contains("checksum verified"));
+        assert!(run_ok(&["verify", &format!("--in={db_s}")]).contains("structurally valid"));
+
+        // Flip one bit in a data page: verify must fail (non-zero exit).
+        let mut bytes = std::fs::read(&pages).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x08;
+        std::fs::write(&pages, &bytes).unwrap();
+        let err = run(&["verify".to_owned(), format!("--in={pages_s}")]).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+        assert!(err.contains("ossm repair"), "{err}");
+
+        // Repair in place, then verify passes and the data is usable.
+        let r = run_ok(&["repair", &format!("--in={pages_s}")]);
+        assert!(r.contains("repaired"), "{r}");
+        assert!(run_ok(&["verify", &format!("--in={pages_s}")]).contains("clean"));
+        assert!(run_ok(&["inspect", &format!("--in={pages_s}")]).contains("paged dataset"));
+
+        // A flipped map file is rejected too.
+        let mut bytes = std::fs::read(&map).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&map, &bytes).unwrap();
+        let err = run(&["verify".to_owned(), format!("--in={map_s}")]).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+
+        for f in [db, pages, map] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn repair_rejects_non_paged_inputs() {
+        let db = tmp("repair-flat.db");
+        let db_s = db.to_str().unwrap();
+        run_ok(&[
+            "generate",
+            "--kind=regular",
+            "--transactions=100",
+            "--items=20",
+            &format!("--out={db_s}"),
+        ]);
+        let err = run(&["repair".to_owned(), format!("--in={db_s}")]).unwrap_err();
+        assert!(err.contains("paged"), "{err}");
+        std::fs::remove_file(db).ok();
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Crash-safe incremental OSSM maintenance.
+//!
+//! [`crate::incremental::IncrementalOssm`] keeps the map current as data
+//! streams in, but it lives in memory: a crash loses every append since
+//! the last explicit save, and a crash *during* a save could corrupt the
+//! saved map itself. [`DurableIncrementalOssm`] closes both holes with
+//! the classic snapshot + write-ahead-log pairing:
+//!
+//! * every append is first written to a checksummed, fsynced WAL record
+//!   ([`ossm_data::wal`]) and only then applied in memory — an
+//!   acknowledged append survives any crash;
+//! * [`DurableIncrementalOssm::checkpoint`] persists the current map via
+//!   [`crate::persist::save_atomic`] (`tmp + fsync + rename`) and then
+//!   empties the WAL — at every instant the directory holds a complete
+//!   snapshot plus a replayable suffix of appends;
+//! * [`DurableIncrementalOssm::open`] loads the last good snapshot and
+//!   replays whatever the WAL holds. A torn WAL tail (crash mid-append)
+//!   is truncated — that record was never acknowledged.
+//!
+//! # Why recovery keeps bounds sound
+//!
+//! Segment aggregates only ever *add* (supports and transaction counts
+//! are sums), so replaying a WAL record can never lower a support below
+//! its true value — eq. (1) stays an upper bound after any recovery. The
+//! one subtle window is a crash *between* the snapshot rename and the WAL
+//! reset inside [`checkpoint`](DurableIncrementalOssm::checkpoint): the
+//! next open then replays appends that the snapshot already contains,
+//! double-counting them. That makes bounds *looser*, never unsound, and
+//! the window closes at the next checkpoint. Exactly-once replay would
+//! need a WAL sequence number in the snapshot; the paper's use case
+//! (pruning) only needs soundness, so we document the slack instead.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ossm_data::wal::WriteAheadLog;
+use ossm_data::Itemset;
+
+use crate::incremental::IncrementalOssm;
+use crate::loss::LossCalculator;
+use crate::persist;
+use crate::segmentation::Aggregate;
+use crate::ssm::Ossm;
+
+/// Snapshot file name inside the map directory.
+const SNAPSHOT: &str = "snapshot.ossm";
+/// WAL file name inside the map directory.
+const WAL: &str = "wal.log";
+
+/// What [`DurableIncrementalOssm::open`] found on disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was loaded (false: the map started empty).
+    pub from_snapshot: bool,
+    /// Appends replayed from the WAL on top of the snapshot.
+    pub replayed_appends: usize,
+    /// Whether a torn WAL tail — the signature of a crash mid-append —
+    /// was truncated away.
+    pub truncated_tail: bool,
+}
+
+/// An [`IncrementalOssm`] whose appends survive crashes.
+pub struct DurableIncrementalOssm {
+    inner: IncrementalOssm,
+    wal: WriteAheadLog,
+    snapshot_path: PathBuf,
+    num_items: usize,
+}
+
+impl DurableIncrementalOssm {
+    /// Opens (creating if needed) the durable map stored in directory
+    /// `dir`, recovering from whatever snapshot + WAL state a previous
+    /// process — crashed or not — left behind.
+    ///
+    /// `num_items` and `max_segments` must match across opens of the same
+    /// directory; a snapshot with a different item domain or more
+    /// segments than the budget is rejected.
+    pub fn open(
+        dir: &Path,
+        num_items: usize,
+        max_segments: usize,
+        calc: LossCalculator,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(SNAPSHOT);
+        let mut report = RecoveryReport::default();
+        let inner = if snapshot_path.exists() {
+            let snap = persist::load(&snapshot_path)?;
+            if snap.num_items() != num_items {
+                return Err(invalid(format!(
+                    "snapshot has {} items, caller expects {num_items}",
+                    snap.num_items()
+                )));
+            }
+            if snap.num_segments() > max_segments {
+                return Err(invalid(format!(
+                    "snapshot has {} segments, over the budget of {max_segments}",
+                    snap.num_segments()
+                )));
+            }
+            report.from_snapshot = true;
+            IncrementalOssm::from_ossm(&snap, max_segments, calc)
+        } else {
+            IncrementalOssm::new(max_segments, calc).map_err(|e| invalid(e.to_string()))?
+        };
+        let (wal, recovery) = WriteAheadLog::open(&dir.join(WAL))?;
+        report.truncated_tail = recovery.truncated_tail;
+        let mut durable = DurableIncrementalOssm {
+            inner,
+            wal,
+            snapshot_path,
+            num_items,
+        };
+        for record in &recovery.records {
+            let agg = decode_aggregate(record, num_items)?;
+            durable.inner.append_aggregate(agg);
+            report.replayed_appends += 1;
+        }
+        Ok((durable, report))
+    }
+
+    /// Appends one page-aggregate durably: the WAL record is fsynced
+    /// before the in-memory map changes, so `Ok` means the append
+    /// survives a crash. On `Err` the map is unchanged.
+    pub fn append_aggregate(&mut self, aggregate: Aggregate) -> io::Result<()> {
+        if aggregate.supports().len() != self.num_items {
+            return Err(invalid(format!(
+                "aggregate over {} items, map over {}",
+                aggregate.supports().len(),
+                self.num_items
+            )));
+        }
+        self.wal.append(&encode_aggregate(&aggregate))?;
+        self.inner.append_aggregate(aggregate);
+        Ok(())
+    }
+
+    /// Aggregates and durably appends a batch of transactions as one
+    /// logical page.
+    pub fn append_transactions<'a>(
+        &mut self,
+        transactions: impl IntoIterator<Item = &'a Itemset>,
+    ) -> io::Result<()> {
+        let mut supports = vec![0u64; self.num_items];
+        let mut count = 0u64;
+        for t in transactions {
+            count += 1;
+            for item in t.items() {
+                supports[item.index()] += 1;
+            }
+        }
+        self.append_aggregate(Aggregate::new(supports, count))
+    }
+
+    /// Persists the current map as the new snapshot (atomically) and
+    /// empties the WAL. A crash anywhere in between leaves a recoverable
+    /// state; see the module docs for the double-replay caveat. No-op on
+    /// a map that has never absorbed an append.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        if self.inner.num_segments() == 0 {
+            return Ok(());
+        }
+        persist::save_atomic(&self.snapshot_path, &self.inner.snapshot())?;
+        self.wal.reset()
+    }
+
+    /// Snapshots the current in-memory map for querying/filtering.
+    ///
+    /// # Panics
+    /// Panics if nothing has ever been appended (no segments exist).
+    pub fn snapshot(&self) -> Ossm {
+        self.inner.snapshot()
+    }
+
+    /// Number of live segments.
+    pub fn num_segments(&self) -> usize {
+        self.inner.num_segments()
+    }
+
+    /// Appends absorbed since this handle opened (replays included).
+    pub fn appended_pages(&self) -> u64 {
+        self.inner.appended_pages()
+    }
+}
+
+/// WAL payload for one aggregate: `transactions u64`, then one `u64` per
+/// item of the (dense) support vector. The item count is fixed by the
+/// map, so the length is self-checking.
+fn encode_aggregate(aggregate: &Aggregate) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + 8 * aggregate.supports().len());
+    buf.extend_from_slice(&aggregate.transactions().to_le_bytes());
+    for &s in aggregate.supports() {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    buf
+}
+
+fn decode_aggregate(payload: &[u8], num_items: usize) -> io::Result<Aggregate> {
+    if payload.len() != 8 + 8 * num_items {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "WAL record of {} bytes does not hold a {num_items}-item aggregate",
+                payload.len()
+            ),
+        ));
+    }
+    let transactions = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+    let supports = payload[8..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    Ok(Aggregate::new(supports, transactions))
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ossm-durable-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn open(dir: &Path) -> (DurableIncrementalOssm, RecoveryReport) {
+        DurableIncrementalOssm::open(dir, 3, 4, LossCalculator::all_items()).expect("open")
+    }
+
+    #[test]
+    fn appends_survive_reopen_without_a_checkpoint() {
+        let dir = tmp_dir("no-checkpoint");
+        let (mut map, report) = open(&dir);
+        assert_eq!(report, RecoveryReport::default());
+        map.append_aggregate(Aggregate::new(vec![5, 0, 2], 6))
+            .expect("append");
+        map.append_aggregate(Aggregate::new(vec![1, 9, 0], 9))
+            .expect("append");
+        drop(map);
+        let (map, report) = open(&dir);
+        assert!(!report.from_snapshot);
+        assert_eq!(report.replayed_appends, 2);
+        let snap = map.snapshot();
+        assert_eq!(snap.num_transactions(), 15);
+        assert_eq!(snap.segments()[0].supports(), &[5, 0, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_moves_state_into_the_snapshot() {
+        let dir = tmp_dir("checkpoint");
+        let (mut map, _) = open(&dir);
+        map.append_aggregate(Aggregate::new(vec![4, 4, 4], 4))
+            .expect("append");
+        map.checkpoint().expect("checkpoint");
+        map.append_aggregate(Aggregate::new(vec![1, 0, 0], 1))
+            .expect("append");
+        let before = map.snapshot();
+        drop(map);
+        let (map, report) = open(&dir);
+        assert!(report.from_snapshot);
+        assert_eq!(
+            report.replayed_appends, 1,
+            "only the post-checkpoint append"
+        );
+        assert_eq!(map.snapshot(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_geometry_is_rejected() {
+        let dir = tmp_dir("geometry");
+        let (mut map, _) = open(&dir);
+        let err = map
+            .append_aggregate(Aggregate::new(vec![1, 2], 2))
+            .expect_err("2 items into a 3-item map");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        map.append_aggregate(Aggregate::new(vec![1, 2, 3], 3))
+            .expect("append");
+        map.checkpoint().expect("checkpoint");
+        drop(map);
+        assert!(
+            DurableIncrementalOssm::open(&dir, 7, 4, LossCalculator::all_items()).is_err(),
+            "snapshot item-domain mismatch"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        let dir = tmp_dir("zero-budget");
+        assert!(DurableIncrementalOssm::open(&dir, 3, 0, LossCalculator::all_items()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Fault-injected variant of the kill-and-recover scenario: the tear
+    /// happens inside the WAL's own write path rather than by mutating
+    /// the file afterwards, so the append itself reports the failure.
+    /// (This is the only test in this binary that arms the global fault
+    /// plan, and cargo runs test binaries sequentially, so no lock is
+    /// needed here.)
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_torn_append_errors_and_recovery_drops_it() {
+        use ossm_data::fault::FaultPlan;
+
+        let dir = tmp_dir("injected-tear");
+        let (mut map, _) = open(&dir);
+        map.append_aggregate(Aggregate::new(vec![3, 1, 4], 5))
+            .expect("append");
+        map.append_aggregate(Aggregate::new(vec![1, 5, 9], 9))
+            .expect("append");
+
+        // Tear the next WAL write after 12 bytes: the length/crc header
+        // lands whole, the payload does not.
+        let mut plan = FaultPlan::new();
+        plan.tear_write("data.wal.append", 1, 12);
+        let guard = plan.arm();
+        let err = map
+            .append_aggregate(Aggregate::new(vec![2, 6, 5], 7))
+            .expect_err("torn append must surface as an error");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(guard.fired(), 1);
+        drop(guard);
+        // The failed append never reached the in-memory map.
+        assert_eq!(map.snapshot().num_transactions(), 14);
+        drop(map);
+
+        let (map, report) = open(&dir);
+        assert!(
+            report.truncated_tail,
+            "the half-written record is a torn tail"
+        );
+        assert_eq!(
+            report.replayed_appends, 2,
+            "only acknowledged appends return"
+        );
+        assert_eq!(map.snapshot().num_transactions(), 14);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

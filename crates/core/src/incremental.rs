@@ -21,6 +21,19 @@ use crate::loss::LossCalculator;
 use crate::segmentation::Aggregate;
 use crate::ssm::Ossm;
 
+/// Error from [`IncrementalOssm::new`]: a segment budget of zero cannot
+/// hold any aggregate, so no sound map could ever be snapshotted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZeroSegmentBudget;
+
+impl std::fmt::Display for ZeroSegmentBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("an OSSM needs a segment budget of at least one")
+    }
+}
+
+impl std::error::Error for ZeroSegmentBudget {}
+
 /// An OSSM that accepts appended pages.
 #[derive(Clone, Debug)]
 pub struct IncrementalOssm {
@@ -31,18 +44,18 @@ pub struct IncrementalOssm {
 }
 
 impl IncrementalOssm {
-    /// Starts an empty map with a segment budget.
-    ///
-    /// # Panics
-    /// Panics if `max_segments == 0`.
-    pub fn new(max_segments: usize, calc: LossCalculator) -> Self {
-        assert!(max_segments > 0, "an OSSM needs at least one segment");
-        IncrementalOssm {
+    /// Starts an empty map with a segment budget. Errors if the budget is
+    /// zero.
+    pub fn new(max_segments: usize, calc: LossCalculator) -> Result<Self, ZeroSegmentBudget> {
+        if max_segments == 0 {
+            return Err(ZeroSegmentBudget);
+        }
+        Ok(IncrementalOssm {
             segments: Vec::new(),
             max_segments,
             calc,
             appended_pages: 0,
-        }
+        })
     }
 
     /// Seeds the map from an already-built OSSM (e.g. from
@@ -135,7 +148,7 @@ mod tests {
 
     #[test]
     fn fills_budget_before_merging() {
-        let mut inc = IncrementalOssm::new(3, LossCalculator::all_items());
+        let mut inc = IncrementalOssm::new(3, LossCalculator::all_items()).expect("budget > 0");
         for i in 0..3u64 {
             inc.append_aggregate(Aggregate::new(vec![i, 3 - i], 3));
             assert_eq!(inc.num_segments(), i as usize + 1);
@@ -147,7 +160,7 @@ mod tests {
 
     #[test]
     fn merges_into_the_matching_configuration() {
-        let mut inc = IncrementalOssm::new(2, LossCalculator::all_items());
+        let mut inc = IncrementalOssm::new(2, LossCalculator::all_items()).expect("budget > 0");
         inc.append_aggregate(Aggregate::new(vec![10, 1], 10)); // config (0,1)
         inc.append_aggregate(Aggregate::new(vec![1, 10], 10)); // config (1,0)
                                                                // A new (0,1)-shaped page must fold into segment 0 (zero loss).
@@ -168,7 +181,7 @@ mod tests {
             ..SkewedConfig::small()
         }
         .generate();
-        let mut inc = IncrementalOssm::new(5, LossCalculator::all_items());
+        let mut inc = IncrementalOssm::new(5, LossCalculator::all_items()).expect("budget > 0");
         let chunk = 50;
         let probe = set(&[0, 1]);
         let probe2 = set(&[2, 5, 7]);
@@ -224,7 +237,7 @@ mod tests {
         .generate();
         let store = ossm_data::PageStore::with_page_count(d, 16);
         let calc = LossCalculator::all_items();
-        let mut inc = IncrementalOssm::new(4, calc);
+        let mut inc = IncrementalOssm::new(4, calc).expect("budget > 0");
         inc.append_store(&store);
         // Compare bound tightness against the degenerate one-segment map:
         // streaming with a 4-segment budget must never be looser.

@@ -35,12 +35,14 @@
 pub mod bubble;
 pub mod builder;
 pub mod config;
+pub mod durable;
 pub mod generalized;
 pub mod incremental;
 pub mod loss;
 pub mod minimize;
 pub mod persist;
 pub mod recipe;
+pub mod recover;
 pub mod seg;
 pub mod segmentation;
 pub mod ssm;
@@ -49,6 +51,7 @@ pub mod variability;
 pub use bubble::BubbleList;
 pub use builder::{BuildReport, OssmBuilder, Strategy};
 pub use config::Configuration;
+pub use durable::{DurableIncrementalOssm, RecoveryReport};
 pub use generalized::GeneralizedOssm;
 pub use incremental::IncrementalOssm;
 pub use loss::LossCalculator;

@@ -9,23 +9,40 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic "OSSM-MAP", version u32, m u32, n u64,
-//! per segment: transactions u64, m × u64 singleton supports
+//! magic "OSSM-MAP", version u32 = 2, m u32, n u64,
+//! per segment: transactions u64, m × u64 singleton supports,
+//! crc u32 (CRC32C of every preceding byte)
 //! ```
+//!
+//! Version 2 appends the CRC32C trailer; v1 files (no trailer) remain
+//! readable. A map whose trailer does not verify is rejected outright —
+//! a silently corrupt segment support would turn eq. (1) from an upper
+//! bound into a lie, which is worse than no map at all. [`save_atomic`]
+//! additionally writes through a `tmp + fsync + rename` sequence so a
+//! crash mid-save can never leave a half-written map at the target path.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
+
+use ossm_data::checksum::{Crc32cReader, Crc32cWriter};
 
 use crate::segmentation::Aggregate;
 use crate::ssm::Ossm;
 
 const MAGIC: &[u8; 8] = b"OSSM-MAP";
-const VERSION: u32 = 1;
+const V1: u32 = 1;
+const V2: u32 = 2;
+/// Cap on the item-domain size accepted from a header (matches the page
+/// store's cap); a corrupt `m` otherwise drives huge allocations.
+const MAX_ITEMS: usize = 1 << 24;
+/// Cap on the segment count accepted from a header.
+const MAX_SEGMENTS: u64 = 1 << 32;
 
-/// Serializes an OSSM to `w`.
+/// Serializes an OSSM to `w` (format v2, checksummed).
 pub fn write_ossm<W: Write>(w: &mut W, ossm: &Ossm) -> io::Result<()> {
+    let mut w = Crc32cWriter::new(w);
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&V2.to_le_bytes())?;
     w.write_all(&(ossm.num_items() as u32).to_le_bytes())?;
     w.write_all(&(ossm.num_segments() as u64).to_le_bytes())?;
     for seg in ossm.segments() {
@@ -34,34 +51,58 @@ pub fn write_ossm<W: Write>(w: &mut W, ossm: &Ossm) -> io::Result<()> {
             w.write_all(&s.to_le_bytes())?;
         }
     }
-    Ok(())
+    let crc = w.digest();
+    w.get_mut().write_all(&crc.to_le_bytes())
 }
 
-/// Deserializes an OSSM from `r`.
+/// Deserializes an OSSM from `r` (v2 with checksum verification, or
+/// legacy v1 without). Header fields are sanity-capped so a corrupt or
+/// hostile header errors instead of OOM-ing.
 pub fn read_ossm<R: Read>(r: &mut R) -> io::Result<Ossm> {
+    let mut r = Crc32cReader::new(r);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(bad("not an OSSM file (bad magic)"));
     }
-    let version = read_u32(r)?;
-    if version != VERSION {
+    let version = read_u32(&mut r)?;
+    if version != V1 && version != V2 {
         return Err(bad(format!("unsupported OSSM version {version}")));
     }
-    let m = read_u32(r)? as usize;
-    let n = read_u64(r)?;
+    let m = read_u32(&mut r)? as usize;
+    if m > MAX_ITEMS {
+        return Err(bad(format!("implausible item domain m = {m}")));
+    }
+    let n = read_u64(&mut r)?;
     if n == 0 {
         return Err(bad("an OSSM must have at least one segment"));
+    }
+    if n > MAX_SEGMENTS {
+        return Err(bad(format!("implausible segment count {n}")));
     }
     let n = usize::try_from(n).map_err(|_| bad("segment count overflows usize"))?;
     let mut segments = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        let transactions = read_u64(r)?;
-        let mut supports = Vec::with_capacity(m);
+        let transactions = read_u64(&mut r)?;
+        // Grow element-wise with a capped pre-allocation: a lying header
+        // runs into EOF, not into a multi-gigabyte reservation.
+        let mut supports = Vec::with_capacity(m.min(1 << 20));
         for _ in 0..m {
-            supports.push(read_u64(r)?);
+            supports.push(read_u64(&mut r)?);
         }
         segments.push(Aggregate::new(supports, transactions));
+    }
+    if version >= V2 {
+        let expected = r.digest();
+        let mut trailer = [0u8; 4];
+        r.get_mut().read_exact(&mut trailer)?;
+        if u32::from_le_bytes(trailer) != expected {
+            return Err(bad("OSSM checksum mismatch: the map is corrupt"));
+        }
+    }
+    // Anything after the payload (v1) / trailer (v2) is not ours.
+    if r.get_mut().read(&mut [0u8; 1])? != 0 {
+        return Err(bad("trailing bytes after the OSSM"));
     }
     Ok(Ossm::from_aggregates(segments))
 }
@@ -71,6 +112,28 @@ pub fn save(path: &Path, ossm: &Ossm) -> io::Result<()> {
     let mut f = io::BufWriter::new(std::fs::File::create(path)?);
     write_ossm(&mut f, ossm)?;
     f.flush()
+}
+
+/// Writes an OSSM to the file at `path` crash-safely: the bytes go to a
+/// temporary sibling first, are fsynced, and are renamed into place (with
+/// a directory fsync), so at every instant `path` holds either the old
+/// complete map or the new complete map — never a torn mixture.
+pub fn save_atomic(path: &Path, ossm: &Ossm) -> io::Result<()> {
+    let tmp = path.with_extension("ossm-tmp");
+    {
+        let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write_ossm(&mut f, ossm)?;
+        f.into_inner()?.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Persist the rename itself; failures are surfaced, except on
+        // platforms where directories cannot be fsynced.
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 /// Reads an OSSM from the file at `path`.
@@ -113,6 +176,22 @@ mod tests {
         OssmBuilder::new(5).build(&store).0
     }
 
+    /// Serializes in the legacy v1 layout (no trailer).
+    fn write_v1(ossm: &Ossm) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&V1.to_le_bytes());
+        buf.extend_from_slice(&(ossm.num_items() as u32).to_le_bytes());
+        buf.extend_from_slice(&(ossm.num_segments() as u64).to_le_bytes());
+        for seg in ossm.segments() {
+            buf.extend_from_slice(&seg.transactions().to_le_bytes());
+            for &s in seg.supports() {
+                buf.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        buf
+    }
+
     #[test]
     fn roundtrip_preserves_the_map() {
         let ossm = sample_ossm();
@@ -126,6 +205,27 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_maps_still_read() {
+        let ossm = sample_ossm();
+        let buf = write_v1(&ossm);
+        assert_eq!(read_ossm(&mut buf.as_slice()).expect("read v1"), ossm);
+    }
+
+    #[test]
+    fn any_bit_flip_is_detected() {
+        let ossm = sample_ossm();
+        let mut buf = Vec::new();
+        write_ossm(&mut buf, &ossm).expect("write");
+        // Flip one bit in a support value deep in the payload.
+        let at = buf.len() / 2;
+        buf[at] ^= 0x01;
+        let err = read_ossm(&mut buf.as_slice())
+            .map(|_| ())
+            .expect_err("flip detected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn rejects_bad_magic_and_truncation() {
         assert!(read_ossm(&mut &b"NOT-OSSM\0\0\0\0"[..]).is_err());
         let ossm = sample_ossm();
@@ -136,13 +236,43 @@ mod tests {
     }
 
     #[test]
-    fn rejects_zero_segments() {
+    fn rejects_zero_segments_and_hostile_headers() {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&V1.to_le_bytes());
         buf.extend_from_slice(&3u32.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         assert!(read_ossm(&mut buf.as_slice()).is_err());
+        // A header claiming 4 billion items over a tiny payload must
+        // error without attempting the allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&V2.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        let err = read_ossm(&mut buf.as_slice())
+            .map(|_| ())
+            .expect_err("capped");
+        assert!(err.to_string().contains("implausible"), "{err}");
+        // Same for the segment count.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&V2.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_ossm(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let ossm = sample_ossm();
+        let mut buf = Vec::new();
+        write_ossm(&mut buf, &ossm).expect("write");
+        buf.extend_from_slice(b"junk");
+        let err = read_ossm(&mut buf.as_slice())
+            .map(|_| ())
+            .expect_err("junk detected");
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 
     #[test]
@@ -153,6 +283,18 @@ mod tests {
         let ossm = sample_ossm();
         save(&path, &ossm).expect("save");
         assert_eq!(load(&path).expect("load"), ossm);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_save_roundtrips_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("ossm-persist-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("atomic.ossm");
+        let ossm = sample_ossm();
+        save_atomic(&path, &ossm).expect("save");
+        assert_eq!(load(&path).expect("load"), ossm);
+        assert!(!path.with_extension("ossm-tmp").exists());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,216 @@
+//! CRC32C (Castagnoli) checksums for the on-disk formats.
+//!
+//! Every persistent artifact in the workspace — `OSSMPAGE` stores,
+//! `OSSM-MAP` snapshots, and the incremental-append WAL — protects its
+//! bytes with CRC32C. The polynomial (0x1EDC6F41, reflected 0x82F63B78)
+//! is the one used by iSCSI, ext4, and most storage engines: it detects
+//! all single-bit errors, all double-bit errors within the codeword
+//! lengths we use, and any burst up to 32 bits — exactly the torn-write
+//! and bit-rot failure modes the durability layer defends against
+//! (DESIGN.md §9). The implementation is a table-driven software CRC;
+//! the artifacts it guards are small (the OSSM is a sketch), so raw
+//! throughput is not a concern.
+
+/// One entry per byte value: the CRC of that byte fed into an all-zero
+/// register, reflected polynomial 0x82F63B78.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// One-shot CRC32C of `bytes`.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32c::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Incremental CRC32C state, for hashing data as it streams past.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Crc32c {
+    /// Fresh state (equivalent to hashing zero bytes).
+    pub fn new() -> Self {
+        Crc32c { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far (does not consume the state;
+    /// more updates may follow).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Crc32c::new()
+    }
+}
+
+/// A [`std::io::Write`] adapter that checksums everything written through
+/// it. Used by the persistence codecs to compute a file's trailer CRC in
+/// one pass with the serialization itself.
+pub struct Crc32cWriter<W> {
+    inner: W,
+    crc: Crc32c,
+}
+
+impl<W: std::io::Write> Crc32cWriter<W> {
+    /// Wraps `inner`.
+    pub fn new(inner: W) -> Self {
+        Crc32cWriter {
+            inner,
+            crc: Crc32c::new(),
+        }
+    }
+
+    /// CRC of every byte successfully written so far.
+    pub fn digest(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// Unwraps the adapter, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The underlying writer (e.g. to append an un-checksummed trailer).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for Crc32cWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A [`std::io::Read`] adapter that checksums everything read through it,
+/// so a decoder can verify a trailer CRC after parsing the payload.
+pub struct Crc32cReader<R> {
+    inner: R,
+    crc: Crc32c,
+}
+
+impl<R: std::io::Read> Crc32cReader<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        Crc32cReader {
+            inner,
+            crc: Crc32c::new(),
+        }
+    }
+
+    /// CRC of every byte successfully read so far.
+    pub fn digest(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// The underlying reader (e.g. to read the un-checksummed trailer).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for Crc32cReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn matches_the_reference_vector() {
+        // The canonical CRC32C check value (RFC 3720 appendix / every
+        // storage engine's self-test).
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn empty_input_and_zero_runs() {
+        assert_eq!(crc32c(b""), 0);
+        // 32 bytes of zeros — the iSCSI test vector.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut crc = Crc32c::new();
+        for chunk in data.chunks(7) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.finish(), crc32c(&data));
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_checksum() {
+        let data = b"the OSSM is a persistent artifact".to_vec();
+        let clean = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), clean, "flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn writer_and_reader_adapters_agree() {
+        let payload = b"checksummed page payload".to_vec();
+        let mut w = Crc32cWriter::new(Vec::new());
+        w.write_all(&payload).unwrap();
+        assert_eq!(w.digest(), crc32c(&payload));
+        let bytes = w.into_inner();
+        let mut r = Crc32cReader::new(bytes.as_slice());
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(r.digest(), crc32c(&payload));
+    }
+}

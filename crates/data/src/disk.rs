@@ -1,4 +1,5 @@
-//! Disk-backed page storage with a buffer pool and I/O accounting.
+//! Disk-backed page storage with a buffer pool, I/O accounting, and
+//! end-to-end checksums.
 //!
 //! The paper's cost model is page-oriented: transactions live in 4 KB disk
 //! pages, segmentation operates on per-page aggregates, and the reported
@@ -15,32 +16,39 @@
 //!   report I/O work the way the paper's time-sharing measurements folded
 //!   it into runtime.
 //!
-//! File layout (little-endian):
+//! # Integrity
 //!
-//! ```text
-//! header  : magic "OSSMPAGE", version u32, m u32, page_bytes u32,
-//!           num_pages u64, index_offset u64
-//! pages   : num_pages × page_bytes, each: num_tx u32,
-//!           then per transaction: len u32, len × item u32; zero padding
-//! index   : per page: num_tx u32, num_entries u32,
-//!           then num_entries × (item u32, count u32)
-//! ```
+//! The OSSM is "computed once at pre-processing" (Section 3) and reused
+//! across support thresholds, so the page file it derives from is a
+//! long-lived artifact: a silently corrupt page would poison every future
+//! map. Format **v2** therefore checksums everything with CRC32C — each
+//! page slot carries a 4-byte trailer over its payload (verified on every
+//! buffer-pool miss), the aggregate index carries a file-level CRC, and
+//! the header checksums its own fields. Legacy v1 files (no integrity
+//! metadata) are still readable; the writer always emits v2. A page whose
+//! checksum fails is quarantined (see [`DiskStore::quarantined_pages`])
+//! and the read errors instead of returning garbage; `ossm repair`
+//! rebuilds what the intact parts of the file still determine
+//! ([`crate::repair`]). See `DESIGN.md` §9 for the full failure model.
+//!
+//! File layout: see [`crate::format`]. All integers little-endian.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use crate::item::{ItemId, Itemset};
+use crate::checksum::crc32c;
+use crate::fault;
+use crate::format::{self, Header, MAX_ITEMS, MAX_PAGE_BYTES};
+use crate::item::Itemset;
 use crate::page::transaction_bytes;
 
 /// Physical page reads (buffer-pool misses), all [`DiskStore`]s combined.
 static PAGE_READS: ossm_obs::Counter = ossm_obs::Counter::new("data.disk.page_reads");
 /// Page requests served by a buffer pool, all [`DiskStore`]s combined.
 static POOL_HITS: ossm_obs::Counter = ossm_obs::Counter::new("data.disk.pool_hits");
-
-const MAGIC: &[u8; 8] = b"OSSMPAGE";
-const VERSION: u32 = 1;
-const HEADER_BYTES: u64 = 8 + 4 + 4 + 4 + 8 + 8;
+/// Checksum verification failures (pages, index, or header), all stores.
+static CHECKSUM_FAILURES: ossm_obs::Counter = ossm_obs::Counter::new("data.disk.checksum_failures");
 
 /// Sparse per-page aggregate: transaction count plus (item, support) pairs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,7 +70,7 @@ impl PageSummary {
     }
 }
 
-/// Writes transactions into a paged data file.
+/// Writes transactions into a paged data file (format v2, checksummed).
 pub struct DiskStoreWriter {
     file: io::BufWriter<std::fs::File>,
     m: u32,
@@ -75,18 +83,27 @@ pub struct DiskStoreWriter {
 
 impl DiskStoreWriter {
     /// Creates the file at `path` for a domain of `m` items and the given
-    /// page size (4096 matches the paper).
-    ///
-    /// # Panics
-    /// Panics if `page_bytes` cannot hold even an empty transaction.
+    /// *logical* page size (4096 matches the paper; the physical slot adds
+    /// a 4-byte checksum trailer). Errors if `page_bytes` cannot hold even
+    /// an empty transaction, is implausibly large, or `m` exceeds the
+    /// format's domain cap.
     pub fn create(path: &Path, m: usize, page_bytes: usize) -> io::Result<Self> {
-        assert!(
-            page_bytes >= 16,
-            "page size too small to hold any transaction"
-        );
+        if page_bytes < 16 {
+            return Err(invalid_input("page size too small to hold any transaction"));
+        }
+        if page_bytes > MAX_PAGE_BYTES as usize {
+            return Err(invalid_input(format!(
+                "page size {page_bytes} exceeds the format cap {MAX_PAGE_BYTES}"
+            )));
+        }
+        if m > MAX_ITEMS {
+            return Err(invalid_input(format!(
+                "item domain {m} exceeds the format cap {MAX_ITEMS}"
+            )));
+        }
         let mut file = io::BufWriter::new(std::fs::File::create(path)?);
         // Header placeholder; finalize() rewrites it with real counts.
-        file.write_all(&[0u8; HEADER_BYTES as usize])?;
+        file.write_all(&[0u8; format::HEADER_V2 as usize])?;
         Ok(DiskStoreWriter {
             file,
             m: m as u32,
@@ -98,15 +115,25 @@ impl DiskStoreWriter {
     }
 
     /// Appends one transaction, starting a new page when the current page
-    /// is full. A transaction larger than a page gets a page of its own.
-    ///
-    /// # Panics
-    /// Panics if the transaction references items outside the domain.
+    /// is full. Errors if the transaction references items outside the
+    /// domain or cannot fit on a page by itself (callers pick
+    /// `page_bytes` ≥ the largest transaction).
     pub fn append(&mut self, t: &Itemset) -> io::Result<()> {
         if let Some(max) = t.items().last() {
-            assert!((max.0) < self.m, "item {max} outside domain 0..{}", self.m);
+            if max.0 >= self.m {
+                return Err(invalid_input(format!(
+                    "item {max} outside domain 0..{}",
+                    self.m
+                )));
+            }
         }
         let cost = transaction_bytes(t);
+        if cost + 4 > self.page_bytes as usize {
+            return Err(invalid_input(format!(
+                "transaction of {cost} bytes exceeds the {}-byte page",
+                self.page_bytes
+            )));
+        }
         if !self.current.is_empty() && self.current_bytes + cost > self.page_bytes as usize {
             self.flush_page()?;
         }
@@ -116,63 +143,35 @@ impl DiskStoreWriter {
     }
 
     fn flush_page(&mut self) -> io::Result<()> {
-        let mut buf = Vec::with_capacity(self.page_bytes as usize);
-        buf.extend_from_slice(&(self.current.len() as u32).to_le_bytes());
-        let mut counts: HashMap<u32, u32> = HashMap::new();
-        for t in &self.current {
-            buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
-            for item in t.items() {
-                buf.extend_from_slice(&item.0.to_le_bytes());
-                *counts.entry(item.0).or_insert(0) += 1;
-            }
-        }
-        // An oversized single transaction stretches its page; regular pages
-        // are padded to the fixed size so offsets stay computable. Oversize
-        // pages are rejected instead (callers pick page_bytes ≥ max tx).
-        assert!(
-            buf.len() <= self.page_bytes as usize,
-            "transaction of {} bytes exceeds the {}-byte page",
-            buf.len(),
-            self.page_bytes
-        );
-        buf.resize(self.page_bytes as usize, 0);
-        self.file.write_all(&buf)?;
-        let mut supports: Vec<(u32, u32)> = counts.into_iter().collect();
-        supports.sort_unstable();
-        self.summaries.push(PageSummary {
-            transactions: self.current.len() as u32,
-            supports,
-        });
+        // `append` already rejected anything that cannot fit.
+        let mut slot = format::encode_page_payload(&self.current, self.page_bytes as usize)
+            .ok_or_else(|| invalid_input("page overflow"))?;
+        let crc = crc32c(&slot);
+        slot.extend_from_slice(&crc.to_le_bytes());
+        fault::write_all_tagged(&mut self.file, "data.disk.write_page", &slot)?;
+        self.summaries.push(format::summarize(&self.current));
         self.current.clear();
         self.current_bytes = 4;
         Ok(())
     }
 
-    /// Flushes the final page, writes the aggregate index and the real
-    /// header, and closes the file.
+    /// Flushes the final page, writes the checksummed aggregate index and
+    /// the real header, and syncs the file to disk.
     pub fn finalize(mut self) -> io::Result<()> {
         if !self.current.is_empty() {
             self.flush_page()?;
         }
         let num_pages = self.summaries.len() as u64;
-        let index_offset = HEADER_BYTES + num_pages * u64::from(self.page_bytes);
-        for s in &self.summaries {
-            self.file.write_all(&s.transactions.to_le_bytes())?;
-            self.file
-                .write_all(&(s.supports.len() as u32).to_le_bytes())?;
-            for &(item, count) in &s.supports {
-                self.file.write_all(&item.to_le_bytes())?;
-                self.file.write_all(&count.to_le_bytes())?;
-            }
-        }
+        let slot = u64::from(self.page_bytes) + format::PAGE_TRAILER;
+        let index_offset = format::HEADER_V2 + num_pages * slot;
+        let index = format::encode_index(&self.summaries);
+        let index_crc = crc32c(&index);
+        fault::write_all_tagged(&mut self.file, "data.disk.write_index", &index)?;
         let mut file = self.file.into_inner()?;
         file.seek(SeekFrom::Start(0))?;
-        file.write_all(MAGIC)?;
-        file.write_all(&VERSION.to_le_bytes())?;
-        file.write_all(&self.m.to_le_bytes())?;
-        file.write_all(&self.page_bytes.to_le_bytes())?;
-        file.write_all(&num_pages.to_le_bytes())?;
-        file.write_all(&index_offset.to_le_bytes())?;
+        let header =
+            format::encode_header_v2(self.m, self.page_bytes, num_pages, index_offset, index_crc);
+        fault::write_all_tagged(&mut file, "data.disk.write_header", &header)?;
         file.sync_all()
     }
 }
@@ -221,7 +220,8 @@ impl BufferPool {
             PAGE_READS.incr();
             let decoded = load()?;
             if self.frames.len() >= self.capacity {
-                // Evict the least-recently used frame.
+                // Evict the least-recently used frame. Invariant panic:
+                // capacity ≥ 1, so a full pool is never empty.
                 let victim = *self
                     .frames
                     .iter()
@@ -232,6 +232,7 @@ impl BufferPool {
             }
             self.frames.insert(page, (decoded, clock));
         }
+        // Invariant panic: the frame was found or inserted just above.
         Ok(self
             .frames
             .get(&page)
@@ -243,68 +244,57 @@ impl BufferPool {
 /// A read handle on a paged data file.
 pub struct DiskStore {
     file: std::fs::File,
-    m: usize,
-    page_bytes: u32,
+    header: Header,
     summaries: Vec<PageSummary>,
     pool: BufferPool,
+    /// Pages whose checksum failed on read — their data is not trusted.
+    quarantined: BTreeSet<usize>,
 }
 
 impl DiskStore {
-    /// Opens a store written by [`DiskStoreWriter`], with a buffer pool of
-    /// `pool_pages` frames.
+    /// Opens a store written by [`DiskStoreWriter`] (or a legacy v1 file),
+    /// with a buffer pool of `pool_pages` frames. Verifies the header and
+    /// index checksums up front; data-page checksums are verified lazily
+    /// on every buffer-pool miss.
     pub fn open(path: &Path, pool_pages: usize) -> io::Result<Self> {
         let mut file = std::fs::File::open(path)?;
-        let mut header = [0u8; HEADER_BYTES as usize];
-        file.read_exact(&mut header)?;
-        if &header[..8] != MAGIC {
-            return Err(bad("not an OSSM page file"));
+        let file_len = file.metadata()?.len();
+        let header = format::read_header(&mut file, file_len)?;
+        if !header.header_ok {
+            CHECKSUM_FAILURES.incr();
+            return Err(format::bad("page-file header checksum mismatch"));
         }
-        let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed size"));
-        if version != VERSION {
-            return Err(bad(format!("unsupported page-file version {version}")));
-        }
-        let m = u32::from_le_bytes(header[12..16].try_into().expect("fixed size")) as usize;
-        let page_bytes = u32::from_le_bytes(header[16..20].try_into().expect("fixed size"));
-        let num_pages = u64::from_le_bytes(header[20..28].try_into().expect("fixed size"));
-        let index_offset = u64::from_le_bytes(header[28..36].try_into().expect("fixed size"));
         // Load the aggregate index (summaries only — no data pages).
-        file.seek(SeekFrom::Start(index_offset))?;
-        let mut reader = io::BufReader::new(&mut file);
-        let mut summaries = Vec::with_capacity(num_pages.min(1 << 20) as usize);
-        for _ in 0..num_pages {
-            let transactions = read_u32(&mut reader)?;
-            let entries = read_u32(&mut reader)? as usize;
-            let mut supports = Vec::with_capacity(entries);
-            for _ in 0..entries {
-                let item = read_u32(&mut reader)?;
-                let count = read_u32(&mut reader)?;
-                if item as usize >= m {
-                    return Err(bad(format!("index references item {item} outside 0..{m}")));
-                }
-                supports.push((item, count));
-            }
-            summaries.push(PageSummary {
-                transactions,
-                supports,
-            });
+        file.seek(SeekFrom::Start(header.index_offset))?;
+        let mut index = Vec::with_capacity((file_len - header.index_offset) as usize);
+        file.read_to_end(&mut index)?;
+        if header.version >= format::V2 && crc32c(&index) != header.index_crc {
+            CHECKSUM_FAILURES.incr();
+            return Err(format::bad("page-file index checksum mismatch"));
         }
+        let summaries = format::parse_index(&index, header.m, header.num_pages)?;
         Ok(DiskStore {
             file,
-            m,
-            page_bytes,
+            header,
             summaries,
             pool: BufferPool::new(pool_pages),
+            quarantined: BTreeSet::new(),
         })
     }
 
     /// Size of the item domain.
     pub fn num_items(&self) -> usize {
-        self.m
+        self.header.m
     }
 
     /// Number of pages.
     pub fn num_pages(&self) -> usize {
         self.summaries.len()
+    }
+
+    /// Format version of the underlying file (2 = checksummed).
+    pub fn format_version(&self) -> u32 {
+        self.header.version
     }
 
     /// Total transactions across all pages (from the index).
@@ -325,7 +315,7 @@ impl DiskStore {
     pub fn page_aggregate_vectors(&self) -> Vec<(Vec<u64>, u64)> {
         self.summaries
             .iter()
-            .map(|s| (s.dense(self.m), u64::from(s.transactions)))
+            .map(|s| (s.dense(self.header.m), u64::from(s.transactions)))
             .collect()
     }
 
@@ -334,23 +324,50 @@ impl DiskStore {
         self.pool.stats
     }
 
-    /// Reads page `p` through the buffer pool.
-    ///
-    /// # Panics
-    /// Panics if `p` is out of range.
+    /// Pages whose checksum verification failed on a read so far. Their
+    /// index summaries remain trustworthy (the index has its own CRC),
+    /// so bounds built from [`Self::summaries`] stay sound even when the
+    /// page data is lost; see [`crate::repair`] for recovery.
+    pub fn quarantined_pages(&self) -> impl Iterator<Item = usize> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Reads page `p` through the buffer pool, verifying its checksum on
+    /// a pool miss. Errors if `p` is out of range or the page is corrupt
+    /// (the page is then quarantined rather than returned as garbage).
     pub fn read_page(&mut self, p: usize) -> io::Result<Vec<Itemset>> {
-        assert!(p < self.summaries.len(), "page {p} out of range");
-        let offset = HEADER_BYTES + p as u64 * u64::from(self.page_bytes);
-        let page_bytes = self.page_bytes as usize;
-        let m = self.m;
+        if p >= self.summaries.len() {
+            return Err(invalid_input(format!(
+                "page {p} out of range 0..{}",
+                self.summaries.len()
+            )));
+        }
+        let offset = self.header.page_offset(p as u64);
+        let slot_bytes = self.header.slot_bytes() as usize;
+        let payload_bytes = self.header.page_bytes as usize;
+        let checksummed = self.header.version >= format::V2;
+        let m = self.header.m;
         let file = &mut self.file;
+        let quarantined = &mut self.quarantined;
         let txs = self.pool.get_or_load(p as u64, || {
             let mut span = ossm_obs::detail_span("data.disk.read_page");
             span.attach("page", p as u64);
-            let mut buf = vec![0u8; page_bytes];
+            let mut buf = vec![0u8; slot_bytes];
             file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(&mut buf)?;
-            decode_page(&buf, m)
+            fault::read_exact_tagged(file, "data.disk.read_page", &mut buf)?;
+            if checksummed {
+                let stored = u32::from_le_bytes(
+                    buf[payload_bytes..]
+                        .try_into()
+                        .expect("slot ends in a 4-byte CRC"),
+                );
+                if crc32c(&buf[..payload_bytes]) != stored {
+                    CHECKSUM_FAILURES.incr();
+                    quarantined.insert(p);
+                    return Err(format::bad(format!("page {p} checksum mismatch")));
+                }
+            }
+            format::decode_page(&buf[..payload_bytes], m)
         })?;
         Ok(txs.to_vec())
     }
@@ -372,48 +389,15 @@ impl DiskStore {
 
     /// Materializes the whole store as an in-memory [`crate::Dataset`].
     pub fn to_dataset(&mut self) -> io::Result<crate::Dataset> {
-        let mut transactions = Vec::with_capacity(self.num_transactions() as usize);
+        let n = usize::try_from(self.num_transactions()).unwrap_or(usize::MAX);
+        let mut transactions = Vec::with_capacity(n.min(1 << 24));
         self.scan(|t| transactions.push(t.clone()))?;
-        Ok(crate::Dataset::new(self.m, transactions))
+        Ok(crate::Dataset::new(self.header.m, transactions))
     }
 }
 
-fn decode_page(buf: &[u8], m: usize) -> io::Result<Vec<Itemset>> {
-    let mut pos = 0usize;
-    let take_u32 = |pos: &mut usize| -> io::Result<u32> {
-        let end = *pos + 4;
-        if end > buf.len() {
-            return Err(bad("page truncated"));
-        }
-        let v = u32::from_le_bytes(buf[*pos..end].try_into().expect("fixed size"));
-        *pos = end;
-        Ok(v)
-    };
-    let n = take_u32(&mut pos)?;
-    let mut out = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        let len = take_u32(&mut pos)? as usize;
-        let mut items = Vec::with_capacity(len);
-        for _ in 0..len {
-            let id = take_u32(&mut pos)?;
-            if id as usize >= m {
-                return Err(bad(format!("page references item {id} outside 0..{m}")));
-            }
-            items.push(ItemId(id));
-        }
-        out.push(Itemset::from_sorted(items));
-    }
-    Ok(out)
-}
-
-fn bad(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
-}
-
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+fn invalid_input(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg.into())
 }
 
 /// Writes an entire dataset to a paged file (convenience wrapper).
@@ -446,6 +430,34 @@ mod tests {
         .generate()
     }
 
+    /// Serializes a dataset in the legacy v1 layout (36-byte header, raw
+    /// page slots, no checksums) so compatibility stays tested after the
+    /// writer moved to v2.
+    pub(crate) fn write_paged_v1(path: &Path, dataset: &crate::Dataset, page_bytes: usize) {
+        let mem = PageStore::pack(dataset.clone(), page_bytes);
+        let mut pages: Vec<Vec<u8>> = Vec::new();
+        let mut summaries = Vec::new();
+        for page in mem.pages() {
+            let txs = &dataset.transactions()[page.range()];
+            let payload = format::encode_page_payload(txs, page_bytes).expect("fits");
+            summaries.push(format::summarize(txs));
+            pages.push(payload);
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(format::MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(dataset.num_items() as u32).to_le_bytes());
+        bytes.extend_from_slice(&(page_bytes as u32).to_le_bytes());
+        bytes.extend_from_slice(&(pages.len() as u64).to_le_bytes());
+        let index_offset = format::HEADER_V1 + pages.len() as u64 * page_bytes as u64;
+        bytes.extend_from_slice(&index_offset.to_le_bytes());
+        for p in &pages {
+            bytes.extend_from_slice(p);
+        }
+        bytes.extend_from_slice(&format::encode_index(&summaries));
+        std::fs::write(path, bytes).expect("write v1 file");
+    }
+
     #[test]
     fn roundtrip_preserves_every_transaction() {
         let d = sample_dataset();
@@ -454,7 +466,23 @@ mod tests {
         let mut store = DiskStore::open(&path, 4).expect("open");
         assert_eq!(store.num_items(), 50);
         assert_eq!(store.num_transactions(), 500);
+        assert_eq!(store.format_version(), 2);
         assert_eq!(store.to_dataset().expect("read"), d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_read() {
+        let d = sample_dataset();
+        let path = tmp("legacy.pages");
+        write_paged_v1(&path, &d, 1024);
+        let mut store = DiskStore::open(&path, 4).expect("open v1");
+        assert_eq!(store.format_version(), 1);
+        assert_eq!(store.num_transactions(), 500);
+        assert_eq!(store.to_dataset().expect("read"), d);
+        // v1 page boundaries agree with the in-memory packer, like v2's.
+        let mem = PageStore::pack(d, 1024);
+        assert_eq!(store.num_pages(), mem.num_pages());
         std::fs::remove_file(&path).ok();
     }
 
@@ -464,7 +492,9 @@ mod tests {
         let path = tmp("index.pages");
         write_paged(&path, &d, 1024).expect("write");
         let store = DiskStore::open(&path, 2).expect("open");
-        // The same packing in memory must agree page by page.
+        // The same packing in memory must agree page by page: the v2
+        // checksum trailer lives outside the logical page, so packing
+        // decisions are unchanged.
         let mem = PageStore::pack(d, 1024);
         assert_eq!(store.num_pages(), mem.num_pages());
         for (summary, page) in store.summaries().iter().zip(mem.pages()) {
@@ -535,13 +565,99 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the")]
     fn oversized_transaction_is_rejected() {
         let path = tmp("oversize.pages");
         let mut w = DiskStoreWriter::create(&path, 100, 16).expect("create");
         let t = Itemset::new(0..50u32);
-        let _ = w.append(&t);
-        let _ = w.finalize(); // the flush panics
+        let err = w.append(&t).expect_err("does not fit");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("exceeds the"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_domain_items_and_bad_page_sizes_are_errors_not_panics() {
+        let path = tmp("domain.pages");
+        assert!(DiskStoreWriter::create(&path, 10, 4).is_err());
+        let mut w = DiskStoreWriter::create(&path, 10, 4096).expect("create");
+        let err = w
+            .append(&Itemset::new([3, 99]))
+            .expect_err("item 99 ∉ 0..10");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reading_out_of_range_pages_is_an_error() {
+        let d = sample_dataset();
+        let path = tmp("range.pages");
+        write_paged(&path, &d, 4096).expect("write");
+        let mut store = DiskStore::open(&path, 1).expect("open");
+        let past_end = store.num_pages();
+        assert!(store.read_page(past_end).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_a_page_is_detected_and_quarantined() {
+        let d = sample_dataset();
+        let path = tmp("flip.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read file");
+        // Flip one bit in the middle of page 1's payload.
+        let slot = 1024 + 4;
+        let offset = format::HEADER_V2 as usize + slot + 100;
+        bytes[offset] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let mut store = DiskStore::open(&path, 4).expect("header+index intact");
+        store.read_page(0).expect("page 0 clean");
+        let err = store.read_page(1).expect_err("page 1 corrupt");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert_eq!(store.quarantined_pages().collect::<Vec<_>>(), vec![1]);
+        // The index summary for the quarantined page is still served.
+        assert!(store.summaries()[1].transactions > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_header_or_index_is_detected_at_open() {
+        let d = sample_dataset();
+        let path = tmp("flip-meta.pages");
+        write_paged(&path, &d, 1024).expect("write");
+        let clean = std::fs::read(&path).expect("read file");
+        // Header: flip a bit inside the checksummed fixed fields.
+        let mut bytes = clean.clone();
+        bytes[21] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(DiskStore::open(&path, 1).is_err(), "header flip detected");
+        // Index: flip a bit in the trailing index region.
+        let mut bytes = clean.clone();
+        let at = clean.len() - 3;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let err = DiskStore::open(&path, 1)
+            .map(|_| ())
+            .expect_err("index flip detected");
+        assert!(err.to_string().contains("index checksum"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_header_fields_error_instead_of_allocating() {
+        let path = tmp("hostile.pages");
+        // A header claiming 2^40 pages over a 100-byte file.
+        let header = format::encode_header_v2(50, 4096, 1 << 40, u64::MAX / 2, 0);
+        std::fs::write(&path, header).expect("write");
+        let err = DiskStore::open(&path, 1)
+            .map(|_| ())
+            .expect_err("implausible header");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // An implausible item domain is capped too.
+        let header = format::encode_header_v2(u32::MAX, 4096, 0, format::HEADER_V2, 0);
+        std::fs::write(&path, header).expect("write");
+        assert!(DiskStore::open(&path, 1).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -552,5 +668,46 @@ mod tests {
         assert_eq!(store.num_pages(), 0);
         assert_eq!(store.to_dataset().expect("read"), crate::Dataset::empty(10));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "faults")]
+    mod faults {
+        use super::*;
+        use crate::fault::FaultPlan;
+
+        #[test]
+        fn torn_page_write_is_detected_on_read_back() {
+            let _lock = crate::fault::tests::serialize_tests();
+            let d = sample_dataset();
+            let path = tmp("torn.pages");
+            // Tear the second page write halfway through its slot.
+            let mut plan = FaultPlan::new();
+            plan.tear_write("data.disk.write_page", 2, 300);
+            let guard = plan.arm();
+            let err = write_paged(&path, &d, 1024).expect_err("torn write surfaces");
+            assert!(err.to_string().contains("torn"), "{err}");
+            assert_eq!(guard.fired(), 1);
+            drop(guard);
+            // The half-written file must not open as a valid store.
+            assert!(DiskStore::open(&path, 1).is_err());
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn injected_read_corruption_trips_the_page_checksum() {
+            let _lock = crate::fault::tests::serialize_tests();
+            let d = sample_dataset();
+            let path = tmp("flip-read.pages");
+            write_paged(&path, &d, 1024).expect("write");
+            let mut store = DiskStore::open(&path, 4).expect("open");
+            let mut plan = FaultPlan::new();
+            plan.flip_on_read("data.disk.read_page", 1, 42, 0x04);
+            let guard = plan.arm();
+            let err = store.read_page(0).expect_err("flip detected");
+            assert!(err.to_string().contains("checksum"), "{err}");
+            assert_eq!(guard.fired(), 1);
+            drop(guard);
+            std::fs::remove_file(&path).ok();
+        }
     }
 }

@@ -1,0 +1,422 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! Recovery code that is never exercised is recovery code that does not
+//! work. This module lets tests *plan* storage failures — write errors,
+//! torn writes cut at an exact byte offset, bit flips on read, short
+//! reads — and have them fire deterministically at the `nth` I/O
+//! operation carrying a given tag. The disk store, the WAL, and the
+//! snapshot writer all route their physical I/O through the tagged
+//! helpers here, so a test can tear the third WAL append or flip a bit
+//! in the second page read without touching file bytes by hand.
+//!
+//! # Zero cost when disabled
+//!
+//! The whole machinery is gated on the `faults` cargo feature, mirroring
+//! the `obs` pattern: without the feature every type is a stub,
+//! [`FaultPlan::arm`] is a no-op, and the tagged I/O helpers compile down
+//! to plain `write_all`/`read_exact` calls. Production builds carry no
+//! mutex, no registry, and no branch on the hot path.
+//!
+//! # Usage
+//!
+//! ```
+//! use ossm_data::fault::FaultPlan;
+//!
+//! let mut plan = FaultPlan::new();
+//! plan.tear_write("data.wal.append", 3, 5); // 3rd append stops after 5 bytes
+//! let guard = plan.arm();
+//! // ... drive the system; with the `faults` feature the 3rd tagged
+//! // append writes 5 bytes and then reports an I/O error ...
+//! drop(guard); // disarms
+//! ```
+//!
+//! Only one plan can be armed at a time (arming replaces any previous
+//! plan); tests that inject faults serialize themselves.
+
+use std::io::{self, Read, Write};
+
+/// What a planned fault does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The tagged write fails outright; nothing reaches the file.
+    WriteError,
+    /// The tagged write persists only the first `keep` bytes, then
+    /// reports an error — a crash mid-write (torn write).
+    TornWrite {
+        /// Bytes that make it to the file before the "crash".
+        keep: usize,
+    },
+    /// The tagged read fails outright.
+    ReadError,
+    /// The tagged read returns fewer bytes than requested
+    /// (`ErrorKind::UnexpectedEof`), as a crashed writer's tail would.
+    ShortRead,
+    /// The tagged read succeeds but one bit of the returned buffer is
+    /// flipped — silent media corruption, which checksums must catch.
+    BitFlip {
+        /// Byte offset within the read buffer (clamped to its length).
+        offset: usize,
+        /// XOR mask applied to that byte.
+        mask: u8,
+    },
+}
+
+/// Outcome of consulting the armed plan before a tagged write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(not(feature = "faults"), allow(dead_code))] // stubs return only `None`
+enum WriteFault {
+    None,
+    Error,
+    Torn(usize),
+}
+
+#[cfg(feature = "faults")]
+mod live {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    struct Planned {
+        tag: String,
+        nth: u64,
+        kind: FaultKind,
+    }
+
+    struct Active {
+        planned: Vec<Planned>,
+        counters: HashMap<String, u64>,
+        fired: u64,
+    }
+
+    static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+
+    fn lock() -> std::sync::MutexGuard<'static, Option<Active>> {
+        match ACTIVE.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// A deterministic schedule of storage faults.
+    #[derive(Default)]
+    pub struct FaultPlan {
+        planned: Vec<Planned>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan (no faults).
+        pub fn new() -> Self {
+            FaultPlan::default()
+        }
+
+        /// Schedules `kind` to fire at the `nth` (1-based) I/O operation
+        /// tagged `tag`. Each scheduled fault fires at most once.
+        pub fn schedule(&mut self, tag: &str, nth: u64, kind: FaultKind) -> &mut Self {
+            self.planned.push(Planned {
+                tag: tag.to_owned(),
+                nth,
+                kind,
+            });
+            self
+        }
+
+        /// Arms the plan globally; the returned guard disarms on drop.
+        pub fn arm(self) -> FaultGuard {
+            *lock() = Some(Active {
+                planned: self.planned,
+                counters: HashMap::new(),
+                fired: 0,
+            });
+            FaultGuard { _priv: () }
+        }
+    }
+
+    /// RAII handle for an armed [`FaultPlan`].
+    pub struct FaultGuard {
+        _priv: (),
+    }
+
+    impl FaultGuard {
+        /// How many planned faults have fired since arming.
+        pub fn fired(&self) -> u64 {
+            lock().as_ref().map_or(0, |a| a.fired)
+        }
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            *lock() = None;
+        }
+    }
+
+    /// Consults the armed plan for the next write tagged `tag`.
+    pub(super) fn next_write_fault(tag: &str) -> WriteFault {
+        let mut guard = lock();
+        let Some(active) = guard.as_mut() else {
+            return WriteFault::None;
+        };
+        let count = bump(active, tag);
+        match take(active, tag, count) {
+            Some(FaultKind::WriteError) => WriteFault::Error,
+            Some(FaultKind::TornWrite { keep }) => WriteFault::Torn(keep),
+            Some(_) | None => WriteFault::None,
+        }
+    }
+
+    /// Consults the armed plan for the next read tagged `tag`; mutates
+    /// `buf` in place for bit flips.
+    pub(super) fn next_read_fault(tag: &str, buf: &mut [u8]) -> io::Result<()> {
+        let mut guard = lock();
+        let Some(active) = guard.as_mut() else {
+            return Ok(());
+        };
+        let count = bump(active, tag);
+        match take(active, tag, count) {
+            Some(FaultKind::ReadError) => Err(injected(format!("injected read error ({tag})"))),
+            Some(FaultKind::ShortRead) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("injected short read ({tag})"),
+            )),
+            Some(FaultKind::BitFlip { offset, mask }) => {
+                if let Some(byte) = buf.get_mut(offset.min(buf.len().saturating_sub(1))) {
+                    *byte ^= mask;
+                }
+                Ok(())
+            }
+            Some(_) | None => Ok(()),
+        }
+    }
+
+    fn bump(active: &mut Active, tag: &str) -> u64 {
+        let c = active.counters.entry(tag.to_owned()).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    fn take(active: &mut Active, tag: &str, count: u64) -> Option<FaultKind> {
+        let idx = active
+            .planned
+            .iter()
+            .position(|p| p.tag == tag && p.nth == count)?;
+        active.fired += 1;
+        Some(active.planned.swap_remove(idx).kind)
+    }
+}
+
+#[cfg(not(feature = "faults"))]
+mod live {
+    use super::*;
+
+    /// A deterministic schedule of storage faults (inert: the `faults`
+    /// feature is disabled, so arming this plan injects nothing).
+    #[derive(Default)]
+    pub struct FaultPlan;
+
+    impl FaultPlan {
+        /// An empty plan (no faults).
+        #[inline(always)]
+        pub fn new() -> Self {
+            FaultPlan
+        }
+
+        /// No-op: the `faults` feature is disabled.
+        #[inline(always)]
+        pub fn schedule(&mut self, _tag: &str, _nth: u64, _kind: FaultKind) -> &mut Self {
+            self
+        }
+
+        /// No-op arm; the guard is a zero-sized token.
+        #[inline(always)]
+        pub fn arm(self) -> FaultGuard {
+            FaultGuard { _priv: () }
+        }
+    }
+
+    /// RAII handle for an armed [`FaultPlan`] (inert stub).
+    pub struct FaultGuard {
+        _priv: (),
+    }
+
+    impl FaultGuard {
+        /// Always 0: nothing can fire without the `faults` feature.
+        #[inline(always)]
+        pub fn fired(&self) -> u64 {
+            0
+        }
+    }
+
+    #[inline(always)]
+    pub(super) fn next_write_fault(_tag: &str) -> WriteFault {
+        WriteFault::None
+    }
+
+    #[inline(always)]
+    pub(super) fn next_read_fault(_tag: &str, _buf: &mut [u8]) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+pub use live::{FaultGuard, FaultPlan};
+
+impl FaultPlan {
+    /// Schedules the `nth` write tagged `tag` to fail without persisting.
+    pub fn fail_write(&mut self, tag: &str, nth: u64) -> &mut Self {
+        self.schedule(tag, nth, FaultKind::WriteError)
+    }
+
+    /// Schedules the `nth` write tagged `tag` to persist only `keep`
+    /// bytes, then error — a torn write.
+    pub fn tear_write(&mut self, tag: &str, nth: u64, keep: usize) -> &mut Self {
+        self.schedule(tag, nth, FaultKind::TornWrite { keep })
+    }
+
+    /// Schedules the `nth` read tagged `tag` to fail.
+    pub fn fail_read(&mut self, tag: &str, nth: u64) -> &mut Self {
+        self.schedule(tag, nth, FaultKind::ReadError)
+    }
+
+    /// Schedules the `nth` read tagged `tag` to come up short.
+    pub fn short_read(&mut self, tag: &str, nth: u64) -> &mut Self {
+        self.schedule(tag, nth, FaultKind::ShortRead)
+    }
+
+    /// Schedules a bit flip in the buffer of the `nth` read tagged `tag`.
+    pub fn flip_on_read(&mut self, tag: &str, nth: u64, offset: usize, mask: u8) -> &mut Self {
+        self.schedule(tag, nth, FaultKind::BitFlip { offset, mask })
+    }
+}
+
+fn injected(msg: String) -> io::Error {
+    io::Error::other(msg)
+}
+
+/// `write_all` with a fault-injection point: the armed plan may fail the
+/// write or tear it after a planned number of bytes. Storage code calls
+/// this for every physical write it wants recoverable-from.
+pub fn write_all_tagged<W: Write>(w: &mut W, tag: &str, buf: &[u8]) -> io::Result<()> {
+    match live::next_write_fault(tag) {
+        WriteFault::None => w.write_all(buf),
+        WriteFault::Error => Err(injected(format!("injected write error ({tag})"))),
+        WriteFault::Torn(keep) => {
+            w.write_all(&buf[..keep.min(buf.len())])?;
+            w.flush()?;
+            Err(injected(format!(
+                "injected torn write ({tag}): {keep} of {} bytes persisted",
+                buf.len()
+            )))
+        }
+    }
+}
+
+/// `read_exact` with a fault-injection point: the armed plan may fail the
+/// read, report a short read, or flip a bit in the returned buffer.
+pub fn read_exact_tagged<R: Read>(r: &mut R, tag: &str, buf: &mut [u8]) -> io::Result<()> {
+    r.read_exact(buf)?;
+    live::next_read_fault(tag, buf)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // The armed plan is process-global; fault tests share one lock.
+    pub(crate) fn serialize_tests() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[cfg(feature = "faults")]
+    mod enabled {
+        use super::*;
+
+        #[test]
+        fn torn_write_persists_a_prefix_then_errors() {
+            let _lock = serialize_tests();
+            let mut plan = FaultPlan::new();
+            plan.tear_write("t.page", 2, 3);
+            let guard = plan.arm();
+            let mut sink = Vec::new();
+            write_all_tagged(&mut sink, "t.page", b"aaaa").expect("1st write clean");
+            let err = write_all_tagged(&mut sink, "t.page", b"bbbb").expect_err("2nd torn");
+            assert!(err.to_string().contains("torn"), "{err}");
+            assert_eq!(sink, b"aaaabbb", "3 of 4 bytes persisted");
+            assert_eq!(guard.fired(), 1);
+        }
+
+        #[test]
+        fn write_error_persists_nothing() {
+            let _lock = serialize_tests();
+            let mut plan = FaultPlan::new();
+            plan.fail_write("t.wal", 1);
+            let _guard = plan.arm();
+            let mut sink = Vec::new();
+            assert!(write_all_tagged(&mut sink, "t.wal", b"xyz").is_err());
+            assert!(sink.is_empty());
+            // Other tags are untouched.
+            write_all_tagged(&mut sink, "t.other", b"ok").expect("clean tag");
+        }
+
+        #[test]
+        fn read_faults_fire_in_sequence() {
+            let _lock = serialize_tests();
+            let mut plan = FaultPlan::new();
+            plan.flip_on_read("t.read", 1, 1, 0x80)
+                .short_read("t.read", 2)
+                .fail_read("t.read", 3);
+            let guard = plan.arm();
+            let src = [1u8, 2, 3, 4];
+            let mut buf = [0u8; 4];
+            read_exact_tagged(&mut &src[..], "t.read", &mut buf).expect("flip is silent");
+            assert_eq!(buf, [1, 0x82, 3, 4], "bit flipped in place");
+            let err = read_exact_tagged(&mut &src[..], "t.read", &mut buf).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+            assert!(read_exact_tagged(&mut &src[..], "t.read", &mut buf).is_err());
+            assert_eq!(guard.fired(), 3);
+        }
+
+        #[test]
+        fn disarming_stops_injection() {
+            let _lock = serialize_tests();
+            let mut plan = FaultPlan::new();
+            plan.fail_write("t.gone", 1);
+            drop(plan.arm());
+            let mut sink = Vec::new();
+            write_all_tagged(&mut sink, "t.gone", b"ok").expect("disarmed");
+        }
+    }
+
+    #[cfg(not(feature = "faults"))]
+    mod disabled {
+        use super::*;
+
+        #[test]
+        fn armed_plans_are_inert_without_the_feature() {
+            let _lock = serialize_tests();
+            // Schedule every kind of fault against every upcoming op;
+            // none may fire — the feature is compiled out.
+            let mut plan = FaultPlan::new();
+            for nth in 1..=4 {
+                plan.fail_write("t.x", nth);
+                plan.tear_write("t.x", nth, 0);
+                plan.fail_read("t.x", nth);
+                plan.flip_on_read("t.x", nth, 0, 0xFF);
+            }
+            let guard = plan.arm();
+            let mut sink = Vec::new();
+            for _ in 0..4 {
+                write_all_tagged(&mut sink, "t.x", b"ab").expect("inert");
+            }
+            assert_eq!(sink, b"abababab");
+            let mut buf = [0u8; 2];
+            for _ in 0..4 {
+                read_exact_tagged(&mut &b"cd"[..], "t.x", &mut buf).expect("inert");
+                assert_eq!(&buf, b"cd");
+            }
+            assert_eq!(guard.fired(), 0);
+            assert_eq!(std::mem::size_of::<FaultGuard>(), 0, "zero-sized stub");
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Low-level byte layout of the `OSSMPAGE` paged-store format.
+//!
+//! Shared between the happy path ([`crate::disk`]) and the recovery path
+//! ([`crate::repair`]), which must parse the same bytes leniently. Two
+//! format versions exist:
+//!
+//! * **v1** (legacy, read-only): 36-byte header, raw `page_bytes` slots,
+//!   no integrity metadata;
+//! * **v2** (current): 44-byte header ending in a CRC32C of the header
+//!   fields and a CRC32C of the index region, and each page slot carries
+//!   a 4-byte CRC32C trailer over its payload. The *logical* page size
+//!   (`page_bytes`, what packing decisions see) is unchanged; the
+//!   physical slot is `page_bytes + 4`.
+//!
+//! ```text
+//! v2 header : magic "OSSMPAGE", version u32 = 2, m u32, page_bytes u32,
+//!             num_pages u64, index_offset u64, index_crc u32,
+//!             header_crc u32 (CRC32C of the 40 bytes before it)
+//! v2 page   : payload (page_bytes: num_tx u32, then per transaction
+//!             len u32 + len × item u32, zero padding), crc u32
+//! index     : per page: num_tx u32, num_entries u32,
+//!             then num_entries × (item u32, count u32)
+//! ```
+
+use std::io::{self, Read};
+
+use crate::checksum::crc32c;
+use crate::disk::PageSummary;
+use crate::item::{ItemId, Itemset};
+
+pub(crate) const MAGIC: &[u8; 8] = b"OSSMPAGE";
+pub(crate) const V1: u32 = 1;
+pub(crate) const V2: u32 = 2;
+pub(crate) const HEADER_V1: u64 = 8 + 4 + 4 + 4 + 8 + 8;
+pub(crate) const HEADER_V2: u64 = HEADER_V1 + 4 + 4;
+/// Per-page CRC trailer bytes (v2).
+pub(crate) const PAGE_TRAILER: u64 = 4;
+
+/// Hard cap on the item-domain size accepted from any header. A corrupt
+/// or hostile `m` would otherwise drive multi-gigabyte dense-vector
+/// allocations; 16M items is far beyond any workload in the paper's
+/// regime (m ≤ 10⁴).
+pub(crate) const MAX_ITEMS: usize = 1 << 24;
+/// Hard cap on the page size accepted from any header (64 MiB).
+pub(crate) const MAX_PAGE_BYTES: u32 = 1 << 26;
+
+/// Parsed and sanity-checked `OSSMPAGE` header.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Header {
+    pub version: u32,
+    pub m: usize,
+    pub page_bytes: u32,
+    pub num_pages: u64,
+    pub index_offset: u64,
+    /// CRC32C the index region must hash to (v2; 0 and unchecked for v1).
+    pub index_crc: u32,
+    /// Whether the header's own checksum verified (always true for v1,
+    /// which has none). Strict readers reject `false`; the repair path
+    /// proceeds best-effort when the remaining fields stay plausible.
+    pub header_ok: bool,
+}
+
+impl Header {
+    /// Header length for this version.
+    pub fn header_len(&self) -> u64 {
+        if self.version >= V2 {
+            HEADER_V2
+        } else {
+            HEADER_V1
+        }
+    }
+
+    /// Physical bytes of one page slot (payload + v2 CRC trailer).
+    pub fn slot_bytes(&self) -> u64 {
+        if self.version >= V2 {
+            u64::from(self.page_bytes) + PAGE_TRAILER
+        } else {
+            u64::from(self.page_bytes)
+        }
+    }
+
+    /// File offset of page `p`'s slot.
+    pub fn page_offset(&self, p: u64) -> u64 {
+        self.header_len() + p * self.slot_bytes()
+    }
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    // Callers slice exactly 4 bytes; the conversion cannot fail.
+    u32::from_le_bytes(b.try_into().expect("4-byte slice"))
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().expect("8-byte slice"))
+}
+
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serializes a v2 header (the only version written).
+pub(crate) fn encode_header_v2(
+    m: u32,
+    page_bytes: u32,
+    num_pages: u64,
+    index_offset: u64,
+    index_crc: u32,
+) -> [u8; HEADER_V2 as usize] {
+    let mut h = [0u8; HEADER_V2 as usize];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&V2.to_le_bytes());
+    h[12..16].copy_from_slice(&m.to_le_bytes());
+    h[16..20].copy_from_slice(&page_bytes.to_le_bytes());
+    h[20..28].copy_from_slice(&num_pages.to_le_bytes());
+    h[28..36].copy_from_slice(&index_offset.to_le_bytes());
+    h[36..40].copy_from_slice(&index_crc.to_le_bytes());
+    let crc = crc32c(&h[..40]);
+    h[40..44].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Reads and parses the header of an `OSSMPAGE` file, sanity-capping
+/// every field against `file_len` so a corrupt or hostile header errors
+/// here instead of driving huge allocations downstream. A failed v2
+/// header checksum is reported via [`Header::header_ok`], not an error,
+/// so the repair path can attempt a best-effort scan.
+pub(crate) fn read_header<R: Read>(r: &mut R, file_len: u64) -> io::Result<Header> {
+    let mut fixed = [0u8; HEADER_V1 as usize];
+    r.read_exact(&mut fixed)?;
+    if &fixed[..8] != MAGIC {
+        return Err(bad("not an OSSM page file"));
+    }
+    let version = le_u32(&fixed[8..12]);
+    if version != V1 && version != V2 {
+        return Err(bad(format!("unsupported page-file version {version}")));
+    }
+    let m = le_u32(&fixed[12..16]) as usize;
+    let page_bytes = le_u32(&fixed[16..20]);
+    let num_pages = le_u64(&fixed[20..28]);
+    let index_offset = le_u64(&fixed[28..36]);
+    let (index_crc, header_ok) = if version >= V2 {
+        let mut tail = [0u8; 8];
+        r.read_exact(&mut tail)?;
+        let index_crc = le_u32(&tail[..4]);
+        let header_crc = le_u32(&tail[4..]);
+        let mut covered = [0u8; 40];
+        covered[..36].copy_from_slice(&fixed);
+        covered[36..].copy_from_slice(&tail[..4]);
+        (index_crc, crc32c(&covered) == header_crc)
+    } else {
+        (0, true)
+    };
+    let header = Header {
+        version,
+        m,
+        page_bytes,
+        num_pages,
+        index_offset,
+        index_crc,
+        header_ok,
+    };
+    if m > MAX_ITEMS {
+        return Err(bad(format!(
+            "implausible item domain m = {m} (cap {MAX_ITEMS})"
+        )));
+    }
+    if !(16..=MAX_PAGE_BYTES).contains(&page_bytes) {
+        return Err(bad(format!("implausible page size {page_bytes}")));
+    }
+    let pages_end = num_pages
+        .checked_mul(header.slot_bytes())
+        .and_then(|b| b.checked_add(header.header_len()))
+        .ok_or_else(|| bad("page region overflows the file offset space"))?;
+    if index_offset != pages_end {
+        return Err(bad(format!(
+            "index offset {index_offset} disagrees with {num_pages} pages ending at {pages_end}"
+        )));
+    }
+    if index_offset > file_len {
+        return Err(bad(format!(
+            "header claims {num_pages} pages ({index_offset} bytes) but the file has {file_len}"
+        )));
+    }
+    Ok(header)
+}
+
+/// Serializes one page's transactions into its fixed-size payload.
+/// Returns `None` when the transactions exceed `page_bytes` (the caller
+/// rejects oversized transactions before ever buffering them).
+pub(crate) fn encode_page_payload(txs: &[Itemset], page_bytes: usize) -> Option<Vec<u8>> {
+    let mut buf = Vec::with_capacity(page_bytes);
+    buf.extend_from_slice(&(txs.len() as u32).to_le_bytes());
+    for t in txs {
+        buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
+        for item in t.items() {
+            buf.extend_from_slice(&item.0.to_le_bytes());
+        }
+    }
+    if buf.len() > page_bytes {
+        return None;
+    }
+    buf.resize(page_bytes, 0);
+    Some(buf)
+}
+
+/// Decodes a page payload into its transactions, validating structure and
+/// the item domain.
+pub(crate) fn decode_page(buf: &[u8], m: usize) -> io::Result<Vec<Itemset>> {
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> io::Result<u32> {
+        let end = *pos + 4;
+        if end > buf.len() {
+            return Err(bad("page truncated"));
+        }
+        let v = le_u32(&buf[*pos..end]);
+        *pos = end;
+        Ok(v)
+    };
+    let n = take_u32(&mut pos)?;
+    if n as usize > buf.len() / 4 {
+        // Each transaction costs at least 4 payload bytes (its len word —
+        // empty transactions are legal); an n beyond that is corruption.
+        return Err(bad(format!("page claims {n} transactions")));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let len = take_u32(&mut pos)? as usize;
+        if len > (buf.len() - pos) / 4 {
+            return Err(bad(format!("transaction claims {len} items")));
+        }
+        let mut items = Vec::with_capacity(len);
+        let mut prev: Option<u32> = None;
+        for _ in 0..len {
+            let id = take_u32(&mut pos)?;
+            if id as usize >= m {
+                return Err(bad(format!("page references item {id} outside 0..{m}")));
+            }
+            if prev.is_some_and(|p| id <= p) {
+                return Err(bad("page transaction items not strictly increasing"));
+            }
+            prev = Some(id);
+            items.push(ItemId(id));
+        }
+        out.push(Itemset::from_sorted(items));
+    }
+    Ok(out)
+}
+
+/// The aggregate summary of a page's transactions (what the index stores).
+pub(crate) fn summarize(txs: &[Itemset]) -> PageSummary {
+    let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for t in txs {
+        for item in t.items() {
+            *counts.entry(item.0).or_insert(0) += 1;
+        }
+    }
+    let mut supports: Vec<(u32, u32)> = counts.into_iter().collect();
+    supports.sort_unstable();
+    PageSummary {
+        transactions: txs.len() as u32,
+        supports,
+    }
+}
+
+/// Serializes the per-page aggregate index.
+pub(crate) fn encode_index(summaries: &[PageSummary]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for s in summaries {
+        buf.extend_from_slice(&s.transactions.to_le_bytes());
+        buf.extend_from_slice(&(s.supports.len() as u32).to_le_bytes());
+        for &(item, count) in &s.supports {
+            buf.extend_from_slice(&item.to_le_bytes());
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Parses the index region. Rejects out-of-domain items, summaries wider
+/// than the item domain, and trailing bytes (which a clean writer never
+/// leaves and truncation/corruption commonly produce).
+pub(crate) fn parse_index(bytes: &[u8], m: usize, num_pages: u64) -> io::Result<Vec<PageSummary>> {
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> io::Result<u32> {
+        let end = *pos + 4;
+        if end > bytes.len() {
+            return Err(bad("index truncated"));
+        }
+        let v = le_u32(&bytes[*pos..end]);
+        *pos = end;
+        Ok(v)
+    };
+    let mut summaries = Vec::with_capacity(usize::try_from(num_pages).unwrap_or(0).min(1 << 20));
+    for _ in 0..num_pages {
+        let transactions = take_u32(&mut pos)?;
+        let entries = take_u32(&mut pos)? as usize;
+        if entries > m {
+            return Err(bad(format!(
+                "index summary claims {entries} distinct items over a domain of {m}"
+            )));
+        }
+        let mut supports = Vec::with_capacity(entries);
+        let mut prev: Option<u32> = None;
+        for _ in 0..entries {
+            let item = take_u32(&mut pos)?;
+            let count = take_u32(&mut pos)?;
+            if item as usize >= m {
+                return Err(bad(format!("index references item {item} outside 0..{m}")));
+            }
+            if prev.is_some_and(|p| item <= p) {
+                return Err(bad("index summary items not strictly increasing"));
+            }
+            prev = Some(item);
+            supports.push((item, count));
+        }
+        summaries.push(PageSummary {
+            transactions,
+            supports,
+        });
+    }
+    if pos != bytes.len() {
+        return Err(bad(format!(
+            "{} trailing bytes after the index",
+            bytes.len() - pos
+        )));
+    }
+    Ok(summaries)
+}

@@ -55,7 +55,9 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
     let mut transactions = Vec::with_capacity(n.min(1 << 20));
     for i in 0..n {
         let len = read_u32(r)? as usize;
-        let mut items = Vec::with_capacity(len);
+        // Cap the pre-allocation: a corrupt length field should hit the
+        // domain/ordering checks below (or EOF), not OOM first.
+        let mut items = Vec::with_capacity(len.min(1 << 16));
         let mut prev: Option<u32> = None;
         for _ in 0..len {
             let id = read_u32(r)?;

@@ -18,13 +18,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checksum;
 pub mod disk;
+pub mod fault;
+mod format;
 pub mod gen;
 pub mod io;
 pub mod item;
 pub mod page;
+pub mod repair;
 pub mod sequence;
 pub mod transaction;
+pub mod wal;
 
 pub use item::{ItemId, Itemset};
 pub use page::{Page, PageStore};

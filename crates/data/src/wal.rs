@@ -1,0 +1,316 @@
+//! A write-ahead append log for crash-safe incremental ingestion.
+//!
+//! The incremental OSSM path (`IncrementalOssm` in `ossm-core`) absorbs
+//! batches of transactions between snapshots. If the process dies after
+//! an append was acknowledged but before the next snapshot, that batch
+//! must not be lost — eq. (1) bounds computed from a stale map would not
+//! cover the appended data. The WAL closes the window: every append is
+//! written here, checksummed and fsynced, *before* it is applied to the
+//! in-memory map, and replayed against the last good snapshot on reopen.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! header : magic "OSSM-WAL" (8 bytes)
+//! record : payload_len u32 | crc u32 (CRC32C of payload) | payload
+//! ```
+//!
+//! All integers little-endian. Records are opaque payloads to this layer;
+//! the caller defines their encoding.
+//!
+//! # Recovery semantics
+//!
+//! [`WriteAheadLog::open`] parses records front to back and **truncates
+//! at the first record that is short, oversized, or fails its CRC** — a
+//! crash mid-append leaves exactly such a torn tail, and everything
+//! before it was fsynced and is intact. A torn tail therefore never
+//! poisons earlier records, and re-appending the lost batch is the
+//! caller's (acknowledged-write) contract to its own client. Replays are
+//! counted on the `data.wal.replays` counter.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::checksum::crc32c;
+use crate::fault;
+
+/// Magic prefixing every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"OSSM-WAL";
+
+/// Cap on a single record's payload (64 MiB); a length field beyond it is
+/// corruption, and bounding it keeps recovery from allocating garbage.
+const MAX_RECORD_BYTES: u32 = 1 << 26;
+
+/// Reopens that replayed at least one record.
+static REPLAYS: ossm_obs::Counter = ossm_obs::Counter::new("data.wal.replays");
+
+/// What [`WriteAheadLog::open`] found in an existing log.
+#[derive(Debug, Default)]
+pub struct WalRecovery {
+    /// Intact record payloads, in append order. Replay these against the
+    /// last snapshot before acknowledging new work.
+    pub records: Vec<Vec<u8>>,
+    /// Whether a torn/corrupt tail was cut off (evidence of a crash
+    /// mid-append; the cut bytes were never acknowledged as durable).
+    pub truncated_tail: bool,
+}
+
+/// An append-only, checksummed, fsync-per-append log file.
+pub struct WriteAheadLog {
+    file: std::fs::File,
+    /// Byte length of the durable, intact prefix (header + whole records).
+    end: u64,
+}
+
+impl WriteAheadLog {
+    /// Opens (creating if absent) the log at `path` and recovers every
+    /// intact record. A torn tail — the signature of a crash mid-append —
+    /// is truncated away; see the module docs for why that is safe.
+    pub fn open(path: &Path) -> io::Result<(Self, WalRecovery)> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < WAL_MAGIC.len() as u64 {
+            // Fresh file, or a crash tore the header itself: no record
+            // can have been acknowledged, so start clean.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            return Ok((
+                WriteAheadLog {
+                    file,
+                    end: WAL_MAGIC.len() as u64,
+                },
+                WalRecovery::default(),
+            ));
+        }
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an OSSM write-ahead log",
+            ));
+        }
+        let mut recovery = WalRecovery::default();
+        let mut pos = WAL_MAGIC.len() as u64;
+        loop {
+            let remaining = file_len - pos;
+            if remaining == 0 {
+                break;
+            }
+            if remaining < 8 {
+                recovery.truncated_tail = true;
+                break;
+            }
+            let mut head = [0u8; 8];
+            fault::read_exact_tagged(&mut file, "data.wal.read", &mut head)?;
+            let len = u32::from_le_bytes(head[..4].try_into().expect("4-byte slice"));
+            let crc = u32::from_le_bytes(head[4..].try_into().expect("4-byte slice"));
+            if len > MAX_RECORD_BYTES || u64::from(len) > remaining - 8 {
+                recovery.truncated_tail = true;
+                break;
+            }
+            let mut payload = vec![0u8; len as usize];
+            fault::read_exact_tagged(&mut file, "data.wal.read", &mut payload)?;
+            if crc32c(&payload) != crc {
+                recovery.truncated_tail = true;
+                break;
+            }
+            pos += 8 + u64::from(len);
+            recovery.records.push(payload);
+        }
+        if recovery.truncated_tail {
+            file.set_len(pos)?;
+            file.sync_all()?;
+        }
+        if !recovery.records.is_empty() {
+            REPLAYS.incr();
+        }
+        file.seek(SeekFrom::Start(pos))?;
+        Ok((WriteAheadLog { file, end: pos }, recovery))
+    }
+
+    /// Number of durable bytes (for tests and diagnostics).
+    pub fn len_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Appends one record and fsyncs it. When this returns `Ok`, the
+    /// record survives a crash; on `Err` the caller must treat the
+    /// append as not having happened (recovery truncates any torn tail).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() as u64 > u64::from(MAX_RECORD_BYTES) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("WAL record of {} bytes exceeds the cap", payload.len()),
+            ));
+        }
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32c(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        fault::write_all_tagged(&mut self.file, "data.wal.append", &record)?;
+        self.file.sync_data()?;
+        self.end += record.len() as u64;
+        Ok(())
+    }
+
+    /// Empties the log (all records are now reflected in a durable
+    /// snapshot). Callers fsync the snapshot *before* resetting.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.end = WAL_MAGIC.len() as u64;
+        self.file.set_len(self.end)?;
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ossm-wal-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn appends_recover_in_order() {
+        let path = tmp("order.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, rec) = WriteAheadLog::open(&path).expect("create");
+        assert!(rec.records.is_empty() && !rec.truncated_tail);
+        wal.append(b"first").expect("append");
+        wal.append(b"").expect("empty records are fine");
+        wal.append(b"third").expect("append");
+        drop(wal);
+        let (_, rec) = WriteAheadLog::open(&path).expect("reopen");
+        assert_eq!(
+            rec.records,
+            vec![b"first".to_vec(), vec![], b"third".to_vec()]
+        );
+        assert!(!rec.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = WriteAheadLog::open(&path).expect("create");
+        wal.append(b"durable").expect("append");
+        wal.append(b"doomed-record").expect("append");
+        drop(wal);
+        // Simulate a crash that tore the second record mid-payload.
+        let clean_len = std::fs::metadata(&path).expect("meta").len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("open");
+        file.set_len(clean_len - 5).expect("tear");
+        drop(file);
+        let (mut wal, rec) = WriteAheadLog::open(&path).expect("recover");
+        assert_eq!(rec.records, vec![b"durable".to_vec()]);
+        assert!(rec.truncated_tail);
+        // The log is usable again immediately.
+        wal.append(b"after-crash").expect("append");
+        drop(wal);
+        let (_, rec) = WriteAheadLog::open(&path).expect("reopen");
+        assert_eq!(
+            rec.records,
+            vec![b"durable".to_vec(), b"after-crash".to_vec()]
+        );
+        assert!(!rec.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_cuts_the_log_there() {
+        let path = tmp("flip.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = WriteAheadLog::open(&path).expect("create");
+        wal.append(b"one").expect("append");
+        wal.append(b"two").expect("append");
+        wal.append(b"three").expect("append");
+        drop(wal);
+        // Flip a payload bit in record two.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let rec_two_payload = 8 + (8 + 3) + 8;
+        bytes[rec_two_payload] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let (_, rec) = WriteAheadLog::open(&path).expect("recover");
+        assert_eq!(rec.records, vec![b"one".to_vec()], "cut at the corruption");
+        assert!(rec.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_length_field_does_not_allocate() {
+        let path = tmp("hostile.wal");
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(b"tiny");
+        std::fs::write(&path, &bytes).expect("write");
+        let (_, rec) = WriteAheadLog::open(&path).expect("recover");
+        assert!(rec.records.is_empty());
+        assert!(rec.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let path = tmp("reset.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = WriteAheadLog::open(&path).expect("create");
+        wal.append(b"snapshotted").expect("append");
+        wal.reset().expect("reset");
+        wal.append(b"fresh").expect("append");
+        drop(wal);
+        let (_, rec) = WriteAheadLog::open(&path).expect("reopen");
+        assert_eq!(rec.records, vec![b"fresh".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let path = tmp("foreign.wal");
+        std::fs::write(&path, b"definitely not a log").expect("write");
+        assert!(WriteAheadLog::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "faults")]
+    mod faults {
+        use super::*;
+        use crate::fault::FaultPlan;
+
+        #[test]
+        fn torn_append_recovers_to_the_previous_record() {
+            let _lock = crate::fault::tests::serialize_tests();
+            let path = tmp("injected.wal");
+            std::fs::remove_file(&path).ok();
+            let (mut wal, _) = WriteAheadLog::open(&path).expect("create");
+            wal.append(b"safe").expect("append");
+            let mut plan = FaultPlan::new();
+            plan.tear_write("data.wal.append", 1, 6); // mid-header tear
+            let guard = plan.arm();
+            let err = wal.append(b"torn-away").expect_err("torn append errors");
+            assert!(err.to_string().contains("torn"), "{err}");
+            assert_eq!(guard.fired(), 1);
+            drop(guard);
+            drop(wal);
+            let (_, rec) = WriteAheadLog::open(&path).expect("recover");
+            assert_eq!(rec.records, vec![b"safe".to_vec()]);
+            assert!(rec.truncated_tail);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Corruption round-trips: every random mutation of a persistent
+//! artifact is either *detected* (an error somewhere on the read path) or
+//! *harmless* (the decoded result equals the original) — never silently
+//! accepted as different data. Silent acceptance is the one outcome that
+//! breaks the paper's contract: eq. (1) pruning is only sound while
+//! segment supports are the true sums.
+//!
+//! Mutations are seeded (in-repo `rand` shim), so failures replay
+//! deterministically: the loop index is the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ossm_core::{persist, OssmBuilder};
+use ossm_data::disk::{write_paged, DiskStore};
+use ossm_data::gen::QuestConfig;
+use ossm_data::repair::{repair_store, scan_store};
+use ossm_data::{Dataset, Itemset, PageStore};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ossm-corruption-tests")
+        .join(name);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn sample() -> Dataset {
+    QuestConfig {
+        num_transactions: 400,
+        num_items: 30,
+        ..QuestConfig::small()
+    }
+    .generate()
+}
+
+/// Applies one random mutation to `bytes`: a bit flip, a truncation, or a
+/// torn tail (truncate + zero padding back to length, like a crash that
+/// persisted only a prefix of the final writes).
+fn mutate(bytes: &mut Vec<u8>, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let at = rng.gen_range(0..bytes.len());
+            let bit = rng.gen_range(0..8u32);
+            bytes[at] ^= 1 << bit;
+            format!("bit flip at {at}:{bit}")
+        }
+        1 => {
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+            format!("truncated to {keep} bytes")
+        }
+        _ => {
+            let full = bytes.len();
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+            bytes.resize(full, 0);
+            format!("torn at {keep} (zero tail)")
+        }
+    }
+}
+
+/// Full strict read of a paged store: open, load every page, and collect
+/// the dataset plus the aggregate index.
+fn strict_read(path: &std::path::Path) -> std::io::Result<(Dataset, Vec<Vec<u64>>)> {
+    let mut store = DiskStore::open(path, 4)?;
+    let m = store.num_items();
+    let summaries: Vec<Vec<u64>> = store.summaries().iter().map(|s| s.dense(m)).collect();
+    Ok((store.to_dataset()?, summaries))
+}
+
+#[test]
+fn mutated_page_stores_are_detected_or_identical() {
+    let dir = tmp_dir("pages");
+    let d = sample();
+    let clean_path = dir.join("clean.pages");
+    write_paged(&clean_path, &d, 1024).expect("write");
+    let clean_bytes = std::fs::read(&clean_path).expect("read");
+    let baseline = strict_read(&clean_path).expect("clean store reads");
+
+    let path = dir.join("mutated.pages");
+    let mut detected = 0u32;
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = clean_bytes.clone();
+        let what = mutate(&mut bytes, &mut rng);
+        std::fs::write(&path, &bytes).expect("write mutant");
+        match strict_read(&path) {
+            Err(_) => detected += 1,
+            Ok(got) => assert_eq!(
+                got, baseline,
+                "seed {seed} ({what}): mutation accepted with different data"
+            ),
+        }
+    }
+    // v2 checksums cover every byte, so effectively all mutants of a
+    // non-empty store must be caught (identical-read escapes are only
+    // possible for mutations of bytes the format never rereads).
+    assert!(detected >= 55, "only {detected}/60 mutants detected");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mutated_page_stores_repair_to_sound_aggregates() {
+    let dir = tmp_dir("repair");
+    let d = sample();
+    let clean_path = dir.join("clean.pages");
+    write_paged(&clean_path, &d, 1024).expect("write");
+    let clean_bytes = std::fs::read(&clean_path).expect("read");
+
+    let path = dir.join("mutated.pages");
+    let fixed = dir.join("fixed.pages");
+    for seed in 100..130u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = clean_bytes.clone();
+        let what = mutate(&mut bytes, &mut rng);
+        std::fs::write(&path, &bytes).expect("write mutant");
+        // Repair may refuse outright (header too damaged to locate
+        // pages) — that is detection, not silent acceptance. When it
+        // succeeds, the result must verify clean and its aggregates must
+        // dominate the true data that survived, pairwise.
+        let Ok(_) = repair_store(&path, &fixed) else {
+            continue;
+        };
+        let scan = scan_store(&fixed).expect("repaired store scans");
+        assert!(scan.is_clean(), "seed {seed} ({what}): {}", scan.describe());
+        let recovery = ossm_core::recover::aggregates_from_scan(&scan);
+        if let Some(ossm) = recovery.into_ossm() {
+            for a in 0..4u32 {
+                for b in (a + 1)..4u32 {
+                    let probe = Itemset::new([a, b]);
+                    // The repaired file may hold *fewer* transactions than
+                    // the original (quarantined pages), so compare against
+                    // its own decoded content — bounds over what a reader
+                    // sees must dominate what a reader counts.
+                    let truth = DiskStore::open(&fixed, 4)
+                        .and_then(|mut s| s.to_dataset())
+                        .expect("repaired store reads")
+                        .support(&probe);
+                    assert!(
+                        ossm.upper_bound(&probe) >= truth,
+                        "seed {seed} ({what}): bound under-counts {{{a},{b}}}"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mutated_ossm_maps_are_detected_or_identical() {
+    let d = sample();
+    let store = PageStore::with_page_count(d, 16);
+    let (ossm, _) = OssmBuilder::new(5).build(&store);
+    let mut clean = Vec::new();
+    persist::write_ossm(&mut clean, &ossm).expect("write");
+
+    let mut detected = 0u32;
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = clean.clone();
+        let what = mutate(&mut bytes, &mut rng);
+        match persist::read_ossm(&mut bytes.as_slice()) {
+            Err(_) => detected += 1,
+            Ok(got) => assert_eq!(
+                got, ossm,
+                "seed {seed} ({what}): mutation accepted with a different map"
+            ),
+        }
+    }
+    assert!(detected >= 55, "only {detected}/60 mutants detected");
+}
+
+#[test]
+fn appended_garbage_on_a_map_is_rejected() {
+    let d = sample();
+    let store = PageStore::with_page_count(d, 16);
+    let (ossm, _) = OssmBuilder::new(4).build(&store);
+    let mut bytes = Vec::new();
+    persist::write_ossm(&mut bytes, &ossm).expect("write");
+    bytes.extend_from_slice(&[0xAB; 16]);
+    assert!(persist::read_ossm(&mut bytes.as_slice()).is_err());
+}

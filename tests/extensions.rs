@@ -93,7 +93,7 @@ fn incremental_map_filters_mining_losslessly_after_streaming() {
     .generate();
     let min_support = d.absolute_threshold(0.015);
     // Stream the data in 30 chunks into a 10-segment incremental map.
-    let mut inc = IncrementalOssm::new(10, LossCalculator::all_items());
+    let mut inc = IncrementalOssm::new(10, LossCalculator::all_items()).expect("budget > 0");
     for chunk in d.transactions().chunks(100) {
         inc.append_transactions(50, chunk);
     }
