@@ -26,7 +26,7 @@ fn bench_bound(c: &mut Criterion) {
         let pair = Itemset::new([3, 250]);
         let quad = Itemset::new([3, 99, 250, 444]);
         group.bench_with_input(BenchmarkId::new("pair", segments), &ossm, |bench, o| {
-            bench.iter(|| black_box(o.upper_bound(black_box(&pair))))
+            bench.iter(|| black_box(o.upper_bound(black_box(&pair))));
         });
         group.bench_with_input(
             BenchmarkId::new("pair_specialized", segments),
@@ -37,11 +37,11 @@ fn bench_bound(c: &mut Criterion) {
                         black_box(ossm_data::ItemId(3)),
                         black_box(ossm_data::ItemId(250)),
                     ))
-                })
+                });
             },
         );
         group.bench_with_input(BenchmarkId::new("quad", segments), &ossm, |bench, o| {
-            bench.iter(|| black_box(o.upper_bound(black_box(&quad))))
+            bench.iter(|| black_box(o.upper_bound(black_box(&quad))));
         });
     }
     group.finish();

@@ -25,19 +25,19 @@ fn bench_loss(c: &mut Criterion) {
 
         let fast = LossCalculator::all_items();
         group.bench_with_input(BenchmarkId::new("sorted", m), &m, |bench, _| {
-            bench.iter(|| black_box(fast.merge_loss(black_box(&a), black_box(&b))))
+            bench.iter(|| black_box(fast.merge_loss(black_box(&a), black_box(&b))));
         });
 
         let naive = LossCalculator::all_items().with_naive_evaluation();
         group.bench_with_input(BenchmarkId::new("naive_pairs", m), &m, |bench, _| {
-            bench.iter(|| black_box(naive.merge_loss(black_box(&a), black_box(&b))))
+            bench.iter(|| black_box(naive.merge_loss(black_box(&a), black_box(&b))));
         });
 
         // Bubble list at 10 % of the domain.
         let bubble: Vec<u32> = (0..(m / 10) as u32).collect();
         let scoped = LossCalculator::scoped(bubble);
         group.bench_with_input(BenchmarkId::new("bubble_10pct", m), &m, |bench, _| {
-            bench.iter(|| black_box(scoped.merge_loss(black_box(&a), black_box(&b))))
+            bench.iter(|| black_box(scoped.merge_loss(black_box(&a), black_box(&b))));
         });
     }
     group.finish();

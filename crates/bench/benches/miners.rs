@@ -23,7 +23,7 @@ fn bench_miners(c: &mut Criterion) {
 
     let apriori = Apriori::new().with_backend(CountingBackend::HashTree);
     group.bench_function("apriori", |b| {
-        b.iter(|| black_box(apriori.mine(black_box(dataset), min_support)))
+        b.iter(|| black_box(apriori.mine(black_box(dataset), min_support)));
     });
     group.bench_function("apriori_ossm", |b| {
         b.iter(|| {
@@ -32,34 +32,34 @@ fn bench_miners(c: &mut Criterion) {
                 min_support,
                 &OssmFilter::new(&ossm),
             ))
-        })
+        });
     });
 
     let dhp = Dhp::default();
     group.bench_function("dhp", |b| {
-        b.iter(|| black_box(dhp.mine(black_box(dataset), min_support)))
+        b.iter(|| black_box(dhp.mine(black_box(dataset), min_support)));
     });
     group.bench_function("dhp_ossm", |b| {
         b.iter(|| {
             black_box(dhp.mine_filtered(black_box(dataset), min_support, &OssmFilter::new(&ossm)))
-        })
+        });
     });
 
     let depth = DepthProject::new();
     group.bench_function("depthproject", |b| {
-        b.iter(|| black_box(depth.mine(black_box(dataset), min_support)))
+        b.iter(|| black_box(depth.mine(black_box(dataset), min_support)));
     });
     group.bench_function("depthproject_ossm", |b| {
         b.iter(|| {
             black_box(depth.mine_filtered(black_box(dataset), min_support, &OssmFilter::new(&ossm)))
-        })
+        });
     });
 
     group.bench_function("partition_4", |b| {
-        b.iter(|| black_box(Partition::new(4).mine(black_box(dataset), min_support)))
+        b.iter(|| black_box(Partition::new(4).mine(black_box(dataset), min_support)));
     });
     group.bench_function("fpgrowth", |b| {
-        b.iter(|| black_box(FpGrowth::new().mine(black_box(dataset), min_support)))
+        b.iter(|| black_box(FpGrowth::new().mine(black_box(dataset), min_support)));
     });
     group.finish();
 }

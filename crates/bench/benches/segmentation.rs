@@ -30,7 +30,7 @@ fn bench_segmentation(c: &mut Criterion) {
     ];
     for (name, algo) in &algos {
         group.bench_with_input(BenchmarkId::new(name, "full_loss"), algo, |bench, a| {
-            bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)))
+            bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)));
         });
     }
 
@@ -48,7 +48,7 @@ fn bench_segmentation(c: &mut Criterion) {
     ];
     for (name, algo) in &bubbled {
         group.bench_with_input(BenchmarkId::new(name, "bubble_10pct"), algo, |bench, a| {
-            bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)))
+            bench.iter(|| black_box(a.segment(black_box(&inputs), n_user)));
         });
     }
     group.finish();

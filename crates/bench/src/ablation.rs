@@ -29,6 +29,7 @@ use crate::workloads::{Workload, WorkloadKind};
 
 /// A1: naive vs sorted loss evaluation timing.
 pub fn loss_evaluation(opts: &Options) -> String {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -36,7 +37,6 @@ pub fn loss_evaluation(opts: &Options) -> String {
     );
     let mut table = Table::new(["m", "naive pair loop", "sorted identity", "ratio"]);
     let seed: u64 = opts.get("seed", 7);
-    use rand::{rngs::StdRng, Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     for m in [100usize, 400, 1000, 2000] {
         let a = Aggregate::new((0..m).map(|_| rng.gen_range(0..1000)).collect(), 1000);

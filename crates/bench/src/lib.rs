@@ -20,6 +20,7 @@
 //! takes `--trace[=chrome|folded] [PATH]` to record a hierarchical span
 //! trace of the run (see `traceio`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -50,7 +50,7 @@ impl Table {
             let body: Vec<String> = cells
                 .iter()
                 .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .map(|(c, w)| format!("{c:<w$}"))
                 .collect();
             format!("| {} |", body.join(" | "))
         };

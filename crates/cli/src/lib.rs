@@ -16,6 +16,7 @@
 //! Every subcommand is a pure function from arguments to a report string,
 //! so the whole surface is unit-testable.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -588,15 +589,17 @@ enum FileKind {
 }
 
 fn classify(path: &Path) -> Result<FileKind, String> {
+    use std::io::Read as _;
     let mut f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut magic = [0u8; 8];
-    use std::io::Read as _;
     f.read_exact(&mut magic)
         .map_err(|e| format!("{}: {e}", path.display()))?;
+    // Match against the canonical constants — spelling the magic bytes
+    // out here would give the format a second definition site (lint R5).
     match &magic {
-        b"OSSMDATA" => Ok(FileKind::Flat),
-        b"OSSMPAGE" => Ok(FileKind::Paged),
-        b"OSSM-MAP" => Ok(FileKind::Map),
+        m if m == ossm_data::io::MAGIC => Ok(FileKind::Flat),
+        m if m == ossm_data::PAGE_MAGIC => Ok(FileKind::Paged),
+        m if m == ossm_core::persist::MAGIC => Ok(FileKind::Map),
         _ => Err(format!("{}: unrecognized file format", path.display())),
     }
 }
@@ -866,7 +869,10 @@ mod tests {
             assert!(!events.is_empty());
             for e in &events {
                 assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"), "{text}");
-                assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+                assert!(e
+                    .get("dur")
+                    .and_then(ossm_obs::json::Json::as_f64)
+                    .is_some());
             }
             let names: Vec<&str> = events
                 .iter()

@@ -2,6 +2,8 @@
 //!
 //! Run `ossm help` for the subcommand list.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match ossm_cli::run(&args) {

@@ -265,8 +265,8 @@ mod tests {
 
     #[test]
     fn canonical_cmp_orders_by_support_then_id() {
-        let sup = [3, 7, 3];
         use std::cmp::Ordering::*;
+        let sup = [3, 7, 3];
         assert_eq!(canonical_item_cmp(&sup, ItemId(1), ItemId(0)), Less);
         assert_eq!(
             canonical_item_cmp(&sup, ItemId(0), ItemId(2)),

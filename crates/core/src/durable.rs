@@ -122,6 +122,9 @@ impl DurableIncrementalOssm {
     /// Appends one page-aggregate durably: the WAL record is fsynced
     /// before the in-memory map changes, so `Ok` means the append
     /// survives a crash. On `Err` the map is unchanged.
+    // SOUND: the aggregate passes through unchanged — WAL-then-map
+    // ordering affects durability only; the in-memory supports are the
+    // same `IncrementalOssm::append_aggregate` would produce alone.
     pub fn append_aggregate(&mut self, aggregate: Aggregate) -> io::Result<()> {
         if aggregate.supports().len() != self.num_items {
             return Err(invalid(format!(
@@ -141,6 +144,8 @@ impl DurableIncrementalOssm {
         &mut self,
         transactions: impl IntoIterator<Item = &'a Itemset>,
     ) -> io::Result<()> {
+        // SOUND: exact aggregation — each transaction increments its
+        // items' supports exactly once before the durable append.
         let mut supports = vec![0u64; self.num_items];
         let mut count = 0u64;
         for t in transactions {
@@ -186,6 +191,8 @@ impl DurableIncrementalOssm {
 /// WAL payload for one aggregate: `transactions u64`, then one `u64` per
 /// item of the (dense) support vector. The item count is fixed by the
 /// map, so the length is self-checking.
+// SOUND: lossless little-endian encoding; `decode_aggregate` inverts it
+// bit-for-bit, so a replayed support equals the appended one.
 fn encode_aggregate(aggregate: &Aggregate) -> Vec<u8> {
     let mut buf = Vec::with_capacity(8 + 8 * aggregate.supports().len());
     buf.extend_from_slice(&aggregate.transactions().to_le_bytes());
@@ -195,6 +202,20 @@ fn encode_aggregate(aggregate: &Aggregate) -> Vec<u8> {
     buf
 }
 
+/// Decodes up to 8 little-endian bytes, zero-padding a short slice —
+/// `decode_aggregate` has already length-checked its input, and padding
+/// keeps this recovery path panic-free even if that check drifts.
+fn le_u64(b: &[u8]) -> u64 {
+    let mut fixed = [0u8; 8];
+    for (dst, src) in fixed.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(fixed)
+}
+
+// SOUND: exact inverse of `encode_aggregate` for length-checked input;
+// a record of any other length is rejected rather than reinterpreted,
+// so replay can never fabricate or shrink a support.
 fn decode_aggregate(payload: &[u8], num_items: usize) -> io::Result<Aggregate> {
     if payload.len() != 8 + 8 * num_items {
         return Err(io::Error::new(
@@ -205,11 +226,8 @@ fn decode_aggregate(payload: &[u8], num_items: usize) -> io::Result<Aggregate> {
             ),
         ));
     }
-    let transactions = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
-    let supports = payload[8..]
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-        .collect();
+    let transactions = le_u64(&payload[..8]);
+    let supports = payload[8..].chunks_exact(8).map(le_u64).collect();
     Ok(Aggregate::new(supports, transactions))
 }
 

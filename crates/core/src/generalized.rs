@@ -53,7 +53,7 @@ impl GeneralizedOssm {
             for (page_idx, page) in store.pages().iter().enumerate() {
                 let seg = assignment[page_idx];
                 for t in store.page_transactions(page_idx) {
-                    for (pattern, counts) in map.iter_mut() {
+                    for (pattern, counts) in &mut map {
                         if pattern.is_subset_of(t) {
                             counts[seg] += 1;
                         }

@@ -85,6 +85,10 @@ impl IncrementalOssm {
     }
 
     /// Appends one page-aggregate.
+    // SOUND: either grows a fresh segment with the exact page aggregate
+    // or folds it into a live one via `merge_in` (pointwise sum) — the
+    // loss heuristic only picks *which* segment absorbs the page, never
+    // alters a support.
     pub fn append_aggregate(&mut self, aggregate: Aggregate) {
         self.appended_pages += 1;
         if self.segments.len() < self.max_segments {
@@ -109,6 +113,8 @@ impl IncrementalOssm {
         num_items: usize,
         transactions: impl IntoIterator<Item = &'a Itemset>,
     ) {
+        // SOUND: exact aggregation — each transaction increments its
+        // items' supports exactly once, so the page aggregate is exact.
         let mut supports = vec![0u64; num_items];
         let mut count = 0u64;
         for t in transactions {

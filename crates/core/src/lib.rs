@@ -29,6 +29,7 @@
 //! assert!(ossm.upper_bound(&candidate) >= store.dataset().support(&candidate));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -29,7 +29,8 @@ use ossm_data::checksum::{Crc32cReader, Crc32cWriter};
 use crate::segmentation::Aggregate;
 use crate::ssm::Ossm;
 
-const MAGIC: &[u8; 8] = b"OSSM-MAP";
+/// On-disk magic for persisted OSSM maps (lint rule R5: defined once here).
+pub const MAGIC: &[u8; 8] = b"OSSM-MAP";
 const V1: u32 = 1;
 const V2: u32 = 2;
 /// Cap on the item-domain size accepted from a header (matches the page

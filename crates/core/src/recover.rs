@@ -59,6 +59,11 @@ impl Recovery {
 
 /// Extracts one sound aggregate per page from `scan`, widening where
 /// corruption destroyed the exact value (see the module docs).
+// SOUND: every arm dominates the page's true supports — checksummed
+// index summaries and recounts from intact data are exact, and a lost
+// page takes `widened_summary`'s physical maxima, which over-estimate
+// every support. Eq. (1) is monotone in each segment support, so the
+// recovered map's bounds dominate the uncorrupted map's.
 pub fn aggregates_from_scan(scan: &StoreScan) -> Recovery {
     let mut recovery = Recovery {
         aggregates: Vec::with_capacity(scan.pages.len()),

@@ -55,6 +55,11 @@ impl Aggregate {
     }
 
     /// Adds `other` into `self` (segment merge, the `S_i ∪ S_j` of Fig. 2).
+    // SOUND: pointwise sum — every transaction counted by either input
+    // stays counted, so each merged per-item support equals the true
+    // item support of the union segment, and min_{a∈X}(sup_i + sup_j)
+    // ≥ min sup_i + min sup_j means eq. (1) can only widen, never
+    // under-count.
     pub fn merge_in(&mut self, other: &Aggregate) {
         assert_eq!(
             self.supports.len(),
@@ -68,6 +73,7 @@ impl Aggregate {
     }
 
     /// The merged aggregate of `self` and `other`.
+    // SOUND: delegates to `merge_in`; same pointwise-sum argument.
     pub fn merged(&self, other: &Aggregate) -> Aggregate {
         let mut out = self.clone();
         out.merge_in(other);
@@ -162,6 +168,9 @@ impl Segmentation {
     }
 
     /// Merges the aggregates of each group — the final segments' supports.
+    // SOUND: each output is a `merge_in` fold over a disjoint input
+    // group; a partition neither drops nor double-counts transactions,
+    // so every output support is exact for its group.
     pub fn merge_aggregates(&self, inputs: &[Aggregate]) -> Vec<Aggregate> {
         assert_eq!(
             inputs.len(),

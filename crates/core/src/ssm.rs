@@ -39,6 +39,10 @@ impl Ossm {
     /// # Panics
     /// Panics if the aggregates disagree on the item domain or if there are
     /// no segments.
+    // SOUND: stores the given per-segment supports verbatim — eq. (1)
+    // is an upper bound whenever each input support dominates the true
+    // item frequency of its segment, which callers establish (exact
+    // aggregation or explicit widening; see `recover`).
     pub fn from_aggregates(segments: Vec<Aggregate>) -> Self {
         assert!(!segments.is_empty(), "an OSSM needs at least one segment");
         let num_items = segments[0].num_items();
@@ -92,6 +96,9 @@ impl Ossm {
         assert!(num_segments > 0, "an OSSM needs at least one segment");
         let m = dataset.num_items();
         let mut segments = vec![Aggregate::zero(m); num_segments];
+        // SOUND: counts every transaction exactly once in the segment
+        // the assignment names, so each support is exact for its
+        // segment and eq. (1) holds with equality per item.
         let mut counts = vec![0u64; num_segments];
         let mut supports: Vec<Vec<u64>> = vec![vec![0; m]; num_segments];
         for (t, &s) in dataset.transactions().iter().zip(assignment) {
@@ -149,6 +156,10 @@ impl Ossm {
     /// For the empty itemset the bound is the number of transactions (the
     /// empty pattern holds everywhere), keeping the bound exact and
     /// monotone for all inputs.
+    // SOUND: computes Σ_i min_{a∈X} sup_i({a}) exactly as eq. (1)
+    // states it; the early `min == 0` break can only skip items that
+    // would lower the min further — it never raises a term above the
+    // defined value, and the produced value is the paper's bound.
     pub fn upper_bound(&self, pattern: &Itemset) -> u64 {
         BOUND_EVALS.incr();
         if pattern.is_empty() {
@@ -174,6 +185,8 @@ impl Ossm {
 
     /// Equation (1) specialized to a pair of items — the hot path of
     /// candidate-2-itemset filtering.
+    // SOUND: identical to `upper_bound` for X = {a, b}; `min` of the two
+    // per-segment supports is exactly the eq. (1) term.
     pub fn upper_bound_pair(&self, a: ossm_data::ItemId, b: ossm_data::ItemId) -> u64 {
         BOUND_PAIR_EVALS.incr();
         let (ai, bi) = (a.index(), b.index());

@@ -9,6 +9,7 @@
 //! `cargo bench` compiles, runs, and produces a readable number in an
 //! environment with no crates.io access.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -199,7 +200,7 @@ mod tests {
         group.sample_size(10);
         group.bench_function("plain", |b| b.iter(|| 1 + 1));
         group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
-            b.iter(|| x * 2)
+            b.iter(|| x * 2);
         });
         group.finish();
     }

@@ -220,24 +220,25 @@ impl BufferPool {
             PAGE_READS.incr();
             let decoded = load()?;
             if self.frames.len() >= self.capacity {
-                // Evict the least-recently used frame. Invariant panic:
-                // capacity ≥ 1, so a full pool is never empty.
-                let victim = *self
+                // Evict the least-recently used frame (capacity ≥ 1, so a
+                // full pool always has a victim).
+                let victim = self
                     .frames
                     .iter()
                     .min_by_key(|(_, (_, stamp))| *stamp)
-                    .map(|(k, _)| k)
-                    .expect("pool is non-empty");
-                self.frames.remove(&victim);
+                    .map(|(k, _)| *k);
+                if let Some(victim) = victim {
+                    self.frames.remove(&victim);
+                }
             }
             self.frames.insert(page, (decoded, clock));
         }
-        // Invariant panic: the frame was found or inserted just above.
-        Ok(self
-            .frames
-            .get(&page)
-            .map(|(txs, _)| txs.as_slice())
-            .expect("just inserted"))
+        // The frame was found or inserted just above; surface the
+        // impossible miss as an I/O error rather than aborting mid-read.
+        match self.frames.get(&page) {
+            Some((txs, _)) => Ok(txs.as_slice()),
+            None => Err(io::Error::other("buffer pool lost a just-inserted frame")),
+        }
     }
 }
 
@@ -356,11 +357,9 @@ impl DiskStore {
             file.seek(SeekFrom::Start(offset))?;
             fault::read_exact_tagged(file, "data.disk.read_page", &mut buf)?;
             if checksummed {
-                let stored = u32::from_le_bytes(
-                    buf[payload_bytes..]
-                        .try_into()
-                        .expect("slot ends in a 4-byte CRC"),
-                );
+                // The slot ends in a 4-byte CRC by construction; a short
+                // trailer decodes to a mismatching checksum, not a panic.
+                let stored = format::le_u32(&buf[payload_bytes..]);
                 if crc32c(&buf[..payload_bytes]) != stored {
                     CHECKSUM_FAILURES.incr();
                     quarantined.insert(p);

@@ -28,7 +28,8 @@ use crate::checksum::crc32c;
 use crate::disk::PageSummary;
 use crate::item::{ItemId, Itemset};
 
-pub(crate) const MAGIC: &[u8; 8] = b"OSSMPAGE";
+/// On-disk magic for the page-store file format (lint rule R5: defined once here).
+pub const MAGIC: &[u8; 8] = b"OSSMPAGE";
 pub(crate) const V1: u32 = 1;
 pub(crate) const V2: u32 = 2;
 pub(crate) const HEADER_V1: u64 = 8 + 4 + 4 + 4 + 8 + 8;
@@ -85,13 +86,25 @@ impl Header {
     }
 }
 
-fn le_u32(b: &[u8]) -> u32 {
-    // Callers slice exactly 4 bytes; the conversion cannot fail.
-    u32::from_le_bytes(b.try_into().expect("4-byte slice"))
+/// Decodes up to 4 little-endian bytes, zero-padding a short slice.
+/// Callers slice exactly 4 bytes; padding (instead of panicking) means a
+/// malformed length surfaces as a decode error downstream, never an
+/// abort on a durability path.
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut fixed = [0u8; 4];
+    for (dst, src) in fixed.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    u32::from_le_bytes(fixed)
 }
 
-fn le_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b.try_into().expect("8-byte slice"))
+/// Decodes up to 8 little-endian bytes, zero-padding a short slice.
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    let mut fixed = [0u8; 8];
+    for (dst, src) in fixed.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    u64::from_le_bytes(fixed)
 }
 
 pub(crate) fn bad(msg: impl Into<String>) -> io::Error {

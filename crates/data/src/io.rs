@@ -19,7 +19,8 @@ use std::io::{self, Read, Write};
 use crate::item::{ItemId, Itemset};
 use crate::transaction::Dataset;
 
-const MAGIC: &[u8; 8] = b"OSSMDATA";
+/// On-disk magic for serialized datasets (lint rule R5: defined once here).
+pub const MAGIC: &[u8; 8] = b"OSSMDATA";
 const VERSION: u32 = 1;
 
 /// Serializes `dataset` to `w`.

@@ -217,7 +217,7 @@ impl fmt::Debug for Itemset {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{}", it)?;
+            write!(f, "{it}")?;
         }
         write!(f, "}}")
     }

@@ -15,6 +15,7 @@
 //! assert!(pages.num_pages() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -31,6 +32,7 @@ pub mod sequence;
 pub mod transaction;
 pub mod wal;
 
+pub use format::MAGIC as PAGE_MAGIC;
 pub use item::{ItemId, Itemset};
 pub use page::{Page, PageStore};
 pub use transaction::Dataset;

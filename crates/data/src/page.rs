@@ -73,12 +73,12 @@ impl PageStore {
     /// (first-fit in storage order, at least one transaction per page so a
     /// jumbo transaction still fits somewhere).
     pub fn pack(dataset: Dataset, page_bytes: usize) -> Self {
-        assert!(page_bytes > 0, "page capacity must be positive");
-        let m = dataset.num_items();
         // Each page carries a 4-byte transaction-count header — the same
         // cost model as the on-disk layout (`crate::disk`), so both packers
         // produce identical page boundaries.
         const PAGE_HEADER: usize = 4;
+        assert!(page_bytes > 0, "page capacity must be positive");
+        let m = dataset.num_items();
         let mut pages = Vec::new();
         let mut start = 0;
         let mut used = PAGE_HEADER;

@@ -43,6 +43,8 @@ pub struct PageScan {
 impl PageScan {
     /// Whether *some* exact aggregate survives for this page (from data
     /// or from the checksummed index).
+    // SOUND: a query only — when it returns false, recovery must widen
+    // this page (`widened_summary`) instead of trusting any field.
     pub fn has_exact_aggregate(&self) -> bool {
         self.data_intact || self.index_summary.is_some()
     }
@@ -172,6 +174,10 @@ pub fn scan_store(path: &Path) -> io::Result<StoreScan> {
 /// a transaction costs ≥ 4 payload bytes, one carrying a given item ≥ 8,
 /// and 4 bytes go to the page's own count. Using these maxima for a lost
 /// page over-estimates every support, so eq. (1) stays an upper bound.
+// SOUND: widening — the returned supports are the physical maxima a
+// page of this size can hold, so they dominate whatever the lost page
+// truly contained; eq. (1) is monotone in each support, hence the bound
+// can only grow.
 pub fn widened_summary(m: usize, page_bytes: u32) -> PageSummary {
     let budget = page_bytes.saturating_sub(4);
     let max_support = budget / 8;
@@ -280,7 +286,7 @@ mod tests {
         let scan = scan_store(&path).expect("scan");
         assert!(scan.is_clean(), "{}", scan.describe());
         assert_eq!(scan.corrupt_pages(), 0);
-        assert!(scan.pages.iter().all(|p| p.has_exact_aggregate()));
+        assert!(scan.pages.iter().all(super::PageScan::has_exact_aggregate));
         std::fs::remove_file(&path).ok();
     }
 

@@ -231,7 +231,11 @@ mod tests {
             }
         }
         // 4 transactions into 3 parts: sizes 2,1,1.
-        let sizes: Vec<usize> = d.partition_ranges(3).iter().map(|r| r.len()).collect();
+        let sizes: Vec<usize> = d
+            .partition_ranges(3)
+            .iter()
+            .map(std::iter::ExactSizeIterator::len)
+            .collect();
         assert_eq!(sizes, vec![2, 1, 1]);
     }
 }

@@ -110,8 +110,8 @@ impl WriteAheadLog {
             }
             let mut head = [0u8; 8];
             fault::read_exact_tagged(&mut file, "data.wal.read", &mut head)?;
-            let len = u32::from_le_bytes(head[..4].try_into().expect("4-byte slice"));
-            let crc = u32::from_le_bytes(head[4..].try_into().expect("4-byte slice"));
+            let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+            let crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
             if len > MAX_RECORD_BYTES || u64::from(len) > remaining - 8 {
                 recovery.truncated_tail = true;
                 break;

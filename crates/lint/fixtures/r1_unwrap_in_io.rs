@@ -1,0 +1,24 @@
+//@path: crates/data/src/disk.rs
+//@expect: R1
+//! Seeded violation for rule R1: an `unwrap()` (and a `panic!`) on a
+//! durability path, outside any `#[cfg(test)]` region. The lint must
+//! flag both; the same calls inside the test mod below must stay clean.
+
+use std::fs::File;
+
+pub fn read_header(path: &str) -> u32 {
+    let _f = File::open(path).unwrap();
+    if path.is_empty() {
+        panic!("empty path");
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

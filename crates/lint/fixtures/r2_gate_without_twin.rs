@@ -1,0 +1,12 @@
+//@path: crates/data/src/gates.rs
+//@expect: R2
+//! Seeded violation for rule R2: a `#[cfg(feature = "obs")]` item with
+//! no `#[cfg(not(feature = "obs"))]` twin anywhere in the file — a
+//! `--no-default-features` build silently loses `live_counters`.
+
+#[cfg(feature = "obs")]
+pub mod live_counters {
+    pub fn incr() {}
+}
+
+pub fn always_present() {}

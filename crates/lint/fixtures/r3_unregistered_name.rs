@@ -1,0 +1,10 @@
+//@path: crates/core/src/metrics.rs
+//@expect: R3
+//! Seeded violation for rule R3: a counter and a span declared with
+//! names that are not in `crates/obs/registry.txt`.
+
+pub static ROGUE: Counter = Counter::new("core.fixture.unregistered");
+
+pub fn traced() {
+    let _s = span("core.fixture.rogue_span");
+}

@@ -1,0 +1,13 @@
+//@path: crates/core/src/ssm.rs
+//@expect: R4
+//! Seeded violation for rule R4: a function named like an eq. (1)
+//! bound producer with no `// SOUND:` marker, plus unmarked arithmetic
+//! on a `sup`-named value in a helper.
+
+pub fn upper_bound(supports: &[u64]) -> u64 {
+    supports.iter().copied().min().unwrap_or(0)
+}
+
+pub fn shrink(sup_i: u64) -> u64 {
+    sup_i - 1
+}

@@ -1,0 +1,8 @@
+//@path: crates/data/src/rogue_format.rs
+//@expect: R5
+//! Seeded violation for rule R5: an `OSSM…` format magic spelled out in
+//! a file that is not its registered definition site (in fixture runs
+//! the manifest is empty, so any `b"OSSM…"` literal is unregistered —
+//! the same diagnostic a duplicated magic gets on a full-tree run).
+
+pub const FORKED_MAGIC: &[u8; 8] = b"OSSMPAGE";

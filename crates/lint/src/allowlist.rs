@@ -1,0 +1,138 @@
+//! Grandfathered-violation allowlist.
+//!
+//! `crates/lint/allowlist.txt` lets the tool land green on a tree with
+//! known, accepted findings and then *ratchet down*: removing a line turns
+//! the finding back into a failure, and stale lines (matching nothing) are
+//! themselves an error, so the file can only shrink as code is fixed.
+//!
+//! Format — one entry per line, `#` comments:
+//!
+//! ```text
+//! <rule> <path> <key>
+//! R4 crates/core/src/loss.rs weighted_loss.sup
+//! ```
+//!
+//! Keys come from the diagnostics themselves (function-scoped, never line
+//! numbers) so entries survive unrelated edits. Policy note: rules R1 and
+//! R2 must be fixed, not allowlisted — CI rejects entries for them.
+
+use crate::diag::Diagnostic;
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Repo-relative path it applies to.
+    pub path: String,
+    /// Diagnostic key it matches.
+    pub key: String,
+}
+
+/// Parsed allowlist plus use tracking for the stale-entry check.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist text. Malformed lines are reported as errors
+    /// (an allowlist that silently drops lines would un-suppress nothing
+    /// and suppress nothing predictable).
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(key), None) => entries.push(Entry {
+                    rule: rule.to_owned(),
+                    path: path.to_owned(),
+                    key: key.to_owned(),
+                }),
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected `<rule> <path> <key>`, got {line:?}",
+                        n + 1
+                    ))
+                }
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// The parsed entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Splits diagnostics into (kept, suppressed-count) and returns any
+    /// stale entries that matched nothing.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize, Vec<Entry>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for d in diags {
+            let hit = self
+                .entries
+                .iter()
+                .position(|e| e.rule == d.rule && e.path == d.path && e.key == d.key);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => kept.push(d),
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        (kept, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, key: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line: 1,
+            key: key.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn suppresses_matching_and_reports_stale() {
+        let a = Allowlist::parse(
+            "# comment\nR4 crates/core/src/x.rs f.sup\nR5 crates/data/src/y.rs <file>.magic\n",
+        )
+        .expect("parse");
+        let (kept, suppressed, stale) = a.apply(vec![
+            diag("R4", "crates/core/src/x.rs", "f.sup"),
+            diag("R4", "crates/core/src/x.rs", "g.sup"),
+        ]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].key, "g.sup");
+        assert_eq!(suppressed, 1);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "R5");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("R1 only-two-fields\n").is_err());
+        assert!(Allowlist::parse("R1 a b c-too-many\n").is_err());
+    }
+}

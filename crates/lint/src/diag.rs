@@ -1,0 +1,115 @@
+//! Lint diagnostics: one record per violation, rendered as human text or
+//! JSON lines following the `ossm_obs` reporter conventions (`"type"`
+//! discriminator first, hand-rolled escaping, one object per line).
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`R1` … `R5`).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable allowlist key (line-number free, e.g. `open.expect`).
+    pub key: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `R1 crates/data/src/wal.rs:113 … [key: open.expect]`
+    pub fn human(&self) -> String {
+        format!(
+            "{} {}:{} {} [key: {}]",
+            self.rule, self.path, self.line, self.message, self.key
+        )
+    }
+
+    /// One JSON object, `ossm_obs::Reporter`-style.
+    pub fn json(&self) -> String {
+        format!(
+            r#"{{"type":"lint","rule":"{}","path":"{}","line":{},"key":"{}","message":"{}"}}"#,
+            self.rule,
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.key),
+            json_escape(&self.message),
+        )
+    }
+}
+
+/// Renders the JSON-lines report: one object per diagnostic plus a
+/// trailing summary object.
+pub fn json_report(diags: &[Diagnostic], allowlisted: usize, files_scanned: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.json());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        r#"{{"type":"lint.summary","violations":{},"allowlisted":{},"files":{}}}"#,
+        diags.len(),
+        allowlisted,
+        files_scanned
+    ));
+    out.push('\n');
+    out
+}
+
+/// Minimal JSON string escaping — the same set `ossm_obs`'s reporter
+/// escapes (diagnostic text never contains other control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "R1",
+            path: "crates/data/src/wal.rs".into(),
+            line: 113,
+            key: "open.expect".into(),
+            message: "expect() on a durability path".into(),
+        }
+    }
+
+    #[test]
+    fn human_line_names_rule_and_location() {
+        let h = sample().human();
+        assert!(h.starts_with("R1 crates/data/src/wal.rs:113"));
+        assert!(h.contains("[key: open.expect]"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let mut d = sample();
+        d.message = "bad \"magic\" b\\tail".into();
+        let j = d.json();
+        assert!(j.contains(r#"bad \"magic\" b\\tail"#), "{j}");
+    }
+
+    #[test]
+    fn report_ends_with_summary() {
+        let r = json_report(&[sample()], 2, 40);
+        let last = r.lines().last().expect("summary line");
+        assert!(last.contains(r#""type":"lint.summary""#), "{last}");
+        assert!(last.contains(r#""violations":1"#));
+        assert!(last.contains(r#""allowlisted":2"#));
+    }
+}

@@ -1,0 +1,386 @@
+//! A small, string- and comment-aware Rust lexer.
+//!
+//! The rules in this crate never need a full grammar: every invariant they
+//! check is expressible over a token stream in which comments, string
+//! literals, and char literals are opaque single tokens. This keeps the
+//! lexer ~200 lines and the rule code honest — an `unwrap` inside a string
+//! or a doc comment can never be mistaken for a call.
+//!
+//! The lexer is loss-tolerant by design (it lexes *valid* Rust precisely
+//! and degrades gracefully on anything else), mirroring how
+//! `ossm_obs::json` parses only the JSON this workspace emits.
+
+/// Token classes the rules distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `feature`, …).
+    Ident,
+    /// Numeric literal, lexed loosely (`0x2F`, `1_000`, `1.5e3`).
+    Num,
+    /// String literal — `text` holds the *contents* (between quotes).
+    Str,
+    /// Byte-string literal (`b"…"`, `br#"…"#) — contents only.
+    ByteStr,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — the rules never look inside.
+    Lifetime,
+    /// `// …` comment, including doc comments; `text` excludes the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting folded in); contents only.
+    BlockComment,
+    /// Punctuation; common multi-char operators are fused (`::`, `+=`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see the per-kind notes on [`TokKind`]).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this is punctuation with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// Multi-character operators fused into single punct tokens, longest first.
+const FUSED: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&&",
+    "||", "..", "<<", ">>",
+];
+
+/// Lexes `src` into tokens. Never fails: unterminated literals swallow the
+/// rest of the file as one token, which is the safe direction for a linter
+/// (nothing after them can produce a false positive).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1; // consume the `b`
+                    self.string(TokKind::ByteStr, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_lit(line);
+                }
+                b'b' if self.peek(1) == Some(b'r') && matches!(self.peek(2), Some(b'"' | b'#')) => {
+                    self.pos += 2;
+                    self.raw_string(TokKind::ByteStr, line);
+                }
+                b'r' if matches!(self.peek(1), Some(b'"'))
+                    || (self.peek(1) == Some(b'#')
+                        && matches!(self.peek(2), Some(b'"' | b'#'))) =>
+                {
+                    self.pos += 1;
+                    self.raw_string(TokKind::Str, line);
+                }
+                b'"' => self.string(TokKind::Str, line),
+                b'\'' => self.quote(line),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line),
+                b'0'..=b'9' => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.pos += 2;
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.bytes.len();
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                if depth == 0 {
+                    end = self.pos;
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let end = end.min(self.bytes.len());
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, kind: TokKind, line: u32) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.bytes.len();
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump();
+                self.bump();
+            } else if b == b'"' {
+                end = self.pos;
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        let end = end.min(self.bytes.len());
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.push(kind, text, line);
+    }
+
+    fn raw_string(&mut self, kind: TokKind, line: u32) {
+        // At a `#…#"` or `"` (the leading r/br is consumed). Count hashes.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat(b'#').take(hashes))
+            .collect();
+        let mut end = self.bytes.len();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(&closer) {
+                end = self.pos;
+                for _ in 0..closer.len() {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        let end = end.min(self.bytes.len());
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.push(kind, text, line);
+    }
+
+    /// A `'`: either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        let is_lifetime = match (self.peek(1), self.peek(2)) {
+            // 'a' is a char; 'ab (no closing quote right after) is a lifetime.
+            (Some(c), after) if (c as char).is_alphanumeric() || c == b'_' => after != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump();
+            let start = self.pos;
+            while let Some(b) = self.peek(0) {
+                if (b as char).is_alphanumeric() || b == b'_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.char_lit(line);
+        }
+    }
+
+    fn char_lit(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end = self.bytes.len();
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump();
+                self.bump();
+            } else if b == b'\'' {
+                end = self.pos;
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        let end = end.min(self.bytes.len());
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if (b as char).is_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if (b as char).is_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' && matches!(self.peek(1), Some(b'0'..=b'9')) {
+                // `1.5` continues the number; `0..n` does not.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        for op in FUSED {
+            if self.bytes[self.pos..].starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(TokKind::Punct, (*op).to_owned(), line);
+                return;
+            }
+        }
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        self.push(TokKind::Punct, (b as char).to_string(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds(r#"let x = "a.unwrap()"; // unwrap here is prose"#);
+        assert!(toks.contains(&(TokKind::Str, "a.unwrap()".into())));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("unwrap here")));
+        // No Ident token named unwrap leaked out of the literal or comment.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"let m = b"OSSMPAGE"; let r = r#"x "y" z"#;"###);
+        assert!(toks.contains(&(TokKind::ByteStr, "OSSMPAGE".into())));
+        assert!(toks.contains(&(TokKind::Str, "x \"y\" z".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "q".into())));
+        assert!(toks.contains(&(TokKind::Char, "\\n".into())));
+    }
+
+    #[test]
+    fn fused_operators_and_lines() {
+        let toks = lex("a += 1;\nb::c() -> d");
+        assert!(toks.iter().any(|t| t.is_punct("+=") && t.line == 1));
+        assert!(toks.iter().any(|t| t.is_punct("::") && t.line == 2));
+        assert!(toks.iter().any(|t| t.is_punct("->") && t.line == 2));
+    }
+
+    #[test]
+    fn nested_block_comments_fold() {
+        let toks = kinds("/* outer /* inner */ tail */ fn f() {}");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.contains("inner"));
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn numbers_lex_loosely() {
+        let toks = kinds("0x2F 1_000 1.5e3 0..5");
+        assert!(toks.contains(&(TokKind::Num, "0x2F".into())));
+        assert!(toks.contains(&(TokKind::Num, "1_000".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5e3".into())));
+        // The range did not swallow the dots.
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+    }
+}

@@ -1,0 +1,240 @@
+//! `ossm-lint` — the workspace's in-repo invariant checker.
+//!
+//! Five rules over a lexical model of every `crates/*/src/**/*.rs` file
+//! (see [`rules`] for the rule ↔ invariant table), a ratcheting
+//! allowlist, and a fixture harness that proves each rule still fires.
+//! Run it with `cargo run -p ossm-lint -- --all`; DESIGN.md §10 has the
+//! full contract.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod regions;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use allowlist::Allowlist;
+use diag::Diagnostic;
+use regions::FileModel;
+use rules::{Context, ALLOWLIST_PATH, FORMAT_CONSTS_PATH, REGISTRY_PATH};
+
+/// Result of a full-tree lint.
+pub struct Outcome {
+    /// Violations that survived the allowlist (including allowlist-policy
+    /// findings), stably ordered.
+    pub diags: Vec<Diagnostic>,
+    /// How many findings the allowlist suppressed.
+    pub allowlisted: usize,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints the whole workspace rooted at `root`. `Err` means the tool could
+/// not run (missing registry, unreadable file) — distinct from "ran and
+/// found violations".
+pub fn lint_all(root: &Path) -> Result<Outcome, String> {
+    let paths =
+        workspace::source_files(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in &paths {
+        let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        files.push(FileModel::analyze(rel, &src));
+    }
+
+    let registry_text = fs::read_to_string(root.join(REGISTRY_PATH))
+        .map_err(|e| format!("reading {REGISTRY_PATH}: {e}"))?;
+    let registry = rules::parse_registry(&registry_text);
+
+    let consts_text = fs::read_to_string(root.join(FORMAT_CONSTS_PATH))
+        .map_err(|e| format!("reading {FORMAT_CONSTS_PATH}: {e}"))?;
+    let format_consts = rules::parse_format_consts(&consts_text)?;
+
+    let allow_text = fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
+    let allow = Allowlist::parse(&allow_text).map_err(|e| format!("{ALLOWLIST_PATH}: {e}"))?;
+
+    let ctx = Context {
+        root,
+        files: &files,
+        registry: &registry,
+        format_consts: &format_consts,
+        all_mode: true,
+    };
+    let diags = rules::run_all(&ctx);
+    let (mut kept, suppressed, stale) = allow.apply(diags);
+
+    // Allowlist policy: R1/R2 must be fixed, never grandfathered, and
+    // stale entries mean the ratchet slipped — both are failures.
+    for e in allow.entries() {
+        if e.rule == "R1" || e.rule == "R2" {
+            kept.push(Diagnostic {
+                rule: "ALLOWLIST",
+                path: ALLOWLIST_PATH.to_owned(),
+                line: 0,
+                key: format!("{}.{}.{}", e.rule, e.path, e.key),
+                message: format!(
+                    "allowlist entry for {} ({} {}) — {} violations must be fixed, not \
+                     grandfathered",
+                    e.rule, e.path, e.key, e.rule
+                ),
+            });
+        }
+    }
+    for e in &stale {
+        kept.push(Diagnostic {
+            rule: "ALLOWLIST",
+            path: ALLOWLIST_PATH.to_owned(),
+            line: 0,
+            key: format!("stale.{}.{}.{}", e.rule, e.path, e.key),
+            message: format!(
+                "stale allowlist entry {} {} {} matches nothing — remove it",
+                e.rule, e.path, e.key
+            ),
+        });
+    }
+    kept.sort_by(|a, b| (a.rule, &a.path, a.line, &a.key).cmp(&(b.rule, &b.path, b.line, &b.key)));
+
+    Ok(Outcome {
+        diags: kept,
+        allowlisted: suppressed,
+        files_scanned: files.len(),
+    })
+}
+
+/// Result of linting one fixture file.
+pub struct FixtureOutcome {
+    /// Diagnostics the rules produced for the fixture.
+    pub diags: Vec<Diagnostic>,
+    /// Rule ids the fixture's `//@expect:` directives demand.
+    pub expected: Vec<String>,
+}
+
+impl FixtureOutcome {
+    /// Rule ids that were expected but did not fire.
+    pub fn missing(&self) -> Vec<&str> {
+        self.expected
+            .iter()
+            .filter(|r| !self.diags.iter().any(|d| d.rule == r.as_str()))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Whether every expected rule fired.
+    pub fn passed(&self) -> bool {
+        !self.expected.is_empty() && self.missing().is_empty()
+    }
+}
+
+/// Lints one fixture file: a `.rs` file carrying `//@path:` (the virtual
+/// repo-relative path the rules should see it at) and one or more
+/// `//@expect: <RULE>` directives. Fixtures run with an empty registry,
+/// empty format-constant manifest, and no allowlist, and with the
+/// full-tree-only existence checks off.
+pub fn lint_fixture(root: &Path, fixture: &Path) -> Result<FixtureOutcome, String> {
+    let src =
+        fs::read_to_string(fixture).map_err(|e| format!("reading {}: {e}", fixture.display()))?;
+    let mut virtual_path = None;
+    let mut expected = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("//@path:") {
+            virtual_path = Some(rest.trim().to_owned());
+        } else if let Some(rest) = line.strip_prefix("//@expect:") {
+            expected.push(rest.trim().to_owned());
+        }
+    }
+    let Some(virtual_path) = virtual_path else {
+        return Err(format!(
+            "{}: missing `//@path: crates/…` directive",
+            fixture.display()
+        ));
+    };
+    if expected.is_empty() {
+        return Err(format!(
+            "{}: missing `//@expect: <RULE>` directive",
+            fixture.display()
+        ));
+    }
+    let files = vec![FileModel::analyze(&virtual_path, &src)];
+    let ctx = Context {
+        root,
+        files: &files,
+        registry: &[],
+        format_consts: &[],
+        all_mode: false,
+    };
+    Ok(FixtureOutcome {
+        diags: rules::run_all(&ctx),
+        expected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The five seeded fixtures each fire their expected rule, and the
+    /// harness rejects a fixture whose expectation does not fire.
+    #[test]
+    fn seeded_fixtures_fire_their_rules() {
+        let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let dir = root.join("crates/lint/fixtures");
+        let mut checked = 0;
+        for entry in fs::read_dir(&dir).expect("fixtures dir") {
+            let path = entry.expect("entry").path();
+            if path.extension().is_none_or(|e| e != "rs") {
+                continue;
+            }
+            let out = lint_fixture(&root, &path).expect("fixture lints");
+            assert!(
+                out.passed(),
+                "{}: expected {:?}, missing {:?}; got {:#?}",
+                path.display(),
+                out.expected,
+                out.missing(),
+                out.diags.iter().map(Diagnostic::human).collect::<Vec<_>>()
+            );
+            checked += 1;
+        }
+        assert!(
+            checked >= 5,
+            "expected one fixture per rule, found {checked}"
+        );
+    }
+
+    /// The real tree lints clean — the acceptance gate for `--all`.
+    #[test]
+    fn workspace_lints_clean() {
+        let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let out = lint_all(&root).expect("lint runs");
+        assert!(
+            out.diags.is_empty(),
+            "workspace has lint violations:\n{}",
+            out.diags
+                .iter()
+                .map(Diagnostic::human)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(out.files_scanned > 30, "suspiciously few files scanned");
+    }
+
+    /// Policy: the allowlist must not carry R1/R2 entries.
+    #[test]
+    fn allowlist_has_no_r1_r2_entries() {
+        let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let text = fs::read_to_string(root.join(rules::ALLOWLIST_PATH)).unwrap_or_default();
+        let allow = Allowlist::parse(&text).expect("allowlist parses");
+        assert!(
+            allow
+                .entries()
+                .iter()
+                .all(|e| e.rule != "R1" && e.rule != "R2"),
+            "R1/R2 findings must be fixed, not allowlisted"
+        );
+    }
+}

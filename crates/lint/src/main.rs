@@ -1,0 +1,185 @@
+//! CLI for `ossm-lint`.
+//!
+//! ```text
+//! cargo run -p ossm-lint -- --all                 # lint the workspace
+//! cargo run -p ossm-lint -- --all --json          # JSON lines to stdout
+//! cargo run -p ossm-lint -- --all --json=out.json # JSON report to a file
+//! cargo run -p ossm-lint -- --fixture <file.rs>   # lint one fixture
+//! cargo run -p ossm-lint -- --check-fixtures      # all seeded fixtures fire
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or a fixture whose expected rule did
+//! not fire), 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ossm_lint::diag::{json_report, Diagnostic};
+use ossm_lint::{lint_all, lint_fixture, workspace};
+
+enum Mode {
+    All,
+    Fixture(PathBuf),
+    CheckFixtures,
+}
+
+struct Args {
+    mode: Mode,
+    json: bool,
+    json_path: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: ossm-lint (--all | --fixture <file.rs> | --check-fixtures) \
+                     [--json[=PATH]] [--root=PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut mode = None;
+    let mut json = false;
+    let mut json_path = None;
+    let mut root = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--all" => mode = Some(Mode::All),
+            "--check-fixtures" => mode = Some(Mode::CheckFixtures),
+            "--fixture" => {
+                let path = argv.next().ok_or("--fixture needs a path")?;
+                mode = Some(Mode::Fixture(PathBuf::from(path)));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            _ => {
+                if let Some(p) = arg.strip_prefix("--fixture=") {
+                    mode = Some(Mode::Fixture(PathBuf::from(p)));
+                } else if let Some(p) = arg.strip_prefix("--json=") {
+                    json = true;
+                    json_path = Some(PathBuf::from(p));
+                } else if let Some(p) = arg.strip_prefix("--root=") {
+                    root = Some(PathBuf::from(p));
+                } else {
+                    return Err(format!("unknown argument {arg:?}\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let mode = mode.ok_or(USAGE)?;
+    Ok(Args {
+        mode,
+        json,
+        json_path,
+        root,
+    })
+}
+
+fn resolve_root(args: &Args) -> Result<PathBuf, String> {
+    if let Some(root) = &args.root {
+        return Ok(root.clone());
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+    workspace::find_root(&cwd).ok_or_else(|| "no workspace root above the current dir".to_owned())
+}
+
+fn emit(args: &Args, diags: &[Diagnostic], allowlisted: usize, files: usize) -> Result<(), String> {
+    if args.json {
+        let report = json_report(diags, allowlisted, files);
+        match &args.json_path {
+            Some(path) => {
+                std::fs::write(path, &report)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                for d in diags {
+                    println!("{}", d.human());
+                }
+            }
+            None => print!("{report}"),
+        }
+    } else {
+        for d in diags {
+            println!("{}", d.human());
+        }
+    }
+    if !args.json || args.json_path.is_some() {
+        println!(
+            "ossm-lint: {} violation(s), {} allowlisted, {} file(s) scanned",
+            diags.len(),
+            allowlisted,
+            files
+        );
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    match &args.mode {
+        Mode::All => {
+            let root = resolve_root(args)?;
+            let out = lint_all(&root)?;
+            emit(args, &out.diags, out.allowlisted, out.files_scanned)?;
+            Ok(out.diags.is_empty())
+        }
+        Mode::Fixture(path) => {
+            let root = resolve_root(args)?;
+            let out = lint_fixture(&root, path)?;
+            emit(args, &out.diags, 0, 1)?;
+            // A fixture "fails" (exit 1) exactly when its seeded violation
+            // is detected — that is the behavior CI asserts on.
+            Ok(out.diags.is_empty())
+        }
+        Mode::CheckFixtures => {
+            let root = resolve_root(args)?;
+            let dir = root.join("crates/lint/fixtures");
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+                .map_err(|e| format!("reading {}: {e}", dir.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                .collect();
+            entries.sort();
+            let mut all_fired = true;
+            for path in &entries {
+                let out = lint_fixture(&root, path)?;
+                let name = relative(path, &root);
+                if out.passed() {
+                    println!("ossm-lint: {name}: expected {:?} fired", out.expected);
+                } else {
+                    all_fired = false;
+                    println!(
+                        "ossm-lint: {name}: expected {:?} but {:?} did NOT fire",
+                        out.expected,
+                        out.missing()
+                    );
+                }
+            }
+            if entries.is_empty() {
+                return Err(format!("no fixtures in {}", dir.display()));
+            }
+            Ok(all_fired)
+        }
+    }
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("ossm-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Attribute and `cfg` analysis over a lexed file.
+//!
+//! Builds the per-file facts every rule consumes:
+//!
+//! * which tokens are **test code** (`#[test]` functions, `#[cfg(test)]`
+//!   items, `#[cfg(all(test, …))]` items) — rules skip those regions;
+//! * which items are **feature-gated** (`#[cfg(feature = "…")]` /
+//!   `#[cfg(not(feature = "…"))]`), with the gated item's kind and name —
+//!   rule R2's parity input;
+//! * every **feature name referenced** by any `cfg`/`cfg_attr` attribute
+//!   or `cfg!` macro — rule R2 checks each against the crate manifest;
+//! * the **enclosing function** of every token — rules key allowlist
+//!   entries on function names instead of brittle line numbers.
+//!
+//! Item extents are recovered without a grammar: an attributed item runs
+//! to the first `;` at bracket depth zero, or to the close of its first
+//! top-level brace block (plus a directly trailing `;`, as in
+//! `static X: T = S { … };`).
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One feature-gated item (`#[cfg(feature = "x")] fn y …`).
+#[derive(Clone, Debug)]
+pub struct Gate {
+    /// The feature name inside the gate.
+    pub feature: String,
+    /// Whether the gate is `not(feature = …)`.
+    pub negative: bool,
+    /// Item keyword (`fn`, `mod`, `struct`, `impl`, `use`, …).
+    pub item_kind: String,
+    /// First identifier after the keyword (best-effort item name).
+    pub item_name: String,
+    /// Line of the gating attribute.
+    pub line: u32,
+    /// Whether the gated item sits inside test code.
+    pub in_test: bool,
+}
+
+/// Lexed file plus the region facts rules need.
+pub struct FileModel {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// `in_test[i]` — token `i` is inside test-only code.
+    pub in_test: Vec<bool>,
+    /// Every feature-gated item.
+    pub gates: Vec<Gate>,
+    /// Every feature name referenced in a `cfg`, `cfg_attr`, or `cfg!`,
+    /// with the referencing line.
+    pub features_used: Vec<(String, u32)>,
+    /// `enclosing_fn[i]` — name of the innermost `fn` containing token `i`.
+    pub enclosing_fn: Vec<Option<String>>,
+}
+
+impl FileModel {
+    /// Lexes and analyzes one file.
+    pub fn analyze(path: &str, src: &str) -> FileModel {
+        let toks = lex(src);
+        let mut model = FileModel {
+            path: path.to_owned(),
+            in_test: vec![false; toks.len()],
+            gates: Vec::new(),
+            features_used: Vec::new(),
+            enclosing_fn: vec![None; toks.len()],
+            toks,
+        };
+        model.scan_attributes();
+        model.scan_cfg_macros();
+        model.scan_enclosing_fns();
+        model
+    }
+
+    /// Allowlist/diagnostic key for the token at `i`: the enclosing
+    /// function name, or `<file>` at file scope.
+    pub fn key_at(&self, i: usize, suffix: &str) -> String {
+        match &self.enclosing_fn[i] {
+            Some(f) => format!("{f}.{suffix}"),
+            None => format!("<file>.{suffix}"),
+        }
+    }
+
+    fn scan_attributes(&mut self) {
+        let mut test_ranges: Vec<(usize, usize)> = Vec::new();
+        let mut gates: Vec<(Gate, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < self.toks.len() {
+            if !self.toks[i].is_punct("#") {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            let inner = j < self.toks.len() && self.toks[j].is_punct("!");
+            if inner {
+                j += 1;
+            }
+            if j >= self.toks.len() || !self.toks[j].is_punct("[") {
+                i += 1;
+                continue;
+            }
+            let (attr_end, attr) = self.attr_extent(j);
+            let facts = classify_attr(&attr);
+            for ((feature, _negative), line) in &facts.features {
+                self.features_used.push((feature.clone(), *line));
+            }
+            if !inner && (facts.is_test || (facts.gating && !facts.features.is_empty())) {
+                if let Some((item_start, item_end, kind, name)) = self.item_extent(attr_end + 1) {
+                    if facts.is_test {
+                        test_ranges.push((item_start, item_end));
+                    } else {
+                        for ((feature, negative), line) in &facts.features {
+                            gates.push((
+                                Gate {
+                                    feature: feature.clone(),
+                                    negative: *negative,
+                                    item_kind: kind.clone(),
+                                    item_name: name.clone(),
+                                    line: *line,
+                                    in_test: false, // filled below
+                                },
+                                item_start,
+                                item_end,
+                            ));
+                        }
+                    }
+                }
+            }
+            // Resume right after the attribute so nested attributes inside
+            // the item body are still visited.
+            i = attr_end + 1;
+        }
+        let last = self.in_test.len().saturating_sub(1);
+        for (start, end) in &test_ranges {
+            for t in &mut self.in_test[*start..=(*end).min(last)] {
+                *t = true;
+            }
+        }
+        for (mut gate, start, _end) in gates {
+            gate.in_test = self.in_test.get(start).copied().unwrap_or(false);
+            self.gates.push(gate);
+        }
+    }
+
+    /// From the `[` at `open`, returns (index of matching `]`, attr tokens).
+    fn attr_extent(&self, open: usize) -> (usize, Vec<Tok>) {
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < self.toks.len() {
+            if self.toks[k].is_punct("[") {
+                depth += 1;
+            } else if self.toks[k].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    return (k, self.toks[open + 1..k].to_vec());
+                }
+            }
+            k += 1;
+        }
+        (self.toks.len() - 1, self.toks[open + 1..].to_vec())
+    }
+
+    /// Finds the item starting at or after `from` (skipping comments and
+    /// further attributes): (start, end, kind keyword, name).
+    fn item_extent(&self, from: usize) -> Option<(usize, usize, String, String)> {
+        const KINDS: &[&str] = &[
+            "fn",
+            "mod",
+            "struct",
+            "enum",
+            "union",
+            "trait",
+            "impl",
+            "use",
+            "static",
+            "const",
+            "type",
+            "macro_rules",
+        ];
+        let mut k = from;
+        // Skip comments and stacked attributes.
+        while k < self.toks.len() {
+            if self.toks[k].is_comment() {
+                k += 1;
+            } else if self.toks[k].is_punct("#")
+                && self.toks.get(k + 1).is_some_and(|t| t.is_punct("["))
+            {
+                let (end, _) = self.attr_extent(k + 1);
+                k = end + 1;
+            } else {
+                break;
+            }
+        }
+        if k >= self.toks.len() {
+            return None;
+        }
+        let start = k;
+        // Kind and name.
+        let mut kind = String::new();
+        let mut name = String::new();
+        let mut probe = k;
+        while probe < self.toks.len() && probe < k + 12 {
+            let t = &self.toks[probe];
+            if t.kind == TokKind::Ident && KINDS.contains(&t.text.as_str()) {
+                kind = t.text.clone();
+                let mut np = probe + 1;
+                while np < self.toks.len() {
+                    if self.toks[np].kind == TokKind::Ident {
+                        name = self.toks[np].text.clone();
+                        break;
+                    }
+                    if self.toks[np].is_punct(";") || self.toks[np].is_punct("{") {
+                        break;
+                    }
+                    np += 1;
+                }
+                break;
+            }
+            probe += 1;
+        }
+        // Extent: first `;` at depth 0, or the first top-level brace block.
+        let mut depth = 0i64;
+        while k < self.toks.len() {
+            let t = &self.toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        if depth == 0 && t.text == "}" {
+                            // Block item; include a directly trailing `;`.
+                            let end = if self.toks.get(k + 1).is_some_and(|n| n.is_punct(";")) {
+                                k + 1
+                            } else {
+                                k
+                            };
+                            return Some((start, end, kind, name));
+                        }
+                    }
+                    ";" if depth == 0 => return Some((start, k, kind, name)),
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        Some((start, self.toks.len() - 1, kind, name))
+    }
+
+    /// Records features referenced via the `cfg!(…)` macro.
+    fn scan_cfg_macros(&mut self) {
+        let mut i = 0;
+        while i + 3 < self.toks.len() {
+            if self.toks[i].is_ident("cfg")
+                && self.toks[i + 1].is_punct("!")
+                && self.toks[i + 2].is_punct("(")
+            {
+                let mut k = i + 3;
+                let mut depth = 1usize;
+                while k < self.toks.len() && depth > 0 {
+                    if self.toks[k].is_punct("(") {
+                        depth += 1;
+                    } else if self.toks[k].is_punct(")") {
+                        depth -= 1;
+                    } else if self.toks[k].is_ident("feature")
+                        && self.toks.get(k + 1).is_some_and(|t| t.is_punct("="))
+                        && self.toks.get(k + 2).is_some_and(|t| t.kind == TokKind::Str)
+                    {
+                        self.features_used
+                            .push((self.toks[k + 2].text.clone(), self.toks[k + 2].line));
+                    }
+                    k += 1;
+                }
+                i = k;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Fills `enclosing_fn`: outer functions first, nested ones override
+    /// their subrange (they appear later in the scan).
+    fn scan_enclosing_fns(&mut self) {
+        let mut assignments: Vec<(usize, usize, String)> = Vec::new();
+        for i in 0..self.toks.len() {
+            if !self.toks[i].is_ident("fn") {
+                continue;
+            }
+            let Some(name_tok) = self.toks[i + 1..].iter().find(|t| !t.is_comment()) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                continue; // `fn` inside a type like `fn(u8) -> u8`
+            }
+            let name = name_tok.text.clone();
+            // Body: first `{` at signature level before any terminating `;`.
+            let mut k = i + 1;
+            let mut depth = 0i64;
+            let mut body_open = None;
+            while k < self.toks.len() {
+                let t = &self.toks[k];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            body_open = Some(k);
+                            break;
+                        }
+                        ";" if depth == 0 => break, // bodyless decl
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            let Some(open) = body_open else { continue };
+            let mut depth = 0i64;
+            let mut close = self.toks.len() - 1;
+            for (idx, t) in self.toks.iter().enumerate().skip(open) {
+                if t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = idx;
+                        break;
+                    }
+                }
+            }
+            assignments.push((i, close, name));
+        }
+        for (start, end, name) in assignments {
+            for slot in &mut self.enclosing_fn[start..=end] {
+                *slot = Some(name.clone());
+            }
+        }
+    }
+}
+
+/// What one attribute contributes.
+struct AttrFacts {
+    /// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`.
+    is_test: bool,
+    /// Whether the attribute conditionally compiles its item (`cfg`, not
+    /// `cfg_attr` — the latter only toggles other attributes).
+    gating: bool,
+    /// `((feature, negative), line)` for every `feature = "…"` inside.
+    features: Vec<((String, bool), u32)>,
+}
+
+fn classify_attr(attr: &[Tok]) -> AttrFacts {
+    let first = attr.iter().find(|t| t.kind == TokKind::Ident);
+    let head = first.map_or("", |t| t.text.as_str());
+    let mut facts = AttrFacts {
+        is_test: head == "test",
+        gating: head == "cfg",
+        features: Vec::new(),
+    };
+    if head != "cfg" && head != "cfg_attr" {
+        return facts;
+    }
+    // Walk the predicate, tracking the paren depths at which `not(`
+    // groups opened so polarity is known at every token.
+    let mut depth = 0usize;
+    let mut not_stack: Vec<usize> = Vec::new();
+    let mut k = 0;
+    while k < attr.len() {
+        let t = &attr[k];
+        if t.is_punct("(") {
+            depth += 1;
+            if k > 0 && attr[k - 1].is_ident("not") {
+                not_stack.push(depth);
+            }
+        } else if t.is_punct(")") {
+            if not_stack.last() == Some(&depth) {
+                not_stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+        } else if t.is_ident("test") && not_stack.is_empty() && head == "cfg" {
+            facts.is_test = true;
+        } else if t.is_ident("feature")
+            && attr.get(k + 1).is_some_and(|n| n.is_punct("="))
+            && attr.get(k + 2).is_some_and(|n| n.kind == TokKind::Str)
+        {
+            facts.features.push((
+                (attr[k + 2].text.clone(), !not_stack.is_empty()),
+                attr[k + 2].line,
+            ));
+            k += 2;
+        }
+        k += 1;
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::analyze("test.rs", src)
+    }
+
+    fn ident_in_test(m: &FileModel, name: &str) -> bool {
+        m.toks
+            .iter()
+            .enumerate()
+            .any(|(i, t)| t.is_ident(name) && m.in_test[i])
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_its_whole_extent() {
+        let m = model(
+            "fn live() { helper(); }\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { probe(); }\n}\n\
+             fn after() { tail(); }",
+        );
+        assert!(!ident_in_test(&m, "helper"));
+        assert!(ident_in_test(&m, "probe"));
+        assert!(!ident_in_test(&m, "tail"));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test() {
+        let m = model("#[cfg(all(test, feature = \"obs\"))]\nmod t { fn x() { inner(); } }");
+        assert!(ident_in_test(&m, "inner"));
+    }
+
+    #[test]
+    fn not_test_is_not_test() {
+        let m = model("#[cfg(not(test))]\nfn live() { body(); }");
+        assert!(!ident_in_test(&m, "body"));
+    }
+
+    #[test]
+    fn feature_gates_capture_polarity_and_name() {
+        let m = model(
+            "#[cfg(feature = \"obs\")]\nmod live { }\n\
+             #[cfg(not(feature = \"obs\"))]\nmod noop { }",
+        );
+        assert_eq!(m.gates.len(), 2);
+        assert!(!m.gates[0].negative);
+        assert_eq!(m.gates[0].item_name, "live");
+        assert!(m.gates[1].negative);
+        assert_eq!(m.gates[1].item_name, "noop");
+    }
+
+    #[test]
+    fn gates_inside_test_mods_are_flagged_as_test() {
+        let m =
+            model("#[cfg(test)]\nmod tests {\n  #[cfg(feature = \"faults\")]\n  mod faults { }\n}");
+        let gate = m
+            .gates
+            .iter()
+            .find(|g| g.feature == "faults")
+            .expect("gate");
+        assert!(gate.in_test);
+    }
+
+    #[test]
+    fn cfg_macro_features_are_recorded() {
+        let m = model("fn f() -> bool { cfg!(feature = \"enabled\") }");
+        assert!(m.features_used.iter().any(|(f, _)| f == "enabled"));
+    }
+
+    #[test]
+    fn enclosing_fn_tracks_nesting() {
+        let m = model("fn outer() { fn inner() { deep(); } shallow(); }");
+        let deep = m
+            .toks
+            .iter()
+            .position(|t| t.is_ident("deep"))
+            .expect("deep");
+        let shallow = m
+            .toks
+            .iter()
+            .position(|t| t.is_ident("shallow"))
+            .expect("shallow");
+        assert_eq!(m.enclosing_fn[deep].as_deref(), Some("inner"));
+        assert_eq!(m.enclosing_fn[shallow].as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn static_initializer_with_braces_ends_at_semicolon() {
+        let m = model("#[cfg(test)]\nstatic X: Foo = Foo { a: 1 };\nfn live() { body(); }");
+        assert!(!ident_in_test(&m, "body"));
+    }
+}

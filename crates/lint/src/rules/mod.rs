@@ -1,0 +1,131 @@
+//! The rule engine: shared context and the five invariant checks.
+//!
+//! | rule | invariant                                   | introduced by |
+//! |------|---------------------------------------------|---------------|
+//! | R1   | panic-free disk/WAL/recovery I/O            | PR 3          |
+//! | R2   | `obs`/`faults` feature-gate parity + hygiene | PRs 1–3      |
+//! | R3   | obs counter/span names match the registry   | PRs 1–2       |
+//! | R4   | eq. (1) bound transforms carry `// SOUND:`  | PR 3          |
+//! | R5   | format magics/versions defined exactly once | PR 3          |
+
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+use crate::regions::FileModel;
+
+mod r1;
+mod r2;
+mod r3;
+mod r4;
+mod r5;
+
+/// Checked-in registry of observability names (rule R3).
+pub const REGISTRY_PATH: &str = "crates/obs/registry.txt";
+/// Checked-in format-constant manifest (rule R5).
+pub const FORMAT_CONSTS_PATH: &str = "crates/lint/format-constants.txt";
+/// Grandfathered-violation allowlist.
+pub const ALLOWLIST_PATH: &str = "crates/lint/allowlist.txt";
+
+/// One registry entry: an observability name and where it is declared.
+#[derive(Clone, Debug)]
+pub struct RegistryEntry {
+    /// The counter/span/phase/histogram (or fault-tag) name.
+    pub name: String,
+    /// 1-based line in the registry file.
+    pub line: u32,
+}
+
+/// Parses `registry.txt`: one name per line, `#` comments.
+pub fn parse_registry(text: &str) -> Vec<RegistryEntry> {
+    text.lines()
+        .enumerate()
+        .filter_map(|(n, line)| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                None
+            } else {
+                Some(RegistryEntry {
+                    name: line.to_owned(),
+                    line: n as u32 + 1,
+                })
+            }
+        })
+        .collect()
+}
+
+/// One format-constant manifest entry.
+#[derive(Clone, Debug)]
+pub enum FormatConst {
+    /// `magic <LITERAL> <file>`: the byte-string literal may appear only
+    /// in `<file>`, exactly once, outside tests.
+    Magic {
+        /// Literal contents (e.g. `OSSMPAGE`).
+        literal: String,
+        /// Canonical defining file.
+        file: String,
+    },
+    /// `const <NAME> <file>`: `const NAME` must be defined exactly once
+    /// in `<file>` (version numbers, header sizes).
+    Const {
+        /// Constant identifier.
+        name: String,
+        /// Canonical defining file.
+        file: String,
+    },
+}
+
+/// Parses `format-constants.txt`.
+pub fn parse_format_consts(text: &str) -> Result<Vec<FormatConst>, String> {
+    let mut out = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("magic"), Some(lit), Some(file), None) => out.push(FormatConst::Magic {
+                literal: lit.to_owned(),
+                file: file.to_owned(),
+            }),
+            (Some("const"), Some(name), Some(file), None) => out.push(FormatConst::Const {
+                name: name.to_owned(),
+                file: file.to_owned(),
+            }),
+            _ => {
+                return Err(format!(
+                "format-constants line {}: expected `magic <LIT> <file>` or `const <NAME> <file>`",
+                n + 1
+            ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Everything a rule can see.
+pub struct Context<'a> {
+    /// Workspace root on disk (for manifest reads).
+    pub root: &'a Path,
+    /// Every analyzed source file.
+    pub files: &'a [FileModel],
+    /// Parsed obs-name registry.
+    pub registry: &'a [RegistryEntry],
+    /// Parsed format-constant manifest.
+    pub format_consts: &'a [FormatConst],
+    /// Full-tree run: enables existence/staleness checks that are
+    /// meaningless when linting a single fixture file.
+    pub all_mode: bool,
+}
+
+/// Runs every rule and returns the combined diagnostics, stably ordered.
+pub fn run_all(ctx: &Context<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(r1::check(ctx));
+    diags.extend(r2::check(ctx));
+    diags.extend(r3::check(ctx));
+    diags.extend(r4::check(ctx));
+    diags.extend(r5::check(ctx));
+    diags.sort_by(|a, b| (a.rule, &a.path, a.line, &a.key).cmp(&(b.rule, &b.path, b.line, &b.key)));
+    diags
+}

@@ -1,0 +1,59 @@
+//! R1 — panic-free I/O.
+//!
+//! PR 3 converted the disk, WAL, and recovery paths to `io::Result`
+//! propagation: a storage fault must surface as an error the caller can
+//! handle, never as a process abort halfway through a write. This rule
+//! pins that property: no `unwrap()`, `expect()`, or panicking macro in
+//! the durability modules outside `#[cfg(test)]` code.
+
+use super::Context;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+
+/// Modules whose non-test code must be panic-free (see PR 3).
+pub const R1_FILES: &[&str] = &[
+    "crates/data/src/disk.rs",
+    "crates/data/src/wal.rs",
+    "crates/core/src/durable.rs",
+    "crates/core/src/persist.rs",
+    "crates/core/src/recover.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in ctx
+        .files
+        .iter()
+        .filter(|f| R1_FILES.contains(&f.path.as_str()))
+    {
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.in_test[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            let next_is = |p: &str| file.toks.get(i + 1).is_some_and(|n| n.is_punct(p));
+            let prev_is_dot = i > 0 && file.toks[i - 1].is_punct(".");
+            let call = match t.text.as_str() {
+                "unwrap" | "expect" if prev_is_dot && next_is("(") => Some(format!(
+                    "`.{}()` on a durability path — propagate `io::Result` instead (PR 3 discipline)",
+                    t.text
+                )),
+                m if PANIC_MACROS.contains(&m) && next_is("!") => Some(format!(
+                    "`{m}!` on a durability path — return an error instead of aborting mid-write",
+                )),
+                _ => None,
+            };
+            if let Some(message) = call {
+                out.push(Diagnostic {
+                    rule: "R1",
+                    path: file.path.clone(),
+                    line: t.line,
+                    key: file.key_at(i, &t.text),
+                    message,
+                });
+            }
+        }
+    }
+    out
+}

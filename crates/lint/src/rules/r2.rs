@@ -1,0 +1,84 @@
+//! R2 — feature-gate parity and hygiene.
+//!
+//! The `obs` and `faults` layers (PRs 1–3) keep their zero-cost promise
+//! only if every `#[cfg(feature = "…")]` item has a disabled twin: a
+//! live implementation gated on the feature must be mirrored by a
+//! `#[cfg(not(feature = "…"))]` ZST/no-op in the same file, or default
+//! and `--no-default-features` builds drift apart. Two checks:
+//!
+//! * **parity** — a file whose non-test code positively gates on one of
+//!   the watched features must also contain a negative gate for it;
+//! * **hygiene** — every feature name referenced by any `cfg`/`cfg_attr`/
+//!   `cfg!` must be declared in that crate's `[features]` table. A typo'd
+//!   feature name silently evaluates to *disabled*, which is exactly the
+//!   regression this rule exists to catch.
+
+use super::Context;
+use crate::diag::Diagnostic;
+use crate::workspace::{crate_dir_of, declared_features};
+
+/// Features whose gated items need a disabled twin. `enabled` is
+/// `ossm-obs`'s internal name for the same gate the rest of the
+/// workspace calls `obs`.
+const PARITY_FEATURES: &[&str] = &["obs", "faults", "enabled"];
+
+pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in ctx.files {
+        // (a) parity within the file.
+        for feature in PARITY_FEATURES {
+            let positives: Vec<_> = file
+                .gates
+                .iter()
+                .filter(|g| !g.in_test && !g.negative && g.feature == *feature)
+                .collect();
+            let has_negative = file
+                .gates
+                .iter()
+                .any(|g| !g.in_test && g.negative && g.feature == *feature);
+            if positives.is_empty() || has_negative {
+                continue;
+            }
+            for gate in positives {
+                out.push(Diagnostic {
+                    rule: "R2",
+                    path: file.path.clone(),
+                    line: gate.line,
+                    key: format!("{feature}.{}", gate.item_name),
+                    message: format!(
+                        "{} `{}` is gated on feature \"{feature}\" but this file has no \
+                         `not(feature = \"{feature}\")` twin — disabled builds lose the item",
+                        gate.item_kind, gate.item_name
+                    ),
+                });
+            }
+        }
+        // (b) referenced features must be declared in the crate manifest.
+        let Some(crate_dir) = crate_dir_of(&file.path) else {
+            continue;
+        };
+        let manifest = ctx.root.join(crate_dir).join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let declared = declared_features(&text);
+        let mut seen = Vec::new();
+        for (feature, line) in &file.features_used {
+            if declared.iter().any(|d| d == feature) || seen.contains(feature) {
+                continue;
+            }
+            seen.push(feature.clone());
+            out.push(Diagnostic {
+                rule: "R2",
+                path: file.path.clone(),
+                line: *line,
+                key: format!("{feature}.undeclared"),
+                message: format!(
+                    "feature \"{feature}\" is referenced here but not declared in \
+                     {crate_dir}/Cargo.toml — the cfg silently evaluates to disabled"
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,140 @@
+//! R3 — observability-name registry.
+//!
+//! `BENCH_obs.json`, the `regress` gate, and `ossm obs diff` all address
+//! metrics *by name*. A renamed counter would not fail any test — the
+//! gate would simply stop seeing the metric and silently gate nothing.
+//! This rule pins every name: each counter, histogram, span, phase, and
+//! fault-injection tag declared with a string literal in non-test code
+//! must appear in `crates/obs/registry.txt`, and (on full-tree runs)
+//! every registry entry must still be used somewhere.
+//!
+//! Dynamic names (`span(format!("cli.{cmd}"))`, per-level miner scopes)
+//! are invisible to a lexical pass and deliberately out of scope; the
+//! static names cover everything the regression baseline reads.
+
+use super::{Context, REGISTRY_PATH};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::regions::FileModel;
+
+/// Free functions taking a `&'static str` name as their first argument.
+const NAME_FNS: &[&str] = &["span", "detail_span", "phase"];
+/// `Type::new("name")` constructors.
+const NAME_TYPES: &[&str] = &["Counter", "Histogram"];
+/// Tagged fault-injection I/O helpers; the tag is the first string
+/// literal in the call.
+const TAG_FNS: &[&str] = &["write_all_tagged", "read_exact_tagged"];
+
+/// One observability name found in source.
+pub struct UsedName {
+    /// The name literal.
+    pub name: String,
+    /// File it appears in.
+    pub path: String,
+    /// Line of the literal.
+    pub line: u32,
+    /// Allowlist key.
+    pub key: String,
+}
+
+/// Collects every statically-named observability declaration in `file`.
+pub fn used_names(file: &FileModel) -> Vec<UsedName> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let name_at = |idx: usize| -> Option<&crate::lexer::Tok> {
+            toks.get(idx).filter(|n| n.kind == TokKind::Str)
+        };
+        let mut push = |name_tok: &crate::lexer::Tok| {
+            out.push(UsedName {
+                name: name_tok.text.clone(),
+                path: file.path.clone(),
+                line: name_tok.line,
+                key: name_tok.text.clone(),
+            });
+        };
+        if NAME_TYPES.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("new"))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            if let Some(name_tok) = name_at(i + 4) {
+                push(name_tok);
+            }
+        } else if NAME_FNS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && i > 0
+            && !toks[i - 1].is_punct(".")
+            && !toks[i - 1].is_ident("fn")
+        {
+            if let Some(name_tok) = name_at(i + 2) {
+                push(name_tok);
+            }
+        } else if TAG_FNS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && i > 0
+            && !toks[i - 1].is_ident("fn")
+        {
+            // First string literal inside the balanced argument list.
+            let mut depth = 0usize;
+            for tok in toks.iter().skip(i + 1) {
+                if tok.is_punct("(") {
+                    depth += 1;
+                } else if tok.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tok.kind == TokKind::Str {
+                    push(tok);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut all_used: Vec<UsedName> = Vec::new();
+    for file in ctx.files {
+        all_used.extend(used_names(file));
+    }
+    for used in &all_used {
+        if !ctx.registry.iter().any(|e| e.name == used.name) {
+            out.push(Diagnostic {
+                rule: "R3",
+                path: used.path.clone(),
+                line: used.line,
+                key: used.key.clone(),
+                message: format!(
+                    "observability name \"{}\" is not in {REGISTRY_PATH} — register it so \
+                     BENCH_obs.json consumers can rely on it",
+                    used.name
+                ),
+            });
+        }
+    }
+    if ctx.all_mode {
+        for entry in ctx.registry {
+            if !all_used.iter().any(|u| u.name == entry.name) {
+                out.push(Diagnostic {
+                    rule: "R3",
+                    path: REGISTRY_PATH.to_owned(),
+                    line: entry.line,
+                    key: entry.name.clone(),
+                    message: format!(
+                        "registry entry \"{}\" is no longer declared anywhere — remove it or \
+                         restore the metric",
+                        entry.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

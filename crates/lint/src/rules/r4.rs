@@ -1,0 +1,257 @@
+//! R4 — bound-soundness annotations.
+//!
+//! Eq. (1), `ub(X) = Σ_i min_{a∈X} sup_i({a})`, is monotone in every
+//! segment support: any code path that *widens* a support can only raise
+//! bounds (pruning stays correct), while a path that shrinks one can
+//! silently under-count — the one bug class this codebase must never
+//! ship (cf. the derivable-bounds discipline of Calders & Goethals).
+//! Correctness therefore rests on a per-function monotonicity argument,
+//! and this rule makes that argument a checked artifact: every function
+//! on a recovery/merge path that produces or transforms upper-bound
+//! inputs must carry a `// SOUND:` (or `/// … SOUND: …`) comment naming
+//! the argument, and arithmetic on `ub`/`sup*` values in *unmarked*
+//! functions in those files is flagged.
+
+use super::Context;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::regions::FileModel;
+
+/// Files containing eq. (1) recovery/merge paths.
+pub const R4_FILES: &[&str] = &[
+    "crates/core/src/ssm.rs",
+    "crates/core/src/segmentation.rs",
+    "crates/core/src/recover.rs",
+    "crates/core/src/incremental.rs",
+    "crates/core/src/durable.rs",
+    "crates/data/src/repair.rs",
+];
+
+/// A function whose name contains one of these produces or transforms
+/// bound inputs and must be marked.
+const BOUND_FN_PATTERNS: &[&str] = &[
+    "upper_bound",
+    "merge",
+    "widen",
+    "recover",
+    "aggregate",
+    "absorb",
+    "replay",
+];
+
+const ARITH_OPS: &[&str] = &["+", "+=", "-", "-=", "*", "*="];
+
+struct FnInfo {
+    name: String,
+    fn_tok: usize,
+    body_close: usize,
+    marked: bool,
+}
+
+pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in ctx
+        .files
+        .iter()
+        .filter(|f| R4_FILES.contains(&f.path.as_str()))
+    {
+        let fns = collect_fns(file);
+        for f in &fns {
+            let is_bound_fn = BOUND_FN_PATTERNS.iter().any(|p| f.name.contains(p));
+            if is_bound_fn && !f.marked {
+                out.push(Diagnostic {
+                    rule: "R4",
+                    path: file.path.clone(),
+                    line: file.toks[f.fn_tok].line,
+                    key: f.name.clone(),
+                    message: format!(
+                        "`{}` produces/transforms eq. (1) bound inputs but has no `// SOUND:` \
+                         comment naming its monotonicity argument",
+                        f.name
+                    ),
+                });
+            }
+            if !f.marked {
+                if let Some(line) = unmarked_bound_arith(file, f) {
+                    out.push(Diagnostic {
+                        rule: "R4",
+                        path: file.path.clone(),
+                        line,
+                        key: format!("{}.arith", f.name),
+                        message: format!(
+                            "arithmetic on `ub`/`sup*` values in `{}`, which carries no \
+                             `// SOUND:` marker — document why the transform keeps bounds sound",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Finds every non-test `fn` with its marker status. A function is
+/// *marked* when a comment containing `SOUND:` appears either in the
+/// comment run between the previous item boundary and the `fn` keyword
+/// (doc comments included) or anywhere inside its body.
+fn collect_fns(file: &FileModel) -> Vec<FnInfo> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") || file.in_test[i] {
+            continue;
+        }
+        let Some(name_tok) = toks[i + 1..].iter().find(|t| !t.is_comment()) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Body extent (bodyless trait fns are skipped: nothing to check).
+        let Some((open, close)) = body_extent(file, i) else {
+            continue;
+        };
+        // Leading comments: walk back to the previous `;`, `{`, or `}`.
+        let mut marked = false;
+        let mut k = i;
+        while k > 0 {
+            k -= 1;
+            let p = &toks[k];
+            if p.is_punct(";") || p.is_punct("{") || p.is_punct("}") {
+                break;
+            }
+            if p.is_comment() && p.text.contains("SOUND:") {
+                marked = true;
+            }
+        }
+        if !marked {
+            marked = toks[open..=close]
+                .iter()
+                .any(|t| t.is_comment() && t.text.contains("SOUND:"));
+        }
+        out.push(FnInfo {
+            name: name_tok.text.clone(),
+            fn_tok: i,
+            body_close: close,
+            marked,
+        });
+    }
+    out
+}
+
+fn body_extent(file: &FileModel, fn_tok: usize) -> Option<(usize, usize)> {
+    let toks = &file.toks;
+    let mut depth = 0i64;
+    let mut k = fn_tok + 1;
+    let mut open = None;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    let open = open?;
+    let mut depth = 0i64;
+    for (idx, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open, idx));
+            }
+        }
+    }
+    Some((open, toks.len() - 1))
+}
+
+/// First line inside `f`'s body where an arithmetic operator touches an
+/// identifier named `ub*` or `sup*` (walking back over `]`/`)` groups and
+/// field chains to find the operand's identifiers).
+fn unmarked_bound_arith(file: &FileModel, f: &FnInfo) -> Option<u32> {
+    let toks = &file.toks;
+    let body = f.fn_tok..=f.body_close;
+    for i in body {
+        let t = &toks[i];
+        if t.kind != TokKind::Punct || !ARITH_OPS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Left operand: walk back over closing groups and field chains.
+        if operand_idents_backward(file, i)
+            .iter()
+            .any(|id| is_bound_ident(id))
+        {
+            return Some(t.line);
+        }
+        // Right operand (only in clearly binary position).
+        let prev_is_operand = i > 0
+            && (matches!(toks[i - 1].kind, TokKind::Ident | TokKind::Num)
+                || toks[i - 1].is_punct(")")
+                || toks[i - 1].is_punct("]"));
+        if prev_is_operand {
+            if let Some(next) = toks.get(i + 1) {
+                if next.kind == TokKind::Ident && is_bound_ident(&next.text) {
+                    return Some(t.line);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn is_bound_ident(id: &str) -> bool {
+    id == "ub" || id.starts_with("ub_") || id.starts_with("sup")
+}
+
+/// Identifiers making up the operand that *ends* just before token `i`:
+/// `recovery.widened_pages`, `supports[s][item.index()]`, `sup_i`.
+fn operand_idents_backward(file: &FileModel, i: usize) -> Vec<String> {
+    let toks = &file.toks;
+    let mut ids = Vec::new();
+    let mut k = i;
+    loop {
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        let t = &toks[k];
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => continue,
+            TokKind::Punct if t.text == "]" || t.text == ")" => {
+                // Skip the balanced group.
+                let closer = t.text.clone();
+                let opener = if closer == "]" { "[" } else { "(" };
+                let mut depth = 1usize;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    if toks[k].is_punct(&closer) {
+                        depth += 1;
+                    } else if toks[k].is_punct(opener) {
+                        depth -= 1;
+                    }
+                }
+            }
+            TokKind::Punct if t.text == "." => continue,
+            TokKind::Ident => {
+                ids.push(t.text.clone());
+                // Continue through a field/index chain (`a.b[c].d`).
+                if k == 0 || !(toks[k - 1].is_punct(".") || toks[k - 1].is_punct("]")) {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    ids
+}

@@ -1,0 +1,111 @@
+//! R5 — format magics and version constants defined exactly once.
+//!
+//! `OSSMPAGE`, `OSSM-MAP`, `OSSM-WAL`, and `OSSMDATA` each have exactly
+//! one defining site; a second copy of a magic byte-string is how format
+//! forks start (one writer bumps a version, the stale copy keeps
+//! stamping old headers). Every `b"OSSM…"` literal in non-test code must
+//! be a registered `(literal, file)` pair from
+//! `crates/lint/format-constants.txt`, appear exactly once, and each
+//! registered version constant must be defined once in its file.
+
+use super::{Context, FormatConst, FORMAT_CONSTS_PATH};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+
+pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Count magic-literal occurrences per (literal, file).
+    for file in ctx.files {
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.kind != TokKind::ByteStr || file.in_test[i] || !t.text.starts_with("OSSM") {
+                continue;
+            }
+            let registered = ctx.format_consts.iter().find_map(|c| match c {
+                FormatConst::Magic { literal, file } if *literal == t.text => Some(file.as_str()),
+                _ => None,
+            });
+            match registered {
+                None => out.push(Diagnostic {
+                    rule: "R5",
+                    path: file.path.clone(),
+                    line: t.line,
+                    key: format!("magic.{}", t.text),
+                    message: format!(
+                        "unregistered format magic b\"{}\" — add it to {FORMAT_CONSTS_PATH} \
+                         with its single defining file",
+                        t.text
+                    ),
+                }),
+                Some(canonical) if canonical != file.path => out.push(Diagnostic {
+                    rule: "R5",
+                    path: file.path.clone(),
+                    line: t.line,
+                    key: format!("magic.{}", t.text),
+                    message: format!(
+                        "format magic b\"{}\" duplicated outside its defining file \
+                         ({canonical}) — reference the constant instead",
+                        t.text
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+    // Existence and uniqueness at the canonical sites (full-tree only:
+    // a fixture run sees a single file and would report every other
+    // constant as missing).
+    if ctx.all_mode {
+        for c in ctx.format_consts {
+            let (what, canonical, count) = match c {
+                FormatConst::Magic { literal, file } => {
+                    let count = ctx
+                        .files
+                        .iter()
+                        .filter(|f| f.path == *file)
+                        .flat_map(|f| {
+                            f.toks.iter().enumerate().filter(|(i, t)| {
+                                t.kind == TokKind::ByteStr && !f.in_test[*i] && t.text == *literal
+                            })
+                        })
+                        .count();
+                    (format!("magic b\"{literal}\""), file, count)
+                }
+                FormatConst::Const { name, file } => {
+                    let count = ctx
+                        .files
+                        .iter()
+                        .filter(|f| f.path == *file)
+                        .flat_map(|f| {
+                            f.toks.iter().enumerate().filter(|(i, t)| {
+                                t.is_ident("const")
+                                    && !f.in_test[*i]
+                                    && f.toks[i + 1..]
+                                        .iter()
+                                        .find(|n| !n.is_comment())
+                                        .is_some_and(|n| n.is_ident(name))
+                            })
+                        })
+                        .count();
+                    (format!("const `{name}`"), file, count)
+                }
+            };
+            if count != 1 {
+                let key = match c {
+                    FormatConst::Magic { literal, .. } => format!("magic.{literal}"),
+                    FormatConst::Const { name, .. } => format!("const.{name}"),
+                };
+                out.push(Diagnostic {
+                    rule: "R5",
+                    path: canonical.clone(),
+                    line: 0,
+                    key,
+                    message: format!(
+                        "{what} must be defined exactly once in {canonical}, found {count} \
+                         non-test occurrence(s) — update {FORMAT_CONSTS_PATH} if the format moved"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,117 @@
+//! Workspace discovery: which files to lint and what each crate's
+//! manifest declares.
+//!
+//! Only `crates/*/src/**/*.rs` is linted. Integration-test trees
+//! (`tests/`, `crates/*/tests/`), examples, and benches are test/harness
+//! code by construction — every rule here guards *shipping* paths. The
+//! lint crate's own `fixtures/` directory holds deliberately-violating
+//! inputs and is likewise outside the scan.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Repo-relative paths (forward slashes) of every linted source file.
+pub fn source_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    let mut rel: Vec<String> = out
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The crate directory (`crates/<name>`) a repo-relative source path
+/// belongs to, if any.
+pub fn crate_dir_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let name = rest.split('/').next()?;
+    // `crates/<name>/…` with at least one more component.
+    if rest.len() > name.len() {
+        Some(&path[..("crates/".len() + name.len())])
+    } else {
+        None
+    }
+}
+
+/// Feature names declared in the `[features]` table of a crate manifest.
+/// A minimal line-oriented reader — the workspace's manifests are plain
+/// `name = [ … ]` entries, and a missed exotic syntax only produces a
+/// lint *failure* (never a silent pass), which is the safe direction.
+pub fn declared_features(manifest_text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_features = false;
+    for line in manifest_text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_features = line == "[features]";
+            continue;
+        }
+        if !in_features || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(eq) = line.find('=') {
+            let name = line[..eq].trim().trim_matches('"');
+            if !name.is_empty() {
+                out.push(name.to_owned());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_feature_table() {
+        let toml = "[package]\nname = \"x\"\n\n[features]\ndefault = [\"obs\"]\n# gate\nobs = []\nfaults = []\n\n[dependencies]\nserde = \"1\"\n";
+        assert_eq!(declared_features(toml), vec!["default", "obs", "faults"]);
+    }
+
+    #[test]
+    fn crate_dir_extraction() {
+        assert_eq!(crate_dir_of("crates/data/src/disk.rs"), Some("crates/data"));
+        assert_eq!(crate_dir_of("tests/corruption.rs"), None);
+    }
+}

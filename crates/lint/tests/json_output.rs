@@ -1,0 +1,83 @@
+//! The JSON-lines report must follow the `ossm_obs` reporter
+//! conventions — every line an object with a `"type"` discriminator —
+//! and round-trip through `ossm_obs::json`, the same parser the
+//! regression gate uses on `BENCH_obs.json`.
+
+use ossm_lint::diag::{json_report, Diagnostic};
+use ossm_obs::json;
+
+fn sample_diags() -> Vec<Diagnostic> {
+    vec![
+        Diagnostic {
+            rule: "R1",
+            path: "crates/data/src/wal.rs".into(),
+            line: 113,
+            key: "open.expect".into(),
+            message: "`.expect()` on a durability path".into(),
+        },
+        Diagnostic {
+            rule: "R5",
+            path: "crates/cli/src/lib.rs".into(),
+            line: 597,
+            key: "magic.OSSMDATA".into(),
+            message: "magic b\"OSSMDATA\" duplicated \\ \"quoted\"".into(),
+        },
+    ]
+}
+
+#[test]
+fn every_report_line_parses_as_one_object() {
+    let report = json_report(&sample_diags(), 3, 42);
+    let lines: Vec<&str> = report.lines().collect();
+    assert_eq!(lines.len(), 3, "two diagnostics plus a summary");
+    for line in &lines {
+        let v = json::parse(line).expect("line is valid JSON");
+        assert!(
+            v.get("type").and_then(json::Json::as_str).is_some(),
+            "missing type discriminator in {line}"
+        );
+    }
+}
+
+#[test]
+fn diagnostic_fields_survive_the_round_trip() {
+    let report = json_report(&sample_diags(), 0, 1);
+    let first = report.lines().next().expect("first line");
+    let v = json::parse(first).expect("parses");
+    assert_eq!(v.get("type").and_then(json::Json::as_str), Some("lint"));
+    assert_eq!(v.get("rule").and_then(json::Json::as_str), Some("R1"));
+    assert_eq!(
+        v.get("path").and_then(json::Json::as_str),
+        Some("crates/data/src/wal.rs")
+    );
+    assert_eq!(v.get("line").and_then(json::Json::as_f64), Some(113.0));
+    assert_eq!(
+        v.get("key").and_then(json::Json::as_str),
+        Some("open.expect")
+    );
+}
+
+#[test]
+fn escaped_message_round_trips_exactly() {
+    let report = json_report(&sample_diags(), 0, 1);
+    let second = report.lines().nth(1).expect("second line");
+    let v = json::parse(second).expect("parses despite quotes and backslashes");
+    assert_eq!(
+        v.get("message").and_then(json::Json::as_str),
+        Some(r#"magic b"OSSMDATA" duplicated \ "quoted""#)
+    );
+}
+
+#[test]
+fn summary_line_carries_the_counts() {
+    let report = json_report(&sample_diags(), 3, 42);
+    let last = report.lines().last().expect("summary");
+    let v = json::parse(last).expect("parses");
+    assert_eq!(
+        v.get("type").and_then(json::Json::as_str),
+        Some("lint.summary")
+    );
+    assert_eq!(v.get("violations").and_then(json::Json::as_f64), Some(2.0));
+    assert_eq!(v.get("allowlisted").and_then(json::Json::as_f64), Some(3.0));
+    assert_eq!(v.get("files").and_then(json::Json::as_f64), Some(42.0));
+}

@@ -114,6 +114,7 @@ impl FpGrowth {
     /// # Panics
     /// Panics if `min_support == 0`.
     pub fn mine(&self, dataset: &Dataset, min_support: u64) -> MiningOutcome {
+        const NONE: u32 = u32::MAX;
         assert!(min_support > 0, "support threshold must be at least 1");
         let _mine_span = ossm_obs::span("mining.fpgrowth");
         let start = Instant::now();
@@ -126,7 +127,6 @@ impl FpGrowth {
             .collect();
         frequent_items.sort_by_key(|&i| (std::cmp::Reverse(singles[i as usize]), i));
         // rank_of[item] = dense rank, or NONE.
-        const NONE: u32 = u32::MAX;
         let mut rank_of = vec![NONE; dataset.num_items()];
         for (rank, &item) in frequent_items.iter().enumerate() {
             rank_of[item as usize] = rank as u32;

@@ -27,6 +27,7 @@
 //! assert!(with.metrics.total_counted() <= without.metrics.total_counted()); // …and cheaper
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -69,11 +69,18 @@ impl Json {
     }
 }
 
-/// Parses one complete JSON document. Trailing garbage is an error.
+/// Deepest permitted container nesting. The parser is recursive-descent,
+/// so unbounded nesting in a hostile document would overflow the stack;
+/// everything this workspace emits nests a handful of levels.
+const MAX_DEPTH: usize = 512;
+
+/// Parses one complete JSON document. Trailing garbage is an error, as is
+/// container nesting deeper than [`MAX_DEPTH`].
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -87,6 +94,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -140,12 +148,27 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the container depth; an `Err` aborts the whole parse, so the
+    /// counter never needs unwinding on failure paths.
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(members));
         }
         loop {
@@ -160,6 +183,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -169,10 +193,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -183,6 +209,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -331,6 +358,81 @@ mod tests {
     fn whitespace_is_insignificant() {
         let v = parse(" {\n\t\"a\" :\r [ 1 , 2 ] } ").unwrap();
         assert_eq!(v.get("a").and_then(Json::as_array).map(<[_]>::len), Some(2));
+    }
+
+    #[test]
+    fn deep_nesting_is_capped_not_a_stack_overflow() {
+        // Just inside the cap parses fine…
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // …one level past it is a clean error, for arrays and objects both.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).unwrap_err().contains("nesting"));
+        let objs = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&objs).unwrap_err().contains("nesting"));
+        // A wide-but-shallow document is unaffected by the cap.
+        let wide = format!("[{}1]", "1,".repeat(10_000));
+        assert_eq!(
+            parse(&wide).unwrap().as_array().map(<[_]>::len),
+            Some(10_001)
+        );
+    }
+
+    #[test]
+    fn escape_sequences_cover_the_full_set() {
+        let v = parse(r#""\"\\\/\b\f\n\r\tAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("\"\\/\u{8}\u{c}\n\r\tAé"));
+        // Lone surrogates map to U+FFFD rather than failing the document.
+        assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+        // Bad or truncated escapes are errors.
+        assert!(parse(r#""\q""#).is_err());
+        assert!(parse(r#""\u00""#).is_err());
+        assert!(parse(r#""\u00zz""#).is_err());
+        assert!(parse(r#""\"#).is_err());
+    }
+
+    #[test]
+    fn huge_numbers_saturate_like_f64() {
+        // Counters are < 2^53 and exact; anything bigger degrades the way
+        // f64 does — documented, not hidden.
+        assert_eq!(
+            parse("9007199254740992").unwrap().as_f64(),
+            Some(2f64.powi(53))
+        );
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+        assert_eq!(parse("1e309").unwrap().as_f64(), Some(f64::INFINITY));
+        assert_eq!(parse("-1e309").unwrap().as_f64(), Some(f64::NEG_INFINITY));
+        assert_eq!(parse("1e-400").unwrap().as_f64(), Some(0.0));
+        // A long digit string still parses (rounded to nearest f64).
+        let long = "9".repeat(400);
+        assert_eq!(parse(&long).unwrap().as_f64(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_everywhere() {
+        for bad in [
+            "{} {}",
+            "[1] 2",
+            "null true",
+            "\"a\"\"b\"",
+            "1,",
+            "{\"a\":1}x",
+            "[1]]",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.contains("trailing") || err.contains("unexpected"),
+                "{bad:?} -> {err}"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! recording it) can branch on the [`ENABLED`] constant, which the
 //! optimizer folds away.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -69,7 +69,12 @@ fn fmt_nanos(nanos: u64) -> String {
 fn render_table(snap: &Snapshot) -> String {
     let mut out = String::new();
     if !snap.counters.is_empty() {
-        let width = snap.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        let width = snap
+            .counters
+            .keys()
+            .map(std::string::String::len)
+            .max()
+            .unwrap_or(0);
         out.push_str("counters\n");
         for (name, value) in &snap.counters {
             let _ = writeln!(out, "  {name:<width$}  {value}");
@@ -79,7 +84,12 @@ fn render_table(snap: &Snapshot) -> String {
         if !out.is_empty() {
             out.push('\n');
         }
-        let width = snap.phases.keys().map(|k| k.len()).max().unwrap_or(0);
+        let width = snap
+            .phases
+            .keys()
+            .map(std::string::String::len)
+            .max()
+            .unwrap_or(0);
         out.push_str("phases\n");
         for (name, p) in &snap.phases {
             let _ = writeln!(

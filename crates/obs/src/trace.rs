@@ -316,8 +316,14 @@ mod tests {
         for e in events {
             assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
             assert!(e.get("name").is_some());
-            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
-            assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+            assert!(e
+                .get("ts")
+                .and_then(super::super::json::Json::as_f64)
+                .is_some());
+            assert!(e
+                .get("dur")
+                .and_then(super::super::json::Json::as_f64)
+                .is_some());
         }
         // The leaf's attachment survives as a Chrome `args` entry.
         let leaf = events
@@ -325,7 +331,7 @@ mod tests {
             .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("leaf"))
             .expect("leaf event");
         let page = leaf.get("args").and_then(|a| a.get("page"));
-        assert_eq!(page.and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(page.and_then(super::super::json::Json::as_f64), Some(3.0));
     }
 
     #[test]
@@ -338,7 +344,10 @@ mod tests {
             .iter()
             .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("root"))
             .expect("root event");
-        assert_eq!(root.get("dur").and_then(|v| v.as_f64()), Some(10.0));
+        assert_eq!(
+            root.get("dur").and_then(super::super::json::Json::as_f64),
+            Some(10.0)
+        );
     }
 
     #[test]

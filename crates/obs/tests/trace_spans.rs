@@ -16,7 +16,8 @@ fn trace_lock() -> MutexGuard<'static, ()> {
     let lock = LOCK.get_or_init(|| Mutex::new(()));
     // A test that panicked mid-trace poisons the mutex; the lock is still
     // a valid serialization point.
-    lock.lock().unwrap_or_else(|e| e.into_inner())
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[test]

@@ -25,6 +25,7 @@
 //! assert!(report.memory_bytes > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -12,6 +12,7 @@
 //! seeded outputs are stable within this repository but not across the
 //! two implementations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -14,6 +14,7 @@
 use ossm::prelude::*;
 
 fn main() {
+    use ossm_mining::{SerialEpisodeMiner, WindowLog};
     // The paper's data: ~5000 windows over ~200 alarm types.
     let dataset = AlarmConfig::default().generate();
     let min_support = dataset.absolute_threshold(0.02);
@@ -76,7 +77,6 @@ fn main() {
     // inside a window). Build a timestamped sequence with two planted
     // cascades, window it with event order preserved, and mine with the
     // same OSSM machinery pruning candidates.
-    use ossm_mining::{SerialEpisodeMiner, WindowLog};
     let mut events = Vec::new();
     for t in 0..30_000u64 {
         events.push(Event {

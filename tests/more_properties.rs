@@ -91,6 +91,12 @@ fn ossm_persistence_roundtrips() {
 
 #[test]
 fn serial_episode_containment_matches_brute_force() {
+    use ossm_mining::SerialEpisode;
+    // Brute force: is `episode` a subsequence of `window`?
+    fn is_subsequence(needle: &[u32], hay: &[u32]) -> bool {
+        let mut it = hay.iter();
+        needle.iter().all(|n| it.any(|h| h == n))
+    }
     for case in 0..CASES {
         let mut rng = case_rng(0x5055, case);
         let window: Vec<u32> = (0..rng.gen_range(0usize..12))
@@ -99,13 +105,7 @@ fn serial_episode_containment_matches_brute_force() {
         let episode: Vec<u32> = (0..rng.gen_range(1usize..5))
             .map(|_| rng.gen_range(0u32..5))
             .collect();
-        use ossm_mining::SerialEpisode;
         let e = SerialEpisode::new(episode.clone());
-        // Brute force: is `episode` a subsequence of `window`?
-        fn is_subsequence(needle: &[u32], hay: &[u32]) -> bool {
-            let mut it = hay.iter();
-            needle.iter().all(|n| it.any(|h| h == n))
-        }
         assert_eq!(
             e.occurs_in(&window),
             is_subsequence(&episode, &window),
@@ -116,6 +116,7 @@ fn serial_episode_containment_matches_brute_force() {
 
 #[test]
 fn sequence_pattern_support_is_antitone_under_extension() {
+    use ossm_mining::{SequenceDb, SequencePattern};
     for case in 0..CASES {
         let mut rng = case_rng(0x5056, case);
         let masks: Vec<Vec<u32>> = (0..rng.gen_range(1usize..15))
@@ -126,7 +127,6 @@ fn sequence_pattern_support_is_antitone_under_extension() {
             })
             .collect();
         let ext = rng.gen_range(0u32..6);
-        use ossm_mining::{SequenceDb, SequencePattern};
         let to_sets = |seq: &Vec<u32>| -> Vec<Itemset> {
             seq.iter().map(|&mask| mask_itemset(6, mask)).collect()
         };
@@ -149,13 +149,13 @@ fn sequence_pattern_support_is_antitone_under_extension() {
 
 #[test]
 fn windowing_preserves_event_mass() {
+    use ossm_data::sequence::{Event, EventSequence};
     for case in 0..CASES {
         let mut rng = case_rng(0x5057, case);
         let times: Vec<u64> = (0..rng.gen_range(0usize..60))
             .map(|_| rng.gen_range(0u64..200))
             .collect();
         let width = rng.gen_range(1u64..20);
-        use ossm_data::sequence::{Event, EventSequence};
         let events: Vec<Event> = times
             .iter()
             .map(|&t| Event {
