@@ -2,9 +2,9 @@
 //! prints one consolidated markdown report.
 //!
 //! Usage: `cargo run -p ossm-bench --release --bin all-experiments --
-//! [--smoke] [--pages=…] [--items=…] [--obs-out=BENCH_obs.json]
-//! [--trace[=chrome|folded] [PATH]] [--write-experiments
-//! [--experiments-md=EXPERIMENTS.md]]`
+//! [--smoke] [--pages=…] [--items=…] [--threads=N]
+//! [--obs-out=BENCH_obs.json] [--trace[=chrome|folded] [PATH]]
+//! [--write-experiments [--experiments-md=EXPERIMENTS.md]]`
 //!
 //! `--smoke` runs everything at tiny scale (seconds, debug-build friendly);
 //! default scale matches the per-binary defaults.

@@ -180,11 +180,14 @@ pub fn fig5(opts: &Options) -> Section {
     let mut rows: Vec<SpeedupRow> = Vec::new();
     for strategy in [Strategy::Random, Strategy::Rc, Strategy::Greedy] {
         let builder = OssmBuilder::new(n_user).strategy(strategy).seed(seed);
+        // `strategy_label`, not `{strategy:?}`: the Debug form renders
+        // `Rc`, which would split this strategy's telemetry keys from
+        // fig4's literal "RC" rows in BENCH_obs.json.
         let row = run_with_ossm(
             &store,
             min_support,
             &builder,
-            format!("{strategy:?}"),
+            strategy_label(strategy),
             &baseline,
         )
         .stamped(format!("{kind:?}"));
@@ -427,6 +430,34 @@ pub fn run_all(opts: &Options) -> (String, Vec<SpeedupRow>) {
         markdown.push('\n');
         rows.extend(section.rows);
     }
+    markdown.push_str(
+        "# Coverage sweep — extra regression baselines\n\n\
+         Figure-4 reruns that widen the `BENCH_obs.json` key set beyond the\n\
+         paper's defaults: the dense workload (bitmap-counting regime) and a\n\
+         second segmentation seed on the default workload.\n\n",
+    );
+    // Dense baskets are ~2.5× longer, so the same relative threshold
+    // admits far more candidates; raise it to keep the sweep smoke-fast.
+    let mut dense = opts.clone();
+    dense.set("workload", "dense");
+    dense.set("minsup", "0.2");
+    let section = fig4(&dense);
+    markdown.push_str(&section.markdown);
+    markdown.push('\n');
+    rows.extend(section.rows);
+    // The flattened speedup key is `speedup[{workload}/{strategy}/n{N}]`,
+    // which does not include the seed — restamp the workload so the
+    // reseeded rows don't collide with (and silently overwrite) the
+    // first run's metrics.
+    let mut reseeded = opts.clone();
+    reseeded.set("seed", "2");
+    let mut section = fig4(&reseeded);
+    for row in &mut section.rows {
+        row.workload.push_str("+seed2");
+    }
+    markdown.push_str(&section.markdown);
+    markdown.push('\n');
+    rows.extend(section.rows);
     (markdown, rows)
 }
 
@@ -584,6 +615,14 @@ mod tests {
             assert!(markdown.contains(heading), "missing {heading}");
         }
         assert!(!rows.is_empty());
+        assert!(
+            rows.iter().any(|r| r.workload == "Dense"),
+            "coverage sweep adds dense-workload rows"
+        );
+        assert!(
+            rows.iter().any(|r| r.workload == "Regular+seed2"),
+            "coverage sweep adds reseeded rows under a distinct key"
+        );
         let body = obs_json_body(&rows);
         if ossm_obs::ENABLED {
             assert!(

@@ -15,6 +15,9 @@
 //! * **timing metrics** (any name ending in `nanos`) are machine-
 //!   dependent, so they are reported always but gated only when a
 //!   `time_regress` threshold is given (and only against *increases*).
+//! * **scheduling metrics** (the `par.*` fork-join telemetry) depend on
+//!   the machine's core count, not the computation — reported, never
+//!   gated (see [`is_scheduling`]).
 //!
 //! A metric present in the baseline but missing from the current run
 //! always fails — silently losing instrumentation is itself a regression.
@@ -37,6 +40,19 @@ pub struct ObsData {
 /// vary run to run and are gated separately from deterministic counts.
 pub fn is_timing(name: &str) -> bool {
     name.ends_with("nanos")
+}
+
+/// True for scheduling-dependent metrics: the ossm-par fork-join telemetry
+/// (`par.jobs`, `par.chunks`, `par.serial`, `par.worker` spans) counts how
+/// many maps spawned workers vs ran inline, which depends on the machine's
+/// core count and any `OSSM_THREADS` override — *results* are bit-identical
+/// across thread counts, but these counters are not. Reported, never gated,
+/// and exempt from the missing-metric failure (a one-core run legitimately
+/// records no `par.jobs` at all).
+pub fn is_scheduling(name: &str) -> bool {
+    name.starts_with("counter.par.")
+        || name.starts_with("phase.par.")
+        || name.starts_with("histogram.par.")
 }
 
 /// Parses the line-oriented `BENCH_obs.json` format into flat metrics.
@@ -147,7 +163,60 @@ pub struct Report {
     pub added: Vec<String>,
 }
 
+/// One key family's slice of a [`Report`] — see [`family`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Metrics present in both files.
+    pub compared: usize,
+    /// Compared metrics that breached their threshold.
+    pub failed: usize,
+    /// Metrics only in the baseline.
+    pub missing: usize,
+    /// Metrics only in the current run.
+    pub added: usize,
+}
+
+/// The key family a metric belongs to, for per-family coverage reporting.
+///
+/// Speedup keys keep their full bracketed scope
+/// (`speedup[Dense/Greedy/n6]`), so every workload/strategy/n_user cell
+/// the baseline covers shows up as its own row; snapshot keys group by
+/// type plus the first dotted name segment (`counter.par`, `phase.data`).
+pub fn family(name: &str) -> String {
+    if let Some(rest) = name.strip_prefix("speedup[") {
+        if let Some(end) = rest.find(']') {
+            return format!("speedup[{}]", &rest[..end]);
+        }
+    }
+    let mut parts = name.splitn(3, '.');
+    match (parts.next(), parts.next()) {
+        (Some(ty), Some(first)) => format!("{ty}.{first}"),
+        _ => name.to_owned(),
+    }
+}
+
 impl Report {
+    /// Per-family coverage: how many metrics each key family contributed
+    /// to the comparison, and how they fared. Makes gaps visible — a
+    /// family whose row is all zeros except `missing` has dropped out of
+    /// the current run entirely.
+    pub fn coverage(&self) -> BTreeMap<String, Coverage> {
+        let mut out: BTreeMap<String, Coverage> = BTreeMap::new();
+        for d in &self.diffs {
+            let entry = out.entry(family(&d.name)).or_default();
+            entry.compared += 1;
+            if d.failed {
+                entry.failed += 1;
+            }
+        }
+        for name in &self.missing {
+            out.entry(family(name)).or_default().missing += 1;
+        }
+        for name in &self.added {
+            out.entry(family(name)).or_default().added += 1;
+        }
+        out
+    }
     /// True when any gated metric breached its threshold or any baseline
     /// metric disappeared.
     pub fn failed(&self) -> bool {
@@ -238,6 +307,20 @@ impl Report {
                     fmt_change(d.change)
                 );
             }
+            out.push('\n');
+        }
+        let coverage = self.coverage();
+        if !coverage.is_empty() {
+            let _ = writeln!(out, "## Coverage by key family\n");
+            let _ = writeln!(out, "| family | compared | failed | missing | new |");
+            let _ = writeln!(out, "|---|---|---|---|---|");
+            for (name, c) in &coverage {
+                let _ = writeln!(
+                    out,
+                    "| {name} | {} | {} | {} | {} |",
+                    c.compared, c.failed, c.missing, c.added
+                );
+            }
         }
         out
     }
@@ -264,7 +347,20 @@ pub fn compare(baseline: &ObsData, current: &ObsData, thresholds: &Thresholds) -
     let mut report = Report::default();
     for (name, &base) in &baseline.metrics {
         let Some(&cur) = current.metrics.get(name) else {
-            report.missing.push(name.clone());
+            if is_scheduling(name) {
+                // A different core count can drop a scheduling counter to
+                // zero (omitted from the snapshot); record the diff rather
+                // than a hard missing-metric failure.
+                report.diffs.push(Diff {
+                    name: name.clone(),
+                    base,
+                    cur: 0.0,
+                    change: if base == 0.0 { 0.0 } else { -1.0 },
+                    failed: false,
+                });
+            } else {
+                report.missing.push(name.clone());
+            }
             continue;
         };
         let change = if base == 0.0 {
@@ -276,7 +372,9 @@ pub fn compare(baseline: &ObsData, current: &ObsData, thresholds: &Thresholds) -
         } else {
             (cur - base) / base
         };
-        let failed = if is_timing(name) {
+        let failed = if is_scheduling(name) {
+            false
+        } else if is_timing(name) {
             thresholds.time_regress.is_some_and(|t| change > t)
         } else {
             change.abs() > thresholds.count_drift
@@ -400,6 +498,96 @@ mod tests {
     fn malformed_lines_are_rejected_with_position() {
         let err = parse_obs_lines("{\"type\":\"counter\"\n").unwrap_err();
         assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn scheduling_metrics_report_but_never_gate() {
+        let with_par = concat!(
+            r#"{"type":"counter","name":"par.serial","value":40}"#,
+            "\n",
+            r#"{"type":"counter","name":"par.jobs","value":12}"#,
+            "\n",
+            r#"{"type":"counter","name":"core.bound.evals","value":128}"#,
+            "\n",
+        );
+        let base = parse_obs_lines(with_par).unwrap();
+        // A one-core run: fewer spawns, more inline maps, no par.jobs line
+        // at all. None of that may fail the gate.
+        let cur = parse_obs_lines(&with_par.replace(
+            r#"{"type":"counter","name":"par.jobs","value":12}"#,
+            r#"{"type":"counter","name":"par.serial","value":52}"#,
+        ))
+        .unwrap();
+        let report = compare(&base, &cur, &Thresholds::default());
+        assert!(!report.failed(), "scheduling drift must not gate");
+        assert!(report.missing.is_empty(), "par.jobs absence is not missing");
+        let jobs = report.diffs.iter().find(|d| d.name == "counter.par.jobs");
+        assert_eq!(jobs.map(|d| d.cur), Some(0.0), "still visible in diffs");
+        // The deterministic counter alongside still gates normally.
+        let drifted =
+            parse_obs_lines(&with_par.replace(r#""value":128"#, r#""value":300"#)).unwrap();
+        assert!(compare(&base, &drifted, &Thresholds::default()).failed());
+    }
+
+    #[test]
+    fn families_group_by_speedup_scope_or_first_name_segment() {
+        assert_eq!(
+            family("speedup[Regular+seed2/RC/n6].c2_counted"),
+            "speedup[Regular+seed2/RC/n6]"
+        );
+        assert_eq!(family("counter.par.chunks"), "counter.par");
+        assert_eq!(family("phase.core.build.segment.nanos"), "phase.core");
+        assert_eq!(
+            family("histogram.mining.bound.slack.sum"),
+            "histogram.mining"
+        );
+        assert_eq!(family("oddball"), "oddball");
+    }
+
+    #[test]
+    fn coverage_counts_every_disposition_per_family() {
+        let base = parse_obs_lines(SAMPLE).unwrap();
+        // Drop the counter (missing), rename the phase (missing + added),
+        // and drift the speedup row's loss past the gate (failed).
+        let cur = parse_obs_lines(
+            &SAMPLE
+                .replace(
+                    r#"{"type":"counter","name":"core.bound.evals","value":128}"#,
+                    "",
+                )
+                .replace("core.build.segment", "data.page.scan")
+                .replace(r#""loss":7"#, r#""loss":70"#),
+        )
+        .unwrap();
+        let report = compare(&base, &cur, &Thresholds::default());
+        let cov = report.coverage();
+        assert_eq!(
+            cov.get("counter.core"),
+            Some(&Coverage {
+                missing: 1,
+                ..Coverage::default()
+            })
+        );
+        assert_eq!(
+            cov.get("phase.core"),
+            Some(&Coverage {
+                missing: 2,
+                ..Coverage::default()
+            })
+        );
+        assert_eq!(
+            cov.get("phase.data"),
+            Some(&Coverage {
+                added: 2,
+                ..Coverage::default()
+            })
+        );
+        let speedup = cov.get("speedup[Regular/Greedy/n6]").expect("family");
+        assert_eq!(speedup.compared, 6);
+        assert_eq!(speedup.failed, 1, "only loss drifted");
+        let md = report.to_markdown(&Thresholds::default());
+        assert!(md.contains("## Coverage by key family"));
+        assert!(md.contains("| counter.core | 0 | 0 | 1 | 0 |"));
     }
 
     #[test]

@@ -77,17 +77,35 @@ impl TraceConfig {
     }
 }
 
+/// Applies `--threads=N` to the ossm-par worker pool. Returns an error on
+/// anything but a positive integer; `None` (flag absent) leaves the
+/// `OSSM_THREADS`-or-CPU-count default in place.
+pub fn apply_threads(opts: &Options) -> Result<(), String> {
+    if let Some(v) = opts.raw("threads") {
+        let n: usize = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--threads={v}: expected a positive integer"))?;
+        ossm_par::set_threads(Some(n));
+    }
+    Ok(())
+}
+
 /// Entry-point wrapper shared by the experiment binaries: parses the
-/// process arguments (allowing one positional trace-output path), starts
-/// trace collection if `--trace` was given, runs `body`, writes the trace,
-/// and exits with `body`'s status code. Argument or trace-I/O errors exit
-/// non-zero with a message on stderr.
+/// process arguments (allowing one positional trace-output path), applies
+/// `--threads`, starts trace collection if `--trace` was given, runs
+/// `body`, writes the trace, and exits with `body`'s status code. Argument
+/// or trace-I/O errors exit non-zero with a message on stderr.
 pub fn main_with_trace(body: impl FnOnce(&Options) -> i32) -> ! {
     let (opts, positionals) = Options::parse_with_positionals(std::env::args().skip(1));
     let fail = |msg: String| -> ! {
         eprintln!("error: {msg}");
         std::process::exit(2);
     };
+    if let Err(e) = apply_threads(&opts) {
+        fail(e);
+    }
     if positionals.len() > 1 {
         fail(format!(
             "unexpected argument {:?}: at most one positional (the --trace output path) is accepted",
@@ -161,6 +179,18 @@ mod tests {
     #[test]
     fn unknown_format_is_an_error() {
         assert!(TraceConfig::from_options(&opts(&["--trace=svg"]), None).is_err());
+    }
+
+    #[test]
+    fn threads_flag_validates_but_only_applies_positive_integers() {
+        assert_eq!(apply_threads(&opts(&[])), Ok(()));
+        assert!(apply_threads(&opts(&["--threads=0"])).is_err());
+        assert!(apply_threads(&opts(&["--threads=lots"])).is_err());
+        // A valid value round-trips through the pool override. No other
+        // test in this crate touches the override, so this is race-free.
+        assert_eq!(apply_threads(&opts(&["--threads=3"])), Ok(()));
+        assert_eq!(ossm_par::thread_count(), 3);
+        ossm_par::set_threads(None);
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub enum WorkloadKind {
     /// Alarm-window data standing in for the Nokia set (Section 6.1,
     /// data set 1).
     Alarm,
+    /// Dense Quest-style data: long transactions over the same domain
+    /// (high bit density), the regime where the bitmap counting back-end
+    /// pays. Not one of the paper's three sets; added for baseline
+    /// coverage of the AND-popcount kernel.
+    Dense,
 }
 
 impl std::str::FromStr for WorkloadKind {
@@ -33,7 +38,10 @@ impl std::str::FromStr for WorkloadKind {
             "regular" => Ok(WorkloadKind::Regular),
             "skewed" => Ok(WorkloadKind::Skewed),
             "alarm" | "nokia" => Ok(WorkloadKind::Alarm),
-            other => Err(format!("unknown workload {other:?} (regular|skewed|alarm)")),
+            "dense" => Ok(WorkloadKind::Dense),
+            other => Err(format!(
+                "unknown workload {other:?} (regular|skewed|alarm|dense)"
+            )),
         }
     }
 }
@@ -58,6 +66,7 @@ impl Workload {
             WorkloadKind::Regular => Self::regular(pages, items),
             WorkloadKind::Skewed => Self::skewed(pages, items),
             WorkloadKind::Alarm => Self::alarm(pages, items),
+            WorkloadKind::Dense => Self::dense(pages, items),
         }
     }
 
@@ -93,6 +102,17 @@ impl Workload {
         }
     }
 
+    /// The dense workload: Quest baskets at 2.5× the regular transaction
+    /// length, so each item's transaction bitmap is well populated.
+    pub fn dense(pages: usize, items: usize) -> Self {
+        Workload {
+            kind: WorkloadKind::Dense,
+            pages,
+            items,
+            seed: 0xDE45_E001,
+        }
+    }
+
     /// Number of transactions this workload generates.
     pub fn num_transactions(&self) -> usize {
         self.pages * TX_PER_PAGE
@@ -124,6 +144,16 @@ impl Workload {
                 ..AlarmConfig::default()
             }
             .generate(),
+            WorkloadKind::Dense => QuestConfig {
+                num_transactions: n,
+                num_items: self.items,
+                num_patterns: (self.items * 2).max(10),
+                avg_transaction_len: 25.0,
+                avg_pattern_len: 8.0,
+                seed: self.seed,
+                ..QuestConfig::default()
+            }
+            .generate(),
         }
     }
 
@@ -136,6 +166,7 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ossm_data::Itemset;
 
     #[test]
     fn page_count_is_exact() {
@@ -156,6 +187,10 @@ mod tests {
             "nokia".parse::<WorkloadKind>().unwrap(),
             WorkloadKind::Alarm
         );
+        assert_eq!(
+            "dense".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Dense
+        );
         assert!("bogus".parse::<WorkloadKind>().is_err());
     }
 
@@ -165,6 +200,7 @@ mod tests {
             WorkloadKind::Regular,
             WorkloadKind::Skewed,
             WorkloadKind::Alarm,
+            WorkloadKind::Dense,
         ] {
             let w = Workload {
                 kind,
@@ -176,5 +212,16 @@ mod tests {
             assert_eq!(s.num_pages(), 3);
             assert!(s.dataset().len() == 300);
         }
+    }
+
+    #[test]
+    fn dense_is_denser_than_regular() {
+        let avg_len = |d: &Dataset| {
+            let total: usize = d.transactions().iter().map(Itemset::len).sum();
+            total as f64 / d.len() as f64
+        };
+        let regular = Workload::regular(3, 60).dataset();
+        let dense = Workload::dense(3, 60).dataset();
+        assert!(avg_len(&dense) > 1.5 * avg_len(&regular));
     }
 }

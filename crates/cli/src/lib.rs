@@ -53,7 +53,7 @@ commands:
             [--bubble-pct=P --bubble-minsup=F] [--out=FILE.ossm]
   mine      --in=FILE --minsup=F [--algo=apriori|dhp|partition|depth|
             fpgrowth|eclat|charm|genmax|streaming] [--ossm=FILE.ossm]
-            [--top=K]
+            [--backend=linear|hashtree|bitmap] [--top=K]
   recipe    --nuser=N --pages=P [--skewed] [--cost-sensitive]
   verify    --in=FILE             (check every checksum of a paged store
             or OSSM map; exits non-zero on any corruption)
@@ -75,7 +75,23 @@ global flags:
                        and write it to PATH (or --trace-out=PATH, or
                        trace.json / trace.folded). chrome traces open in
                        Perfetto / chrome://tracing; folded stacks feed
-                       flamegraph.pl. Needs the default `obs` feature.";
+                       flamegraph.pl. Needs the default `obs` feature.
+  --threads=N          worker threads for parallel counting / segmentation
+                       (default: OSSM_THREADS, else the CPU count). Results
+                       are bit-identical at any thread count.";
+
+/// Resets the process-wide thread override on drop, so one invocation's
+/// `--threads` cannot leak into the next (library callers and tests drive
+/// [`run`] repeatedly in one process).
+struct ThreadsOverride(bool);
+
+impl Drop for ThreadsOverride {
+    fn drop(&mut self) {
+        if self.0 {
+            ossm_par::set_threads(None);
+        }
+    }
+}
 
 /// Runs a CLI invocation; returns the report to print.
 pub fn run(args: &[String]) -> Result<String, String> {
@@ -106,6 +122,18 @@ pub fn run(args: &[String]) -> Result<String, String> {
             _ => {}
         }
         tc
+    };
+    let _threads_guard = match opts.raw("threads") {
+        None => ThreadsOverride(false),
+        Some(v) => {
+            let n = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--threads={v}: expected a positive integer"))?;
+            ossm_par::set_threads(Some(n));
+            ThreadsOverride(true)
+        }
     };
     let stats = stats_format(&opts)?;
     if stats.is_some() {
@@ -392,20 +420,37 @@ fn mine(opts: &Options) -> Result<String, String> {
 
     let dataset = load_dataset(&input)?;
     let min_support = dataset.absolute_threshold(minsup).max(1);
+    // Counting back-end for the level-wise miners; Apriori keeps its
+    // historical hash-tree default, DHP and Partition their linear scan.
+    let backend: Option<CountingBackend> = opts.raw("backend").map(str::parse).transpose()?;
     let outcome: MiningOutcome = match (algo.as_str(), &ossm) {
         ("apriori", Some(map)) => Apriori::new()
-            .with_backend(CountingBackend::HashTree)
+            .with_backend(backend.unwrap_or(CountingBackend::HashTree))
             .mine_filtered(&dataset, min_support, &OssmFilter::new(map)),
         ("apriori", None) => Apriori::new()
-            .with_backend(CountingBackend::HashTree)
+            .with_backend(backend.unwrap_or(CountingBackend::HashTree))
             .mine(&dataset, min_support),
         ("dhp", Some(map)) => {
-            Dhp::default().mine_filtered(&dataset, min_support, &OssmFilter::new(map))
+            let mut dhp = Dhp::default();
+            if let Some(b) = backend {
+                dhp.backend = b;
+            }
+            dhp.mine_filtered(&dataset, min_support, &OssmFilter::new(map))
         }
-        ("dhp", None) => Dhp::default().mine(&dataset, min_support),
-        ("partition", _) => Partition::new(opts.get("partitions", 4))
-            .parallel()
-            .mine(&dataset, min_support),
+        ("dhp", None) => {
+            let mut dhp = Dhp::default();
+            if let Some(b) = backend {
+                dhp.backend = b;
+            }
+            dhp.mine(&dataset, min_support)
+        }
+        ("partition", _) => {
+            let mut part = Partition::new(opts.get("partitions", 4)).parallel();
+            if let Some(b) = backend {
+                part.backend = b;
+            }
+            part.mine(&dataset, min_support)
+        }
         ("depth", Some(map)) => {
             DepthProject::new().mine_filtered(&dataset, min_support, &OssmFilter::new(map))
         }

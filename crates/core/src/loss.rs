@@ -144,6 +144,30 @@ impl LossCalculator {
         }
     }
 
+    /// Every pairwise merge loss among `inputs`, as `(loss, a, b)` triples
+    /// ordered by `(a, b)` — the O(p²·m) matrix Greedy's initialization
+    /// consumes.
+    ///
+    /// Rows are chunked across worker threads (row `a` covers the pairs
+    /// `(a, b)` for all `b > a`); per-chunk results concatenate in row
+    /// order, so the output is identical at any thread count.
+    pub fn pairwise_merge_losses(&self, inputs: &[Aggregate]) -> Vec<(u64, usize, usize)> {
+        /// Rows per chunk floor: early rows are the longest, so small
+        /// chunks would leave the tail workers idle on trivial rows.
+        const MIN_ROWS: usize = 4;
+        let n = inputs.len();
+        ossm_par::map_chunks(n, MIN_ROWS, |r| {
+            let mut out = Vec::new();
+            for a in r {
+                for b in (a + 1)..n {
+                    out.push((self.merge_loss(&inputs[a], &inputs[b]), a, b));
+                }
+            }
+            out
+        })
+        .concat()
+    }
+
     /// Total loss of a segmentation relative to its inputs: the sum of
     /// [`Self::set_loss`] over every group. This is the objective the
     /// constrained segmentation problem minimizes.

@@ -75,13 +75,14 @@ impl SegmentationAlgorithm for Greedy {
         {
             let mut s = ossm_obs::detail_span("core.seg.greedy.init_losses");
             s.watch(&LOSS_EVALS);
-            for a in 0..inputs.len() {
-                for b in (a + 1)..inputs.len() {
-                    let loss = self.calc.merge_loss(&inputs[a], &inputs[b]);
-                    LOSS_EVALS.incr();
-                    heap.push(Reverse((loss, a, b)));
-                    HEAP_PUSHES.incr();
-                }
+            // The full pairwise matrix, computed row-chunked in parallel and
+            // returned in (a, b) order; pushes stay on this thread so the
+            // heap's insertion order is independent of the thread count.
+            let pairs = self.calc.pairwise_merge_losses(inputs);
+            LOSS_EVALS.add(pairs.len() as u64);
+            HEAP_PUSHES.add(pairs.len() as u64);
+            for (loss, a, b) in pairs {
+                heap.push(Reverse((loss, a, b)));
             }
         }
 

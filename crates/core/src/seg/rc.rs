@@ -20,6 +20,9 @@ static MERGES: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.rc.merges");
 /// Equation-(2) merge-loss evaluations in the closest-segment scans.
 static LOSS_EVALS: ossm_obs::Counter = ossm_obs::Counter::new("core.seg.rc.loss_evals");
 
+/// Minimum live segments per parallel closest-scan chunk.
+const MIN_SCAN: usize = 16;
+
 /// Random-Closest segmentation. Deterministic for a fixed seed.
 #[derive(Clone, Debug)]
 pub struct RandomClosest {
@@ -65,18 +68,28 @@ impl SegmentationAlgorithm for RandomClosest {
             // Step 2: pick a random segment S1.
             let i = rng.gen_range(0..live.len());
             // Step 3: find the closest segment S2 (min merge loss; ties to
-            // the lowest index so runs are reproducible).
-            let mut best: Option<(u64, usize)> = None;
-            for (j, (agg, _)) in live.iter().enumerate() {
-                if j == i {
-                    continue;
+            // the lowest index so runs are reproducible). The scan chunks
+            // across worker threads; each chunk reports its local best and
+            // the `(loss, j)` tuple min over chunk results reproduces the
+            // serial tie-break exactly, at any thread count.
+            let best = ossm_par::map_chunks(live.len(), MIN_SCAN, |r| {
+                let mut local: Option<(u64, usize)> = None;
+                for (j, (agg, _)) in live[r.clone()].iter().enumerate() {
+                    let j = r.start + j;
+                    if j == i {
+                        continue;
+                    }
+                    let loss = self.calc.merge_loss(&live[i].0, agg);
+                    if local.map_or(true, |(bl, bj)| (loss, j) < (bl, bj)) {
+                        local = Some((loss, j));
+                    }
                 }
-                let loss = self.calc.merge_loss(&live[i].0, agg);
-                LOSS_EVALS.incr();
-                if best.map_or(true, |(bl, _)| loss < bl) {
-                    best = Some((loss, j));
-                }
-            }
+                local
+            })
+            .into_iter()
+            .flatten()
+            .min();
+            LOSS_EVALS.add(live.len() as u64 - 1);
             let (_, j) = best.expect("at least two live segments");
             // Step 4: merge S1 and S2. Remove the higher index first so the
             // lower one stays valid under swap_remove.

@@ -83,11 +83,16 @@ impl Aggregate {
     /// Extracts the aggregates of every page of a [`PageStore`] — the `p`
     /// initial segments of the constrained segmentation problem.
     pub fn from_pages(store: &PageStore) -> Vec<Aggregate> {
-        store
-            .pages()
-            .iter()
-            .map(|p| Aggregate::new(p.supports().to_vec(), p.len() as u64))
-            .collect()
+        /// Pages per chunk floor for the parallel extraction.
+        const MIN_PAGES: usize = 16;
+        let pages = store.pages();
+        ossm_par::map_chunks(pages.len(), MIN_PAGES, |r| {
+            pages[r]
+                .iter()
+                .map(|p| Aggregate::new(p.supports().to_vec(), p.len() as u64))
+                .collect::<Vec<Aggregate>>()
+        })
+        .concat()
     }
 }
 

@@ -151,8 +151,69 @@ macro_rules! criterion_group {
     };
 }
 
+/// A parsed `--trace` request from a bench binary's arguments, following
+/// the workspace-wide flag contract (`--trace[=chrome|folded]`,
+/// `--trace-out=PATH`; see `ossm_bench::traceio`).
+struct TraceRequest {
+    format: ossm_obs::TraceFormat,
+    path: std::path::PathBuf,
+}
+
+fn trace_request_from_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<Option<TraceRequest>, String> {
+    let mut format: Option<ossm_obs::TraceFormat> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    for arg in args {
+        if arg == "--trace" {
+            format.get_or_insert_with(ossm_obs::TraceFormat::default);
+        } else if let Some(f) = arg.strip_prefix("--trace=") {
+            format = Some(f.parse()?);
+        } else if let Some(p) = arg.strip_prefix("--trace-out=") {
+            out = Some(std::path::PathBuf::from(p));
+        }
+    }
+    Ok(format.map(|format| TraceRequest {
+        path: out.unwrap_or_else(|| std::path::PathBuf::from(format.default_file_name())),
+        format,
+    }))
+}
+
+/// Runs the bench body under the process's `--trace` arguments: starts
+/// span collection if requested, runs the benches, and writes the
+/// rendered trace. Called by [`criterion_main!`]; exits non-zero on a bad
+/// flag or an unwritable output path.
+pub fn run_benches(body: impl FnOnce()) {
+    let request = match trace_request_from_args(std::env::args().skip(1)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if request.is_some() {
+        ossm_obs::trace_begin();
+    }
+    body();
+    if let Some(req) = request {
+        let trace = ossm_obs::trace_take();
+        if let Err(e) = std::fs::write(&req.path, trace.render(req.format)) {
+            eprintln!("error: cannot write trace to {}: {e}", req.path.display());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "trace: wrote {} spans ({}) to {}",
+            trace.len(),
+            req.format,
+            req.path.display()
+        );
+    }
+}
+
 /// Declares the bench `main` that runs each group, mirroring criterion's
-/// macro.
+/// macro. Also honors the workspace's `--trace[=chrome|folded]` /
+/// `--trace-out=PATH` flags, so `cargo bench -- --trace=folded` captures
+/// a span trace of the benchmarked code.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -162,7 +223,7 @@ macro_rules! criterion_main {
             if std::env::args().any(|a| a == "--test") {
                 return;
             }
-            $( $group(); )+
+            $crate::run_benches(|| { $( $group(); )+ });
         }
     };
 }
@@ -191,6 +252,22 @@ mod tests {
         // `iter` grows the batch until it is long enough to time, so the
         // closure runs at least `iters` times in total.
         assert!(hits >= b.iters);
+    }
+
+    #[test]
+    fn trace_args_follow_the_workspace_flag_contract() {
+        let parse = |args: &[&str]| trace_request_from_args(args.iter().map(|s| (*s).to_owned()));
+        assert!(parse(&[]).unwrap().is_none());
+        assert!(parse(&["--bench", "counting"]).unwrap().is_none());
+        let bare = parse(&["--trace"]).unwrap().unwrap();
+        assert_eq!(bare.format, ossm_obs::TraceFormat::Chrome);
+        assert_eq!(bare.path, std::path::PathBuf::from("trace.json"));
+        let folded = parse(&["--trace=folded", "--trace-out=/tmp/t.folded"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(folded.format, ossm_obs::TraceFormat::Folded);
+        assert_eq!(folded.path, std::path::PathBuf::from("/tmp/t.folded"));
+        assert!(parse(&["--trace=svg"]).is_err());
     }
 
     #[test]

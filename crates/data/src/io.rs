@@ -25,6 +25,8 @@ const VERSION: u32 = 1;
 
 /// Serializes `dataset` to `w`.
 pub fn write_dataset<W: Write>(w: &mut W, dataset: &Dataset) -> io::Result<()> {
+    let mut span = ossm_obs::span("data.io.write");
+    let mut bytes: u64 = (MAGIC.len() + 4 + 4 + 8) as u64;
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&(dataset.num_items() as u32).to_le_bytes())?;
@@ -34,13 +36,18 @@ pub fn write_dataset<W: Write>(w: &mut W, dataset: &Dataset) -> io::Result<()> {
         for item in t.items() {
             w.write_all(&item.0.to_le_bytes())?;
         }
+        bytes += 4 + 4 * t.len() as u64;
     }
+    span.attach("bytes", bytes);
+    span.attach("transactions", dataset.len() as u64);
     Ok(())
 }
 
 /// Deserializes a dataset from `r`, validating magic, version, bounds, and
 /// per-transaction item ordering.
 pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
+    let mut span = ossm_obs::span("data.io.read");
+    let mut bytes: u64 = (MAGIC.len() + 4 + 4 + 8) as u64;
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -56,6 +63,7 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
     let mut transactions = Vec::with_capacity(n.min(1 << 20));
     for i in 0..n {
         let len = read_u32(r)? as usize;
+        bytes += 4 + 4 * len as u64;
         // Cap the pre-allocation: a corrupt length field should hit the
         // domain/ordering checks below (or EOF), not OOM first.
         let mut items = Vec::with_capacity(len.min(1 << 16));
@@ -79,6 +87,8 @@ pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
         }
         transactions.push(Itemset::from_sorted(items));
     }
+    span.attach("bytes", bytes);
+    span.attach("transactions", n as u64);
     Ok(Dataset::new(m, transactions))
 }
 

@@ -181,14 +181,25 @@ impl PageStore {
     }
 
     /// Sum of page support vectors — equals the dataset's singleton supports.
+    ///
+    /// Pages are chunked across worker threads; the element-wise sums merge
+    /// associatively, so the result is identical at any thread count.
     pub fn total_supports(&self) -> Vec<u64> {
-        let mut total = vec![0u64; self.num_items()];
-        for page in &self.pages {
-            for (t, s) in total.iter_mut().zip(page.supports()) {
-                *t += s;
+        /// Pages per chunk floor for the parallel sum.
+        const MIN_PAGES: usize = 16;
+        let partials = ossm_par::map_chunks(self.pages.len(), MIN_PAGES, |r| {
+            let mut total = vec![0u64; self.num_items()];
+            for page in &self.pages[r] {
+                for (t, s) in total.iter_mut().zip(page.supports()) {
+                    *t += s;
+                }
             }
+            total
+        });
+        if partials.is_empty() {
+            return vec![0u64; self.num_items()];
         }
-        total
+        ossm_par::sum_counts(partials)
     }
 }
 

@@ -1,0 +1,213 @@
+//! Bitmap counting back-end: AND + popcount over `u64`-packed columns.
+//!
+//! The vertical representation Eclat-style miners use, applied to plain
+//! candidate counting: one bitmap per item with bit `t` set iff transaction
+//! `t` contains the item, so a candidate's support is the popcount of the
+//! AND of its items' bitmaps. Dense workloads trade the per-transaction
+//! subset tests of [`crate::support::count_linear`] for `⌈n/64⌉` word
+//! operations per candidate item — 64 transactions per instruction — which
+//! is why level 2, where candidate volume peaks, is where this kernel pays.
+//!
+//! Both phases are data-parallel through `ossm-par` with deterministic
+//! merges: the build chunks the *word range* (64-transaction granules, so
+//! chunks touch disjoint words) and the count chunks the candidate list
+//! (results concatenate in candidate order).
+
+use ossm_data::Itemset;
+
+use crate::support::MIN_TX_CHUNK;
+
+/// Minimum candidates per parallel counting chunk; below this the AND-popcount
+/// loop is too cheap to be worth a spawn.
+const MIN_CAND_CHUNK: usize = 64;
+
+/// `u64`-packed per-item transaction bitmaps.
+///
+/// Row `i` holds `words_per_row` words; bit `t % 64` of word `t / 64` is
+/// set iff transaction `t` contains item `i`. Bits at positions ≥ the
+/// transaction count are always zero.
+#[derive(Clone, Debug)]
+pub struct ItemBitmaps {
+    num_items: usize,
+    num_transactions: usize,
+    words_per_row: usize,
+    /// `num_items × words_per_row`, row-major.
+    words: Vec<u64>,
+}
+
+impl ItemBitmaps {
+    /// Packs `transactions` into per-item bitmaps. The item domain is taken
+    /// from the largest id present; candidates outside it simply count 0.
+    pub fn build(transactions: &[Itemset]) -> Self {
+        let _span = ossm_obs::detail_span("mining.bitmap.build");
+        let num_items = transactions
+            .iter()
+            .flat_map(|t| t.items().iter())
+            .map(|id| id.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let num_transactions = transactions.len();
+        let words_per_row = num_transactions.div_ceil(64);
+        // Chunk the word range: each chunk covers 64·len(chunk) transactions
+        // and writes a disjoint column block, so stitching the partial
+        // matrices back together is order-independent byte copying.
+        let partials = ossm_par::map_chunks(words_per_row, MIN_TX_CHUNK / 64, |wr| {
+            let width = wr.len();
+            let mut local = vec![0u64; num_items * width];
+            let lo = wr.start * 64;
+            let hi = (wr.end * 64).min(num_transactions);
+            for (t, tx) in transactions[lo..hi].iter().enumerate() {
+                let word = (lo + t) / 64 - wr.start;
+                let bit = 1u64 << ((lo + t) % 64);
+                for item in tx.items() {
+                    local[item.0 as usize * width + word] |= bit;
+                }
+            }
+            (wr, local)
+        });
+        let mut words = vec![0u64; num_items * words_per_row];
+        for (wr, local) in partials {
+            let width = wr.len();
+            for item in 0..num_items {
+                words[item * words_per_row + wr.start..item * words_per_row + wr.end]
+                    .copy_from_slice(&local[item * width..(item + 1) * width]);
+            }
+        }
+        ItemBitmaps {
+            num_items,
+            num_transactions,
+            words_per_row,
+            words,
+        }
+    }
+
+    /// The packed bitmap of `item`, or `None` outside the build domain.
+    fn row(&self, item: u32) -> Option<&[u64]> {
+        let i = item as usize;
+        (i < self.num_items)
+            .then(|| &self.words[i * self.words_per_row..(i + 1) * self.words_per_row])
+    }
+
+    /// The support of one candidate: popcount of the AND of its item rows.
+    pub fn support(&self, candidate: &Itemset) -> u64 {
+        let mut items = candidate.items().iter();
+        let Some(first) = items.next() else {
+            // The empty itemset occurs in every transaction.
+            return self.num_transactions as u64;
+        };
+        let Some(first_row) = self.row(first.0) else {
+            return 0;
+        };
+        let mut acc = first_row.to_vec();
+        for item in items {
+            let Some(row) = self.row(item.0) else {
+                return 0;
+            };
+            for (a, w) in acc.iter_mut().zip(row) {
+                *a &= w;
+            }
+        }
+        acc.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Counts every candidate's support, chunking the candidate list across
+    /// worker threads; per-chunk results concatenate in candidate order.
+    pub fn count(&self, candidates: &[Itemset]) -> Vec<u64> {
+        let _span = ossm_obs::detail_span("mining.bitmap.count");
+        ossm_par::map_chunks(candidates.len(), MIN_CAND_CHUNK, |r| {
+            candidates[r]
+                .iter()
+                .map(|c| self.support(c))
+                .collect::<Vec<u64>>()
+        })
+        .concat()
+    }
+}
+
+/// Counts candidate supports via packed bitmaps. The drop-in alternative to
+/// [`crate::support::count_linear`] and [`crate::hashtree::count_hash_tree`].
+pub fn count_bitmap(transactions: &[Itemset], candidates: &[Itemset]) -> Vec<u64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    ItemBitmaps::build(transactions).count(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::count_linear;
+
+    fn set(ids: &[u32]) -> Itemset {
+        Itemset::new(ids.iter().copied())
+    }
+
+    #[test]
+    fn matches_manual_counts() {
+        let txs = vec![set(&[0, 1, 2]), set(&[0, 2]), set(&[1]), set(&[0, 1])];
+        let cands = vec![set(&[0]), set(&[0, 1]), set(&[0, 1, 2]), set(&[3])];
+        assert_eq!(count_bitmap(&txs, &cands), vec![3, 2, 1, 0]);
+        assert_eq!(count_bitmap(&[], &cands), vec![0, 0, 0, 0]);
+        assert_eq!(count_bitmap(&txs, &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn empty_candidate_counts_every_transaction() {
+        let txs = vec![set(&[0]), set(&[]), set(&[1, 2])];
+        assert_eq!(count_bitmap(&txs, &[set(&[])]), vec![3]);
+    }
+
+    #[test]
+    fn empty_transactions_contribute_nothing() {
+        let txs = vec![set(&[]), set(&[]), set(&[0])];
+        assert_eq!(count_bitmap(&txs, &[set(&[0]), set(&[1])]), vec![1, 0]);
+    }
+
+    #[test]
+    fn word_boundaries_are_exact() {
+        // 64, 65, 127, 128, 129 transactions straddle the u64 packing edges.
+        for n in [63usize, 64, 65, 127, 128, 129, 200] {
+            let txs: Vec<Itemset> = (0..n)
+                .map(|t| {
+                    if t % 3 == 0 {
+                        set(&[0, 1])
+                    } else {
+                        set(&[(t % 5) as u32])
+                    }
+                })
+                .collect();
+            let cands = vec![set(&[0]), set(&[1]), set(&[0, 1]), set(&[4])];
+            assert_eq!(
+                count_bitmap(&txs, &cands),
+                count_linear(&txs, &cands),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_linear_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xB17);
+        let m = 24u32;
+        let txs: Vec<Itemset> = (0..300)
+            .map(|_| {
+                let len = rng.gen_range(0..8usize);
+                let mut ids: Vec<u32> = (0..len).map(|_| rng.gen_range(0..m)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                set(&ids)
+            })
+            .collect();
+        let cands: Vec<Itemset> = (0..150)
+            .map(|_| {
+                let len = rng.gen_range(1..4usize);
+                let mut ids: Vec<u32> = (0..len).map(|_| rng.gen_range(0..m + 2)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                set(&ids)
+            })
+            .collect();
+        assert_eq!(count_bitmap(&txs, &cands), count_linear(&txs, &cands));
+    }
+}

@@ -163,8 +163,20 @@ pub fn count_hash_tree(transactions: &[Itemset], candidates: &[Itemset]) -> Vec<
         }
         let group: Vec<Itemset> = idxs.iter().map(|&i| candidates[i].clone()).collect();
         let tree = HashTree::build(&group);
-        let mut group_counts = vec![0u64; group.len()];
-        tree.count(transactions, &mut group_counts);
+        // One shared tree, transaction-chunked counting: `count` keeps its
+        // dedup stamps per call, so chunks are independent, and the partial
+        // vectors merge by element-wise sum — identical at any thread count.
+        let partials =
+            ossm_par::map_chunks(transactions.len(), crate::support::MIN_TX_CHUNK, |r| {
+                let mut part = vec![0u64; group.len()];
+                tree.count(&transactions[r], &mut part);
+                part
+            });
+        let group_counts = if partials.is_empty() {
+            vec![0u64; group.len()]
+        } else {
+            ossm_par::sum_counts(partials)
+        };
         for (&i, c) in idxs.iter().zip(group_counts) {
             counts[i] = c;
         }

@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod apriori;
+pub mod bitmap;
 pub mod constraints;
 pub mod correlations;
 pub mod depth;

@@ -18,6 +18,10 @@ use std::collections::BTreeMap;
 
 use ossm_data::Itemset;
 
+/// Minimum transactions per parallel counting chunk: below this the merge
+/// overhead exceeds the counting work, so the scan stays on one thread.
+pub(crate) const MIN_TX_CHUNK: usize = 256;
+
 /// Which counting back-end a level-wise miner uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CountingBackend {
@@ -26,13 +30,46 @@ pub enum CountingBackend {
     LinearScan,
     /// The classical Apriori hash tree.
     HashTree,
+    /// Packed per-item transaction bitmaps, AND + popcount per candidate.
+    Bitmap,
+}
+
+impl std::str::FromStr for CountingBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(CountingBackend::LinearScan),
+            "hashtree" => Ok(CountingBackend::HashTree),
+            "bitmap" => Ok(CountingBackend::Bitmap),
+            other => Err(format!(
+                "unknown counting backend {other:?} (expected linear, hashtree, or bitmap)"
+            )),
+        }
+    }
 }
 
 /// Counts the support of each candidate by a linear scan.
 ///
 /// All candidates are typically of equal size `k`, but this back-end does
-/// not require it.
+/// not require it. Transactions are chunked across worker threads; the
+/// per-chunk count vectors merge by element-wise sum, which is associative,
+/// so the result is identical at any thread count.
 pub fn count_linear(transactions: &[Itemset], candidates: &[Itemset]) -> Vec<u64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let partials = ossm_par::map_chunks(transactions.len(), MIN_TX_CHUNK, |r| {
+        count_linear_range(&transactions[r], candidates)
+    });
+    if partials.is_empty() {
+        return vec![0u64; candidates.len()];
+    }
+    ossm_par::sum_counts(partials)
+}
+
+/// The serial linear scan over one transaction chunk.
+fn count_linear_range(transactions: &[Itemset], candidates: &[Itemset]) -> Vec<u64> {
     let mut counts = vec![0u64; candidates.len()];
     for t in transactions {
         for (i, c) in candidates.iter().enumerate() {
@@ -53,6 +90,7 @@ pub fn count_with(
     match backend {
         CountingBackend::LinearScan => count_linear(transactions, candidates),
         CountingBackend::HashTree => crate::hashtree::count_hash_tree(transactions, candidates),
+        CountingBackend::Bitmap => crate::bitmap::count_bitmap(transactions, candidates),
     }
 }
 
