@@ -1,0 +1,83 @@
+//! `ossm-alloc` — a counting [`GlobalAlloc`] wrapper around the system
+//! allocator that reports every allocation and deallocation to
+//! [`ossm_obs::alloc`], where bytes are attributed to the subsystem
+//! scope open on the current thread (see `ossm_obs::alloc_scope`).
+//!
+//! Opt-in: the binary crate enables it behind the `obs-alloc` feature
+//! and installs it once:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: ossm_alloc::CountingAlloc = ossm_alloc::CountingAlloc::new();
+//! ```
+//!
+//! The hooks are lock-free and never allocate, so installing the wrapper
+//! is safe from the very first allocation of the process. Overhead is
+//! two relaxed atomic adds and one thread-local read per call — real,
+//! which is why the feature is opt-in rather than default.
+//!
+//! This is the workspace's single sanctioned `unsafe` site: wrapping the
+//! system allocator cannot be expressed safely, so this crate opts out
+//! of the workspace-level `forbid(unsafe_code)` and instead carries a
+//! root-level `deny` with one scoped, documented `allow`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// The system allocator, with every call reported to `ossm_obs::alloc`.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A counting allocator. `const`, so it can initialize the
+    /// `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the observation hooks run strictly after a
+// successful allocation / before a deallocation, never touch the
+// returned memory, and never allocate themselves (plain atomics and a
+// thread-local read), so they cannot re-enter the allocator.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            ossm_obs::alloc::on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        ossm_obs::alloc::on_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            ossm_obs::alloc::on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            ossm_obs::alloc::on_dealloc(layout.size());
+            ossm_obs::alloc::on_alloc(new_size);
+        }
+        new_ptr
+    }
+}

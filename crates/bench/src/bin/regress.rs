@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run -p ossm-bench --release --bin regress --
 //! [--baseline=BENCH_baseline.json] [--current=PATH] [--count-drift=0.05]
-//! [--max-time-regress=0.25] [--report=PATH] [--write-baseline]
+//! [--mem-drift=0.10] [--max-time-regress=0.25] [--report=PATH] [--write-baseline]
 //! [--trace[=chrome|folded] [PATH]]`
 //!
 //! * default: fresh smoke-scale run vs `--baseline`, markdown report on
@@ -78,6 +78,7 @@ fn main() {
                 v.parse::<f64>()
                     .unwrap_or_else(|e| panic!("--max-time-regress={v}: invalid value ({e:?})"))
             }),
+            mem_drift: opts.get("mem-drift", Thresholds::default().mem_drift),
         };
         let report = compare(&baseline, &current, &thresholds);
         let markdown = report.to_markdown(&thresholds);

@@ -18,11 +18,24 @@
 //! * **scheduling metrics** (the `par.*` fork-join telemetry) depend on
 //!   the machine's core count, not the computation — reported, never
 //!   gated (see [`is_scheduling`]).
+//! * **memory metrics** (`gauge.mem.*`) split in two: the static
+//!   subsystem gauges are deterministic cost models, so their `.peak`
+//!   rows gate at the looser `mem_drift` threshold; the allocator- and
+//!   RSS-derived rows (`mem.alloc*`, `mem.rss*`) depend on the allocator
+//!   and scheduling, so they are reported but never gated. All memory
+//!   rows are exempt from the missing-metric failure — an `obs-alloc`
+//!   run produces rows a default-feature run cannot (see [`is_memory`]).
 //!
 //! A metric present in the baseline but missing from the current run
 //! always fails — silently losing instrumentation is itself a regression.
 //! New metrics only report (adding instrumentation is how the baseline
 //! grows; refresh it with `regress --write-baseline`).
+//!
+//! Independently of the baseline, every obs metric name in the current
+//! run is checked against the [`ossm_obs::REGISTRY`] name registry (the
+//! same file lint rule R3 enforces against the source): a name absent
+//! from the registry is listed as *unregistered* — report-only, but it
+//! means a producer minted a metric name outside the declared contract.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -53,6 +66,78 @@ pub fn is_scheduling(name: &str) -> bool {
     name.starts_with("counter.par.")
         || name.starts_with("phase.par.")
         || name.starts_with("histogram.par.")
+}
+
+/// True for memory metrics (the flattened `gauge.mem.*` rows). Exempt
+/// from the missing-metric failure: the allocator-derived rows exist only
+/// under the `obs-alloc` feature, so a default-feature run legitimately
+/// records none of them.
+pub fn is_memory(name: &str) -> bool {
+    name.starts_with("gauge.mem.")
+}
+
+/// True for the nondeterministic memory rows — allocator byte counts and
+/// RSS samples — whose values depend on the allocator, libc, and thread
+/// scheduling. Reported, never gated.
+fn is_allocator_memory(name: &str) -> bool {
+    name.starts_with("gauge.mem.alloc") || name.starts_with("gauge.mem.rss")
+}
+
+/// The obs registry name behind a flattened metric key, if any: strips
+/// the `counter.` / `phase.` / `histogram.` / `gauge.` type prefix and
+/// the `.nanos` / `.calls` / `.count` / `.sum` / `.current` / `.peak`
+/// field suffix. Speedup rows (`speedup[...]`) carry workload scopes,
+/// not registry names, so they return `None`.
+pub fn base_name(name: &str) -> Option<&str> {
+    if let Some(rest) = name.strip_prefix("counter.") {
+        return Some(rest);
+    }
+    if let Some(rest) = name.strip_prefix("phase.") {
+        return rest.strip_suffix(".nanos").or(rest.strip_suffix(".calls"));
+    }
+    if let Some(rest) = name.strip_prefix("histogram.") {
+        return rest.strip_suffix(".count").or(rest.strip_suffix(".sum"));
+    }
+    if let Some(rest) = name.strip_prefix("gauge.") {
+        return rest.strip_suffix(".current").or(rest.strip_suffix(".peak"));
+    }
+    None
+}
+
+/// Whether `base` appears in the newline-separated name `registry`
+/// (comments and blanks skipped). An entry ending in `.*` declares a
+/// dynamic-name prefix: `mem.alloc.*` admits `mem.alloc` itself and
+/// everything beneath it.
+pub fn registered(base: &str, registry: &str) -> bool {
+    for line in registry.lines() {
+        let entry = line.split('#').next().unwrap_or("").trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some(prefix) = entry.strip_suffix(".*") {
+            if base == prefix
+                || base
+                    .strip_prefix(prefix)
+                    .is_some_and(|r| r.starts_with('.'))
+            {
+                return true;
+            }
+        } else if base == entry {
+            return true;
+        }
+    }
+    false
+}
+
+/// Flattened metric keys of `data` whose obs name is absent from
+/// `registry`. Report-only: a hit means a producer minted a metric name
+/// outside the declared contract (or the registry needs the new name).
+pub fn unregistered_metrics(data: &ObsData, registry: &str) -> Vec<String> {
+    data.metrics
+        .keys()
+        .filter(|name| base_name(name).is_some_and(|base| !registered(base, registry)))
+        .cloned()
+        .collect()
 }
 
 /// Parses the line-oriented `BENCH_obs.json` format into flat metrics.
@@ -112,6 +197,15 @@ pub fn parse_obs_lines(text: &str) -> Result<ObsData, String> {
                     out.metrics.insert(format!("histogram.{name}.sum"), sum);
                 }
             }
+            "gauge" => {
+                let name = str_of("name");
+                if let Some(current) = num_of("current") {
+                    out.metrics.insert(format!("gauge.{name}.current"), current);
+                }
+                if let Some(peak) = num_of("peak") {
+                    out.metrics.insert(format!("gauge.{name}.peak"), peak);
+                }
+            }
             _ => {}
         }
     }
@@ -126,6 +220,10 @@ pub struct Thresholds {
     /// Maximum relative *increase* for timing metrics; `None` leaves
     /// timings report-only (the CI-stable default).
     pub time_regress: Option<f64>,
+    /// Maximum |relative drift| for the deterministic memory gauges'
+    /// `.peak` rows. Looser than `count_drift`: the gauges are cost
+    /// models whose constants shift when data-structure layouts evolve.
+    pub mem_drift: f64,
 }
 
 impl Default for Thresholds {
@@ -133,6 +231,7 @@ impl Default for Thresholds {
         Thresholds {
             count_drift: 0.05,
             time_regress: None,
+            mem_drift: 0.10,
         }
     }
 }
@@ -161,6 +260,9 @@ pub struct Report {
     pub missing: Vec<String>,
     /// Metrics only in the current run (report-only).
     pub added: Vec<String>,
+    /// Current-run metrics whose obs name is absent from the name
+    /// registry (report-only, see [`unregistered_metrics`]).
+    pub unregistered: Vec<String>,
 }
 
 /// One key family's slice of a [`Report`] — see [`family`].
@@ -174,6 +276,8 @@ pub struct Coverage {
     pub missing: usize,
     /// Metrics only in the current run.
     pub added: usize,
+    /// Current-run metrics absent from the name registry.
+    pub unregistered: usize,
 }
 
 /// The key family a metric belongs to, for per-family coverage reporting.
@@ -215,6 +319,9 @@ impl Report {
         for name in &self.added {
             out.entry(family(name)).or_default().added += 1;
         }
+        for name in &self.unregistered {
+            out.entry(family(name)).or_default().unregistered += 1;
+        }
         out
     }
     /// True when any gated metric breached its threshold or any baseline
@@ -231,13 +338,16 @@ impl Report {
         let _ = writeln!(
             out,
             "Verdict: **{}** — {} metrics compared, {} failed threshold, \
-             {} missing, {} new. Count-drift gate ±{:.1}%; timing gate {}.\n",
+             {} missing, {} new, {} unregistered. Count-drift gate ±{:.1}%; \
+             memory-peak gate ±{:.1}%; timing gate {}.\n",
             if self.failed() { "FAIL" } else { "PASS" },
             self.diffs.len(),
             failures.len(),
             self.missing.len(),
             self.added.len(),
+            self.unregistered.len(),
             thresholds.count_drift * 100.0,
+            thresholds.mem_drift * 100.0,
             match thresholds.time_regress {
                 Some(t) => format!("+{:.1}%", t * 100.0),
                 None => "off (report-only)".to_owned(),
@@ -280,6 +390,20 @@ impl Report {
             }
             out.push('\n');
         }
+        if !self.unregistered.is_empty() {
+            let _ = writeln!(
+                out,
+                "## Unregistered metric names ({}; add them to the obs registry)\n",
+                self.unregistered.len()
+            );
+            for name in self.unregistered.iter().take(20) {
+                let _ = writeln!(out, "- {name}");
+            }
+            if self.unregistered.len() > 20 {
+                let _ = writeln!(out, "- … and {} more", self.unregistered.len() - 20);
+            }
+            out.push('\n');
+        }
         // The biggest non-failing movers give the "did anything shift?"
         // picture even on a green run.
         let mut movers: Vec<&Diff> = self
@@ -312,13 +436,16 @@ impl Report {
         let coverage = self.coverage();
         if !coverage.is_empty() {
             let _ = writeln!(out, "## Coverage by key family\n");
-            let _ = writeln!(out, "| family | compared | failed | missing | new |");
-            let _ = writeln!(out, "|---|---|---|---|---|");
+            let _ = writeln!(
+                out,
+                "| family | compared | failed | missing | new | unregistered |"
+            );
+            let _ = writeln!(out, "|---|---|---|---|---|---|");
             for (name, c) in &coverage {
                 let _ = writeln!(
                     out,
-                    "| {name} | {} | {} | {} | {} |",
-                    c.compared, c.failed, c.missing, c.added
+                    "| {name} | {} | {} | {} | {} | {} |",
+                    c.compared, c.failed, c.missing, c.added, c.unregistered
                 );
             }
         }
@@ -344,13 +471,18 @@ fn fmt_change(change: f64) -> String {
 
 /// Compares `current` against `baseline` under `thresholds`.
 pub fn compare(baseline: &ObsData, current: &ObsData, thresholds: &Thresholds) -> Report {
-    let mut report = Report::default();
+    let mut report = Report {
+        unregistered: unregistered_metrics(current, ossm_obs::REGISTRY),
+        ..Report::default()
+    };
     for (name, &base) in &baseline.metrics {
         let Some(&cur) = current.metrics.get(name) else {
-            if is_scheduling(name) {
+            if is_scheduling(name) || is_memory(name) {
                 // A different core count can drop a scheduling counter to
-                // zero (omitted from the snapshot); record the diff rather
-                // than a hard missing-metric failure.
+                // zero, and a default-feature run records none of the
+                // obs-alloc memory rows (omitted from the snapshot);
+                // record the diff rather than a hard missing-metric
+                // failure.
                 report.diffs.push(Diff {
                     name: name.clone(),
                     base,
@@ -374,6 +506,12 @@ pub fn compare(baseline: &ObsData, current: &ObsData, thresholds: &Thresholds) -
         };
         let failed = if is_scheduling(name) {
             false
+        } else if is_memory(name) {
+            // Only the deterministic gauges' peaks gate; the allocator /
+            // RSS rows and end-of-run currents are report-only.
+            !is_allocator_memory(name)
+                && name.ends_with(".peak")
+                && change.abs() > thresholds.mem_drift
         } else if is_timing(name) {
             thresholds.time_regress.is_some_and(|t| change > t)
         } else {
@@ -579,6 +717,8 @@ mod tests {
             cov.get("phase.data"),
             Some(&Coverage {
                 added: 2,
+                // "data.page.scan" is not a registered obs name.
+                unregistered: 2,
                 ..Coverage::default()
             })
         );
@@ -587,7 +727,128 @@ mod tests {
         assert_eq!(speedup.failed, 1, "only loss drifted");
         let md = report.to_markdown(&Thresholds::default());
         assert!(md.contains("## Coverage by key family"));
-        assert!(md.contains("| counter.core | 0 | 0 | 1 | 0 |"));
+        assert!(md.contains("| counter.core | 0 | 0 | 1 | 0 | 0 |"), "{md}");
+        // The renamed phase target is not a registered obs name, so the
+        // coverage row flags it (both its .nanos and .calls keys).
+        assert!(md.contains("| phase.data | 0 | 0 | 0 | 2 | 2 |"), "{md}");
+    }
+
+    const GAUGE_SAMPLE: &str = concat!(
+        r#"{"type":"gauge","name":"mem.core.ossm","current":4096,"peak":4096}"#,
+        "\n",
+        r#"{"type":"gauge","name":"mem.alloc.data.page","current":0,"peak":90000}"#,
+        "\n",
+        r#"{"type":"gauge","name":"mem.rss","current":1000000,"peak":2000000}"#,
+        "\n",
+    );
+
+    #[test]
+    fn gauge_lines_flatten_to_current_and_peak() {
+        let d = parse_obs_lines(GAUGE_SAMPLE).unwrap();
+        assert_eq!(d.metrics.get("gauge.mem.core.ossm.current"), Some(&4096.0));
+        assert_eq!(d.metrics.get("gauge.mem.core.ossm.peak"), Some(&4096.0));
+        assert_eq!(
+            d.metrics.get("gauge.mem.alloc.data.page.peak"),
+            Some(&90000.0)
+        );
+        assert_eq!(d.metrics.get("gauge.mem.rss.peak"), Some(&2000000.0));
+    }
+
+    #[test]
+    fn static_memory_peaks_gate_at_mem_drift_but_currents_do_not() {
+        let base = parse_obs_lines(GAUGE_SAMPLE).unwrap();
+        // 5% peak drift: inside the 10% memory gate.
+        let five = parse_obs_lines(&GAUGE_SAMPLE.replace(
+            r#""current":4096,"peak":4096"#,
+            r#""current":4096,"peak":4301"#,
+        ))
+        .unwrap();
+        assert!(!compare(&base, &five, &Thresholds::default()).failed());
+        // 50% peak drift on a deterministic gauge: fails.
+        let fifty = parse_obs_lines(&GAUGE_SAMPLE.replace(
+            r#""current":4096,"peak":4096"#,
+            r#""current":4096,"peak":6144"#,
+        ))
+        .unwrap();
+        let report = compare(&base, &fifty, &Thresholds::default());
+        assert!(report.failed());
+        assert!(report
+            .diffs
+            .iter()
+            .any(|d| d.name == "gauge.mem.core.ossm.peak" && d.failed));
+        // The same drift on the current value alone is report-only.
+        let cur_only = parse_obs_lines(&GAUGE_SAMPLE.replace(
+            r#""current":4096,"peak":4096"#,
+            r#""current":6144,"peak":4096"#,
+        ))
+        .unwrap();
+        assert!(!compare(&base, &cur_only, &Thresholds::default()).failed());
+    }
+
+    #[test]
+    fn allocator_memory_rows_never_gate_and_may_go_missing() {
+        let base = parse_obs_lines(GAUGE_SAMPLE).unwrap();
+        // A 10x RSS/alloc swing is machine noise, not a regression.
+        let noisy = parse_obs_lines(
+            &GAUGE_SAMPLE
+                .replace(r#""peak":90000"#, r#""peak":900000"#)
+                .replace(r#""peak":2000000"#, r#""peak":20000000"#),
+        )
+        .unwrap();
+        assert!(!compare(&base, &noisy, &Thresholds::default()).failed());
+        // A default-feature run records no memory rows at all: exempt
+        // from the missing-metric failure, but still visible as diffs.
+        let none = ObsData::default();
+        let report = compare(&base, &none, &Thresholds::default());
+        assert!(!report.failed(), "memory rows are missing-exempt");
+        assert!(report.missing.is_empty());
+        assert_eq!(report.diffs.len(), 6);
+    }
+
+    #[test]
+    fn registry_lookup_handles_exact_names_and_wildcards() {
+        let registry = "# comment\nmem.core.ossm\nmem.alloc.*\n";
+        assert!(registered("mem.core.ossm", registry));
+        assert!(registered("mem.alloc", registry), "prefix itself matches");
+        assert!(registered("mem.alloc.data.page", registry));
+        assert!(!registered("mem.alloc2", registry), "no partial segments");
+        assert!(!registered("mem.data.pages", registry));
+    }
+
+    #[test]
+    fn unregistered_names_are_flagged_per_flattened_key() {
+        let data = parse_obs_lines(concat!(
+            r#"{"type":"counter","name":"core.bound.evals","value":1}"#,
+            "\n",
+            r#"{"type":"counter","name":"made.up.name","value":1}"#,
+            "\n",
+            r#"{"type":"gauge","name":"mem.alloc.core.seg","current":1,"peak":2}"#,
+            "\n",
+            r#"{"type":"speedup","workload":"W","strategy":"S","n_user":2,"loss":3}"#,
+            "\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            unregistered_metrics(&data, ossm_obs::REGISTRY),
+            vec!["counter.made.up.name".to_owned()],
+            "registered, wildcard, and speedup keys all pass"
+        );
+    }
+
+    #[test]
+    fn base_name_strips_type_prefixes_and_field_suffixes() {
+        assert_eq!(
+            base_name("counter.core.bound.evals"),
+            Some("core.bound.evals")
+        );
+        assert_eq!(base_name("phase.core.build.nanos"), Some("core.build"));
+        assert_eq!(base_name("phase.core.build.calls"), Some("core.build"));
+        assert_eq!(
+            base_name("histogram.mining.bound.slack.sum"),
+            Some("mining.bound.slack")
+        );
+        assert_eq!(base_name("gauge.mem.rss.peak"), Some("mem.rss"));
+        assert_eq!(base_name("speedup[W/S/n2].loss"), None);
     }
 
     #[test]

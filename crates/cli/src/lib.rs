@@ -62,14 +62,20 @@ commands:
             their exact index aggregate or a widened sound one)
   obs       diff BASELINE.json CURRENT.json [--count-drift=0.05]
             [--max-time-regress=F]   (compare two instrumentation
-            snapshots, e.g. BENCH_baseline.json vs a fresh BENCH_obs.json)
+            snapshots, e.g. BENCH_baseline.json vs a fresh BENCH_obs.json;
+            exits 2 when a gate fails, 1 on unreadable input)
+  obs       dump FILE.jsonl       (render a flight-recorder dump — the
+            JSONL file written on panic or injected fault — as a
+            human-readable timeline)
   help
 
 global flags:
   --stats=table|json   append an instrumentation report (bound
-                       evaluations, pruned candidates, phase timings)
-                       to the command's output; bare --stats means
-                       --stats=table. Needs the default `obs` feature.
+                       evaluations, pruned candidates, phase timings,
+                       and — with the `obs-alloc` feature — per-subsystem
+                       memory gauges) to the command's output; bare
+                       --stats means --stats=table. Needs the default
+                       `obs` feature.
   --trace[=chrome|folded] [PATH]
                        record a hierarchical span trace of the command
                        and write it to PATH (or --trace-out=PATH, or
@@ -93,8 +99,37 @@ impl Drop for ThreadsOverride {
     }
 }
 
-/// Runs a CLI invocation; returns the report to print.
+/// When the `obs-alloc` feature is on, every heap allocation of the
+/// process is counted and attributed to the active `alloc_scope`, and the
+/// `--stats` report grows `mem.alloc.*` / `mem.rss.*` rows. Opt-in because
+/// the count costs two atomic ops per allocation.
+#[cfg(feature = "obs-alloc")]
+#[global_allocator]
+static ALLOC: ossm_alloc::CountingAlloc = ossm_alloc::CountingAlloc::new();
+
+/// A finished CLI invocation: the report to print and the process exit
+/// code. `code` is 0 except for commands that gate (today only `obs diff`,
+/// which exits 2 when a regression gate fails). Argument, parse, and IO
+/// errors surface as `Err` from [`run_with_code`] and exit 1, so scripts
+/// can tell "the comparison ran and failed" from "the comparison never
+/// ran".
+#[derive(Debug)]
+pub struct Outcome {
+    /// The report text to print on stdout.
+    pub report: String,
+    /// Process exit code: 0 = success, 2 = a gate failed.
+    pub code: i32,
+}
+
+/// Runs a CLI invocation; returns the report to print. Gate failures that
+/// [`run_with_code`] reports as exit code 2 still return `Ok` here — use
+/// `run_with_code` when the distinction matters.
 pub fn run(args: &[String]) -> Result<String, String> {
+    run_with_code(args).map(|o| o.report)
+}
+
+/// Runs a CLI invocation; returns the report and the exit code.
+pub fn run_with_code(args: &[String]) -> Result<Outcome, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
@@ -146,19 +181,20 @@ pub fn run(args: &[String]) -> Result<String, String> {
     // The root span covers the whole command, so every miner/builder span
     // hangs off `cli.<command>` in the exported trace. Scoped so it closes
     // before `finish()` drains the buffer.
-    let report = {
+    let ok0 = |report: String| (report, 0);
+    let (report, code) = {
         let _cmd_span = ossm_obs::span(format!("cli.{command}"));
         match command.as_str() {
-            "generate" => generate(&opts),
-            "pack" => pack(&opts),
-            "inspect" => inspect(&opts),
-            "segment" => segment(&opts),
-            "mine" => mine(&opts),
-            "recipe" => recipe(&opts),
-            "verify" => verify(&opts),
-            "repair" => repair(&opts),
+            "generate" => generate(&opts).map(ok0),
+            "pack" => pack(&opts).map(ok0),
+            "inspect" => inspect(&opts).map(ok0),
+            "segment" => segment(&opts).map(ok0),
+            "mine" => mine(&opts).map(ok0),
+            "recipe" => recipe(&opts).map(ok0),
+            "verify" => verify(&opts).map(ok0),
+            "repair" => repair(&opts).map(ok0),
             "obs" => obs(&opts, &positionals),
-            "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+            "help" | "--help" | "-h" => Ok((format!("{USAGE}\n"), 0)),
             other => Err(format!("unknown command {other:?}")),
         }
     }?;
@@ -169,8 +205,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
             format!("{report}{note}\n")
         }
     };
-    match stats {
-        None => Ok(report),
+    let report = match stats {
+        None => report,
         Some(format) => {
             let snapshot = ossm_obs::registry().snapshot();
             let rendered = Reporter::new(format).render(&snapshot);
@@ -180,14 +216,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 } else {
                     "-- stats: instrumentation compiled out (rebuild with the `obs` feature) --\n"
                 };
-                Ok(format!("{report}{note}"))
+                format!("{report}{note}")
             } else if format == StatsFormat::Table {
-                Ok(format!("{report}\n-- stats --\n{rendered}"))
+                format!("{report}\n-- stats --\n{rendered}")
             } else {
-                Ok(format!("{report}{rendered}"))
+                format!("{report}{rendered}")
             }
         }
-    }
+    };
+    Ok(Outcome { report, code })
 }
 
 /// Resolves the `--stats` flag: `--stats=table|json`, or bare `--stats`
@@ -594,10 +631,17 @@ fn repair(opts: &Options) -> Result<String, String> {
 /// `ossm obs diff BASELINE CURRENT` — compares two instrumentation
 /// snapshot files (the `BENCH_obs.json` line format) with the same
 /// flattening and thresholds as the `regress` bench binary, and prints its
-/// markdown report. Informational: the exit-code gate lives in `regress`.
-fn obs(opts: &Options, positionals: &[String]) -> Result<String, String> {
-    const OBS_USAGE: &str =
-        "usage: ossm obs diff BASELINE.json CURRENT.json [--count-drift=0.05] [--max-time-regress=F]";
+/// markdown report. Exit codes separate the two failure modes: a
+/// comparison that ran and breached a gate exits 2, while unreadable or
+/// unparseable input is an `Err` (exit 1) — a script can retry the former
+/// baseline-side and must fix the latter.
+///
+/// `ossm obs dump FILE.jsonl` — renders a flight-recorder dump (written on
+/// panic or injected fault) as a human-readable timeline.
+fn obs(opts: &Options, positionals: &[String]) -> Result<(String, i32), String> {
+    const OBS_USAGE: &str = "usage: ossm obs diff BASELINE.json CURRENT.json \
+         [--count-drift=0.05] [--mem-drift=0.10] [--max-time-regress=F]\n       \
+         ossm obs dump FILE.jsonl";
     match positionals.split_first() {
         Some((sub, files)) if sub == "diff" => {
             let [baseline_path, current_path] = files else {
@@ -618,8 +662,20 @@ fn obs(opts: &Options, positionals: &[String]) -> Result<String, String> {
                             .map_err(|e| format!("--max-time-regress={v}: invalid value ({e})"))
                     })
                     .transpose()?,
+                mem_drift: opts.get("mem-drift", regress::Thresholds::default().mem_drift),
             };
-            Ok(regress::compare(&baseline, &current, &thresholds).to_markdown(&thresholds))
+            let report = regress::compare(&baseline, &current, &thresholds);
+            let code = if report.failed() { 2 } else { 0 };
+            Ok((report.to_markdown(&thresholds), code))
+        }
+        Some((sub, files)) if sub == "dump" => {
+            let [path] = files else {
+                return Err(format!("obs dump takes exactly one file\n{OBS_USAGE}"));
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let timeline =
+                ossm_obs::recorder::render_timeline(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok((timeline, 0))
         }
         Some((other, _)) => Err(format!("unknown obs subcommand {other:?}\n{OBS_USAGE}")),
         None => Err(format!("missing obs subcommand\n{OBS_USAGE}")),
@@ -1088,5 +1144,82 @@ mod tests {
         for f in [base, cur] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn obs_diff_exit_code_separates_gate_failure_from_bad_input() {
+        let base = tmp("code-base.json");
+        let cur = tmp("code-cur.json");
+        std::fs::write(
+            &base,
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":100}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &cur,
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":200}\n",
+        )
+        .unwrap();
+        let args = |b: &str, c: &str| {
+            vec![
+                "obs".to_owned(),
+                "diff".to_owned(),
+                b.to_owned(),
+                c.to_owned(),
+            ]
+        };
+        let base_s = base.to_str().unwrap();
+        let cur_s = cur.to_str().unwrap();
+        // The comparison ran and the gate failed: Ok, exit code 2.
+        let outcome = run_with_code(&args(base_s, cur_s)).expect("diff ran");
+        assert_eq!(outcome.code, 2, "{}", outcome.report);
+        assert!(outcome.report.contains("**FAIL**"));
+        // Identical files: Ok, exit code 0.
+        let outcome = run_with_code(&args(base_s, base_s)).expect("diff ran");
+        assert_eq!(outcome.code, 0, "{}", outcome.report);
+        // Unreadable input: Err (the binary exits 1), not a gate failure.
+        let gone = tmp("code-gone.json");
+        std::fs::remove_file(&gone).ok();
+        let err = run_with_code(&args(base_s, gone.to_str().unwrap())).unwrap_err();
+        assert!(err.contains("code-gone.json"), "{err}");
+        // Unparseable input: Err as well.
+        let broken = tmp("code-broken.json");
+        std::fs::write(&broken, "{\"type\":\"counter\"\n").unwrap();
+        let err = run_with_code(&args(base_s, broken.to_str().unwrap())).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        for f in [base, cur, broken] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn obs_dump_renders_a_flight_recorder_timeline() {
+        let dump = tmp("dump.jsonl");
+        std::fs::write(
+            &dump,
+            concat!(
+                "{\"type\":\"header\",\"version\":1,\"total\":2,\"events\":2}\n",
+                "{\"type\":\"event\",\"seq\":0,\"nanos\":1000,\"thread\":1,\
+                 \"kind\":\"wal-append\",\"name\":\"data.wal.append\",\"value\":24}\n",
+                "{\"type\":\"event\",\"seq\":1,\"nanos\":2000,\"thread\":1,\
+                 \"kind\":\"fault\",\"name\":\"wal.append\",\"value\":24}\n",
+            ),
+        )
+        .unwrap();
+        let out = run_ok(&["obs", "dump", dump.to_str().unwrap()]);
+        assert!(out.contains("flight recorder timeline (2 events)"), "{out}");
+        assert!(out.contains("wal-append"), "{out}");
+        assert!(out.contains("fault"), "{out}");
+        // A corrupt dump is an input error (exit 1), and the file count
+        // must be exactly one.
+        std::fs::write(&dump, "not json\n").unwrap();
+        assert!(run(&[
+            "obs".to_owned(),
+            "dump".to_owned(),
+            dump.to_str().unwrap().to_owned()
+        ])
+        .is_err());
+        assert!(run(&["obs".to_owned(), "dump".to_owned()]).is_err());
+        std::fs::remove_file(dump).ok();
     }
 }

@@ -1,13 +1,22 @@
 //! `ossm` — command-line front door to the OSSM reproduction.
 //!
 //! Run `ossm help` for the subcommand list.
+//!
+//! Exit codes: 0 success, 1 argument/parse/IO error, 2 a gate failed
+//! (`ossm obs diff` with a breached threshold).
 
 #![forbid(unsafe_code)]
 
 fn main() {
+    // If this process panics (or a `faults`-injected error fires), the
+    // flight recorder dumps its last events as JSONL for `ossm obs dump`.
+    ossm_obs::recorder::install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match ossm_cli::run(&args) {
-        Ok(report) => print!("{report}"),
+    match ossm_cli::run_with_code(&args) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            std::process::exit(outcome.code);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", ossm_cli::USAGE);

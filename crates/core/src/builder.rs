@@ -30,6 +30,11 @@ use crate::seg::{
 use crate::segmentation::{Aggregate, Segmentation};
 use crate::ssm::Ossm;
 
+/// Resident bytes of the most recently built (or loaded) OSSM — the
+/// quantity the ROADMAP's sketch-mode item will trade against bound
+/// looseness.
+static MEM_OSSM: ossm_obs::Gauge = ossm_obs::Gauge::new("mem.core.ossm");
+
 /// Which segmentation algorithm to run (Section 5's heuristics).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
@@ -159,6 +164,9 @@ impl OssmBuilder {
             "cannot build an OSSM over zero pages"
         );
         let _build_span = ossm_obs::span("core.build");
+        // Segmentation scratch (aggregates, heaps, the OSSM itself) is
+        // charged to the core.seg subsystem.
+        let _mem = ossm_obs::alloc_scope("core.seg");
         let start = Instant::now();
         let inputs = {
             let _span = ossm_obs::phase("core.build.aggregate");
@@ -211,6 +219,7 @@ impl OssmBuilder {
             let _span = ossm_obs::phase("core.build.loss");
             LossCalculator::all_items().segmentation_loss(&inputs, &segmentation)
         };
+        MEM_OSSM.set(ossm.memory_bytes() as u64);
         let report = BuildReport {
             algorithm: algorithm.name(),
             num_pages: store.num_pages(),

@@ -139,6 +139,8 @@ pub fn save_atomic(path: &Path, ossm: &Ossm) -> io::Result<()> {
 
 /// Reads an OSSM from the file at `path`.
 pub fn load(path: &Path) -> io::Result<Ossm> {
+    // A loaded map is core.seg memory, same as a freshly built one.
+    let _mem = ossm_obs::alloc_scope("core.seg");
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
     read_ossm(&mut f)
 }

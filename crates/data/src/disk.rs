@@ -50,6 +50,18 @@ static POOL_HITS: ossm_obs::Counter = ossm_obs::Counter::new("data.disk.pool_hit
 /// Checksum verification failures (pages, index, or header), all stores.
 static CHECKSUM_FAILURES: ossm_obs::Counter = ossm_obs::Counter::new("data.disk.checksum_failures");
 
+/// Counts a checksum failure and stamps it into the flight recorder so a
+/// postmortem dump shows *which* verification tripped (`value` is the
+/// page index, or 0 for header/index failures).
+fn checksum_failure(value: u64) {
+    CHECKSUM_FAILURES.incr();
+    ossm_obs::recorder::record_event(
+        "data.disk.checksum_failures",
+        ossm_obs::recorder::EventKind::Checksum,
+        value,
+    );
+}
+
 /// Sparse per-page aggregate: transaction count plus (item, support) pairs.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PageSummary {
@@ -262,7 +274,7 @@ impl DiskStore {
         let file_len = file.metadata()?.len();
         let header = format::read_header(&mut file, file_len)?;
         if !header.header_ok {
-            CHECKSUM_FAILURES.incr();
+            checksum_failure(0);
             return Err(format::bad("page-file header checksum mismatch"));
         }
         // Load the aggregate index (summaries only — no data pages).
@@ -270,7 +282,7 @@ impl DiskStore {
         let mut index = Vec::with_capacity((file_len - header.index_offset) as usize);
         file.read_to_end(&mut index)?;
         if header.version >= format::V2 && crc32c(&index) != header.index_crc {
-            CHECKSUM_FAILURES.incr();
+            checksum_failure(0);
             return Err(format::bad("page-file index checksum mismatch"));
         }
         let summaries = format::parse_index(&index, header.m, header.num_pages)?;
@@ -353,6 +365,8 @@ impl DiskStore {
         let txs = self.pool.get_or_load(p as u64, || {
             let mut span = ossm_obs::detail_span("data.disk.read_page");
             span.attach("page", p as u64);
+            // Pool-resident page buffers are data.page memory.
+            let _mem = ossm_obs::alloc_scope("data.page");
             let mut buf = vec![0u8; slot_bytes];
             file.seek(SeekFrom::Start(offset))?;
             fault::read_exact_tagged(file, "data.disk.read_page", &mut buf)?;
@@ -361,7 +375,7 @@ impl DiskStore {
                 // trailer decodes to a mismatching checksum, not a panic.
                 let stored = format::le_u32(&buf[payload_bytes..]);
                 if crc32c(&buf[..payload_bytes]) != stored {
-                    CHECKSUM_FAILURES.incr();
+                    checksum_failure(p as u64);
                     quarantined.insert(p);
                     return Err(format::bad(format!("page {p} checksum mismatch")));
                 }

@@ -290,16 +290,28 @@ fn injected(msg: String) -> io::Error {
     io::Error::other(msg)
 }
 
+/// Stamps an injected fault into the flight recorder and — when
+/// `OSSM_FLIGHTREC` names a path — dumps the ring, so the postmortem
+/// shows what the process was doing when the fault fired.
+fn fault_event(tag: &str, bytes: u64) {
+    ossm_obs::recorder::record_event(tag, ossm_obs::recorder::EventKind::Fault, bytes);
+    ossm_obs::recorder::dump_on_fault();
+}
+
 /// `write_all` with a fault-injection point: the armed plan may fail the
 /// write or tear it after a planned number of bytes. Storage code calls
 /// this for every physical write it wants recoverable-from.
 pub fn write_all_tagged<W: Write>(w: &mut W, tag: &str, buf: &[u8]) -> io::Result<()> {
     match live::next_write_fault(tag) {
         WriteFault::None => w.write_all(buf),
-        WriteFault::Error => Err(injected(format!("injected write error ({tag})"))),
+        WriteFault::Error => {
+            fault_event(tag, buf.len() as u64);
+            Err(injected(format!("injected write error ({tag})")))
+        }
         WriteFault::Torn(keep) => {
             w.write_all(&buf[..keep.min(buf.len())])?;
             w.flush()?;
+            fault_event(tag, keep as u64);
             Err(injected(format!(
                 "injected torn write ({tag}): {keep} of {} bytes persisted",
                 buf.len()
@@ -312,7 +324,11 @@ pub fn write_all_tagged<W: Write>(w: &mut W, tag: &str, buf: &[u8]) -> io::Resul
 /// read, report a short read, or flip a bit in the returned buffer.
 pub fn read_exact_tagged<R: Read>(r: &mut R, tag: &str, buf: &mut [u8]) -> io::Result<()> {
     r.read_exact(buf)?;
-    live::next_read_fault(tag, buf)
+    let out = live::next_read_fault(tag, buf);
+    if out.is_err() {
+        fault_event(tag, buf.len() as u64);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -47,6 +47,9 @@ pub fn write_dataset<W: Write>(w: &mut W, dataset: &Dataset) -> io::Result<()> {
 /// per-transaction item ordering.
 pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
     let mut span = ossm_obs::span("data.io.read");
+    // The deserialized transactions are the page store's backing memory;
+    // charge them to the data.page subsystem.
+    let _mem = ossm_obs::alloc_scope("data.page");
     let mut bytes: u64 = (MAGIC.len() + 4 + 4 + 8) as u64;
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;

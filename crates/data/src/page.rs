@@ -16,6 +16,10 @@ use crate::transaction::Dataset;
 /// Default page capacity, matching the paper's 4-kilobyte pages.
 pub const DEFAULT_PAGE_BYTES: usize = 4096;
 
+/// Resident bytes of the most recently packed [`PageStore`] — the input
+/// the ROADMAP's buffer-pool item will budget against.
+static MEM_PAGES: ossm_obs::Gauge = ossm_obs::Gauge::new("mem.data.pages");
+
 /// On-page cost model of a serialized transaction: a 4-byte length header
 /// plus 4 bytes per item id. With the paper's average basket sizes this
 /// yields the paper's "roughly 100 transactions" per 4 KB page.
@@ -78,6 +82,7 @@ impl PageStore {
         // produce identical page boundaries.
         const PAGE_HEADER: usize = 4;
         assert!(page_bytes > 0, "page capacity must be positive");
+        let _mem = ossm_obs::alloc_scope("data.page");
         let m = dataset.num_items();
         let mut pages = Vec::new();
         let mut start = 0;
@@ -105,11 +110,13 @@ impl PageStore {
                 supports,
             });
         }
-        PageStore {
+        let store = PageStore {
             dataset,
             pages,
             page_bytes,
-        }
+        };
+        MEM_PAGES.set(store.memory_bytes() as u64);
+        store
     }
 
     /// Packs with the paper's default 4 KB pages.
@@ -124,6 +131,7 @@ impl PageStore {
     /// number of pages").
     pub fn with_page_count(dataset: Dataset, p: usize) -> Self {
         assert!(p > 0, "page count must be positive");
+        let _mem = ossm_obs::alloc_scope("data.page");
         let m = dataset.num_items();
         let ranges = dataset.partition_ranges(p.min(dataset.len().max(1)));
         let pages = ranges
@@ -138,11 +146,26 @@ impl PageStore {
                 Page { range, supports }
             })
             .collect();
-        PageStore {
+        let store = PageStore {
             dataset,
             pages,
             page_bytes: usize::MAX,
-        }
+        };
+        MEM_PAGES.set(store.memory_bytes() as u64);
+        store
+    }
+
+    /// Resident bytes of this store under the on-page cost model: every
+    /// transaction's serialized size plus the per-page singleton support
+    /// vectors. Deterministic for a given dataset and page layout.
+    pub fn memory_bytes(&self) -> usize {
+        let tx_bytes: usize = self
+            .dataset
+            .transactions()
+            .iter()
+            .map(transaction_bytes)
+            .sum();
+        tx_bytes + self.pages.len() * self.num_items() * std::mem::size_of::<u64>()
     }
 
     /// The underlying dataset.

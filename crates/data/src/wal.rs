@@ -151,10 +151,16 @@ impl WriteAheadLog {
                 format!("WAL record of {} bytes exceeds the cap", payload.len()),
             ));
         }
+        let _mem = ossm_obs::alloc_scope("data.wal");
         let mut record = Vec::with_capacity(8 + payload.len());
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&crc32c(payload).to_le_bytes());
         record.extend_from_slice(payload);
+        ossm_obs::recorder::record_event(
+            "data.wal.append",
+            ossm_obs::recorder::EventKind::WalAppend,
+            record.len() as u64,
+        );
         fault::write_all_tagged(&mut self.file, "data.wal.append", &record)?;
         self.file.sync_data()?;
         self.end += record.len() as u64;

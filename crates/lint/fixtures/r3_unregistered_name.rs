@@ -1,10 +1,14 @@
 //@path: crates/core/src/metrics.rs
 //@expect: R3
-//! Seeded violation for rule R3: a counter and a span declared with
-//! names that are not in `crates/obs/registry.txt`.
+//! Seeded violation for rule R3: counters, gauges, spans, allocation
+//! scopes, and flight-recorder events declared with names that are not
+//! in `crates/obs/registry.txt`.
 
 pub static ROGUE: Counter = Counter::new("core.fixture.unregistered");
+pub static ROGUE_GAUGE: Gauge = Gauge::new("mem.fixture.unregistered");
 
 pub fn traced() {
     let _s = span("core.fixture.rogue_span");
+    let _a = alloc_scope("core.fixture.rogue_scope");
+    record_event("core.fixture.rogue_event", EventKind::Fault, 0);
 }

@@ -18,9 +18,15 @@ use crate::lexer::TokKind;
 use crate::regions::FileModel;
 
 /// Free functions taking a `&'static str` name as their first argument.
-const NAME_FNS: &[&str] = &["span", "detail_span", "phase"];
+const NAME_FNS: &[&str] = &[
+    "span",
+    "detail_span",
+    "phase",
+    "alloc_scope",
+    "record_event",
+];
 /// `Type::new("name")` constructors.
-const NAME_TYPES: &[&str] = &["Counter", "Histogram"];
+const NAME_TYPES: &[&str] = &["Counter", "Histogram", "Gauge"];
 /// Tagged fault-injection I/O helpers; the tag is the first string
 /// literal in the call.
 const TAG_FNS: &[&str] = &["write_all_tagged", "read_exact_tagged"];
@@ -121,6 +127,12 @@ pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
     }
     if ctx.all_mode {
         for entry in ctx.registry {
+            // `foo.*` entries declare dynamic-name prefixes (allocation
+            // scopes, RSS capture): names beneath them are minted at
+            // runtime, so no source literal will ever match.
+            if entry.name.ends_with(".*") {
+                continue;
+            }
             if !all_used.iter().any(|u| u.name == entry.name) {
                 out.push(Diagnostic {
                     rule: "R3",

@@ -21,6 +21,10 @@ use crate::support::MIN_TX_CHUNK;
 /// loop is too cheap to be worth a spawn.
 const MIN_CAND_CHUNK: usize = 64;
 
+/// Bytes of the packed bitmap matrix most recently built — the space this
+/// back-end trades for its AND-popcount speed.
+static MEM_BITMAP: ossm_obs::Gauge = ossm_obs::Gauge::new("mem.mining.bitmap");
+
 /// `u64`-packed per-item transaction bitmaps.
 ///
 /// Row `i` holds `words_per_row` words; bit `t % 64` of word `t / 64` is
@@ -73,6 +77,7 @@ impl ItemBitmaps {
                     .copy_from_slice(&local[item * width..(item + 1) * width]);
             }
         }
+        MEM_BITMAP.set((words.len() * std::mem::size_of::<u64>()) as u64);
         ItemBitmaps {
             num_items,
             num_transactions,

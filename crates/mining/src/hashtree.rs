@@ -22,6 +22,11 @@ const FANOUT: usize = 64;
 /// already at maximum depth for the candidate size).
 const LEAF_CAPACITY: usize = 24;
 
+/// Bytes of the most recently built hash tree (interior fan-out tables,
+/// leaf lists, and the cloned candidate group) — the space this back-end
+/// trades for fewer subset tests.
+static MEM_HASHTREE: ossm_obs::Gauge = ossm_obs::Gauge::new("mem.mining.hashtree");
+
 #[inline]
 fn bucket(item: ItemId) -> usize {
     item.index() % FANOUT
@@ -66,6 +71,27 @@ impl<'a> HashTree<'a> {
             Self::insert(&mut tree.root, candidates, k, idx, 0);
         }
         tree
+    }
+
+    /// Estimated resident bytes of the tree structure: fan-out tables of
+    /// interior nodes plus leaf candidate lists. Deterministic for a
+    /// given candidate group (insertion order is fixed).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Node>() + Self::node_bytes(&self.root)
+    }
+
+    fn node_bytes(node: &Node) -> usize {
+        match node {
+            Node::Interior(children) => {
+                children.len() * std::mem::size_of::<Option<Node>>()
+                    + children
+                        .iter()
+                        .flatten()
+                        .map(Self::node_bytes)
+                        .sum::<usize>()
+            }
+            Node::Leaf(list) => list.len() * std::mem::size_of::<usize>(),
+        }
     }
 
     fn insert(node: &mut Node, candidates: &[Itemset], k: usize, idx: usize, depth: usize) {
@@ -163,6 +189,7 @@ pub fn count_hash_tree(transactions: &[Itemset], candidates: &[Itemset]) -> Vec<
         }
         let group: Vec<Itemset> = idxs.iter().map(|&i| candidates[i].clone()).collect();
         let tree = HashTree::build(&group);
+        MEM_HASHTREE.set(tree.memory_bytes() as u64 + crate::support::candidate_bytes(&group));
         // One shared tree, transaction-chunked counting: `count` keeps its
         // dedup stamps per call, so chunks are independent, and the partial
         // vectors merge by element-wise sum — identical at any thread count.

@@ -22,6 +22,21 @@ use ossm_data::Itemset;
 /// overhead exceeds the counting work, so the scan stays on one thread.
 pub(crate) const MIN_TX_CHUNK: usize = 256;
 
+/// Bytes of candidate itemsets resident in the current counting level —
+/// the memory half of the speed-vs-space tradeoff among the back-ends,
+/// which the paper's counting-cost model ignores.
+static MEM_CANDIDATES: ossm_obs::Gauge = ossm_obs::Gauge::new("mem.mining.candidates");
+
+/// Cost model for a candidate list: per-itemset struct overhead plus
+/// 4 bytes per item id. Deterministic for a given list, independent of
+/// allocator or thread count.
+pub(crate) fn candidate_bytes(candidates: &[Itemset]) -> u64 {
+    candidates
+        .iter()
+        .map(|c| (std::mem::size_of::<Itemset>() + 4 * c.len()) as u64)
+        .sum()
+}
+
 /// Which counting back-end a level-wise miner uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CountingBackend {
@@ -87,10 +102,20 @@ pub fn count_with(
     transactions: &[Itemset],
     candidates: &[Itemset],
 ) -> Vec<u64> {
+    MEM_CANDIDATES.set(candidate_bytes(candidates));
     match backend {
-        CountingBackend::LinearScan => count_linear(transactions, candidates),
-        CountingBackend::HashTree => crate::hashtree::count_hash_tree(transactions, candidates),
-        CountingBackend::Bitmap => crate::bitmap::count_bitmap(transactions, candidates),
+        CountingBackend::LinearScan => {
+            let _mem = ossm_obs::alloc_scope("mining.candidates");
+            count_linear(transactions, candidates)
+        }
+        CountingBackend::HashTree => {
+            let _mem = ossm_obs::alloc_scope("mining.hashtree");
+            crate::hashtree::count_hash_tree(transactions, candidates)
+        }
+        CountingBackend::Bitmap => {
+            let _mem = ossm_obs::alloc_scope("mining.bitmap");
+            crate::bitmap::count_bitmap(transactions, candidates)
+        }
     }
 }
 

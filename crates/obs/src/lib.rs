@@ -76,13 +76,25 @@ pub fn bucket_lower_bound(index: usize) -> u64 {
     }
 }
 
+/// The R3 metric-name registry, embedded so tooling (the `regress`
+/// coverage table, `ossm obs diff`) can check emitted names against the
+/// same source of truth `ossm-lint` enforces. Entries ending in `.*`
+/// declare dynamic-name prefixes (scoped counters, allocator-injected
+/// gauges) rather than single literals.
+pub const REGISTRY: &str = include_str!("../registry.txt");
+
+pub mod alloc;
+mod gauge;
 pub mod json;
+pub mod recorder;
 mod report;
 mod snapshot;
 mod trace;
 
+pub use alloc::{alloc_scope, AllocScope};
+pub use gauge::{Gauge, GaugeCharge};
 pub use report::{Reporter, StatsFormat};
-pub use snapshot::{HistogramSnapshot, PhaseSnapshot, Snapshot};
+pub use snapshot::{GaugeSnapshot, HistogramSnapshot, PhaseSnapshot, Snapshot};
 pub use trace::{SpanEvent, Trace, TraceFormat};
 
 #[cfg(feature = "enabled")]

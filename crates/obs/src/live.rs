@@ -42,13 +42,18 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`. Deltas of at least
+    /// [`COUNTER_EVENT_THRESHOLD`](crate::recorder::COUNTER_EVENT_THRESHOLD)
+    /// also land in the flight recorder.
     #[inline]
     pub fn add(&'static self, n: u64) {
         if !self.registered.load(Ordering::Relaxed) {
             self.register();
         }
         self.value.fetch_add(n, Ordering::Relaxed);
+        if n >= crate::recorder::COUNTER_EVENT_THRESHOLD {
+            crate::recorder::record_event(self.name, crate::recorder::EventKind::Counter, n);
+        }
     }
 
     /// Current value.
@@ -159,6 +164,7 @@ struct Dynamic {
 pub struct MetricsRegistry {
     counters: Mutex<Vec<&'static Counter>>,
     histograms: Mutex<Vec<&'static Histogram>>,
+    gauges: Mutex<Vec<&'static crate::Gauge>>,
     dynamic: Mutex<Dynamic>,
 }
 
@@ -169,8 +175,18 @@ pub fn registry() -> &'static MetricsRegistry {
     REGISTRY.get_or_init(|| MetricsRegistry {
         counters: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
         dynamic: Mutex::new(Dynamic::default()),
     })
+}
+
+/// Registers a static gauge on its first use (called from `Gauge`).
+pub(crate) fn register_gauge(gauge: &'static crate::Gauge) {
+    registry()
+        .gauges
+        .lock()
+        .expect("gauge list poisoned")
+        .push(gauge);
 }
 
 /// Starts timing a phase; the span is recorded when the guard drops.
@@ -250,6 +266,13 @@ impl MetricsRegistry {
                 snap.histograms.insert(h.name.to_string(), s);
             }
         }
+        for g in self.gauges.lock().expect("gauge list poisoned").iter() {
+            let s = g.snapshot();
+            if s.current > 0 || s.peak > 0 {
+                snap.gauges.insert(g.name().to_string(), s);
+            }
+        }
+        crate::alloc::snapshot_into(&mut snap);
         let dyn_ = self.dynamic_lock();
         for (name, v) in &dyn_.counters {
             if *v > 0 {
@@ -280,6 +303,10 @@ impl MetricsRegistry {
             h.count.store(0, Ordering::Relaxed);
             h.sum.store(0, Ordering::Relaxed);
         }
+        for g in self.gauges.lock().expect("gauge list poisoned").iter() {
+            g.reset();
+        }
+        crate::alloc::reset_peaks();
         let mut dyn_ = self.dynamic_lock();
         dyn_.counters.clear();
         dyn_.phases.clear();
@@ -335,6 +362,17 @@ fn trace_buf() -> &'static Mutex<Vec<SpanEvent>> {
 
 fn trace_epoch() -> Instant {
     *TRACE_EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process's shared trace epoch — the timebase the
+/// flight recorder stamps events with, so dumps and traces line up.
+pub(crate) fn epoch_nanos() -> u64 {
+    u64::try_from(trace_epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// This thread's dense trace id (0 during thread-local teardown).
+pub(crate) fn current_thread_id() -> u64 {
+    THREAD_ID.try_with(|t| *t).unwrap_or(0)
 }
 
 thread_local! {
@@ -393,6 +431,9 @@ struct TraceState {
 
 impl SpanInner {
     fn open(name: String, record_phase: bool) -> Self {
+        if record_phase {
+            crate::recorder::record_event(&name, crate::recorder::EventKind::SpanEnter, 0);
+        }
         let trace = trace_active().then(|| {
             let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
             let parent = SPAN_STACK.with(|s| {
@@ -480,6 +521,7 @@ impl Drop for SpanGuard {
             }
         }
         if inner.record_phase {
+            crate::recorder::record_event(&inner.name, crate::recorder::EventKind::SpanExit, nanos);
             registry().record_phase(std::mem::take(&mut inner.name), nanos);
         }
     }

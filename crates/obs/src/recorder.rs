@@ -1,0 +1,451 @@
+//! The flight recorder: a fixed-capacity, lock-free ring of structured
+//! events that is always on (when `enabled`) and allocation-free after
+//! init, so the last moments before a crash are capturable even from a
+//! panic hook or a fault-injection site.
+//!
+//! Writers claim a monotonically increasing ticket and overwrite the slot
+//! `ticket % CAPACITY`, publishing with a sequence word: readers accept a
+//! slot only when its sequence matches the position before *and* after
+//! reading the payload, so a torn overwrite is dropped rather than
+//! misreported. Event names are packed into a fixed 32-byte prefix —
+//! no heap, no locks, on either side.
+//!
+//! Dumps are JSON lines (one header object, then one object per event);
+//! [`render_timeline`] turns a dump back into a human-readable timeline
+//! for `ossm obs dump`. The renderer is compiled in both feature
+//! configurations — reading a dump is useful even in builds whose own
+//! recorder is compiled out.
+
+use crate::json::{self, Json};
+
+/// Number of events the ring retains; older events are overwritten.
+pub const CAPACITY: usize = 1024;
+
+/// Counter deltas of at least this many units are recorded as events;
+/// smaller ones stay aggregate-only so hot `incr()` loops cannot flood
+/// the ring.
+pub const COUNTER_EVENT_THRESHOLD: u64 = 1024;
+
+/// What a recorded event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A phase span opened.
+    SpanEnter,
+    /// A phase span closed; `value` is its duration in nanoseconds.
+    SpanExit,
+    /// A counter jumped by `value` ≥ [`COUNTER_EVENT_THRESHOLD`].
+    Counter,
+    /// A WAL record was appended; `value` is its length in bytes.
+    WalAppend,
+    /// A fault-injection site fired (tag in `name`).
+    Fault,
+    /// A checksum verification failed.
+    Checksum,
+    /// An `ossm-par` worker started a chunk; `value` is the chunk start.
+    Worker,
+}
+
+impl EventKind {
+    /// Stable wire name, used in dumps and timelines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span-enter",
+            EventKind::SpanExit => "span-exit",
+            EventKind::Counter => "counter",
+            EventKind::WalAppend => "wal-append",
+            EventKind::Fault => "fault",
+            EventKind::Checksum => "checksum",
+            EventKind::Worker => "worker",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "span-enter" => EventKind::SpanEnter,
+            "span-exit" => EventKind::SpanExit,
+            "counter" => EventKind::Counter,
+            "wal-append" => EventKind::WalAppend,
+            "fault" => EventKind::Fault,
+            "checksum" => EventKind::Checksum,
+            "worker" => EventKind::Worker,
+            _ => return None,
+        })
+    }
+
+    #[cfg(feature = "enabled")]
+    fn code(self) -> u64 {
+        match self {
+            EventKind::SpanEnter => 1,
+            EventKind::SpanExit => 2,
+            EventKind::Counter => 3,
+            EventKind::WalAppend => 4,
+            EventKind::Fault => 5,
+            EventKind::Checksum => 6,
+            EventKind::Worker => 7,
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn from_code(code: u64) -> Option<EventKind> {
+        Some(match code {
+            1 => EventKind::SpanEnter,
+            2 => EventKind::SpanExit,
+            3 => EventKind::Counter,
+            4 => EventKind::WalAppend,
+            5 => EventKind::Fault,
+            6 => EventKind::Checksum,
+            7 => EventKind::Worker,
+            _ => return None,
+        })
+    }
+}
+
+/// One event decoded out of the ring (or a dump file).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordedEvent {
+    /// Position in the global event stream (monotonic per process).
+    pub seq: u64,
+    /// Nanoseconds since the process's trace epoch.
+    pub nanos: u64,
+    /// Dense trace id of the recording thread.
+    pub thread: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Event name (metric, span, or fault tag), truncated to 32 bytes.
+    pub name: String,
+    /// Kind-specific payload (duration, byte count, chunk start, …).
+    pub value: u64,
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::fmt::Write as _;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use super::{EventKind, RecordedEvent, CAPACITY};
+
+    /// Bytes of an event name the ring retains.
+    const NAME_BYTES: usize = 32;
+    const NAME_WORDS: usize = NAME_BYTES / 8;
+
+    /// Marker naming the dump format. Deliberately only referenced from
+    /// this `enabled`-gated module: CI greps disabled binaries for its
+    /// absence to prove the recorder compiled out.
+    const MARKER: &str = "ossm-flightrec";
+
+    struct Slot {
+        /// `position + 1` when the payload is consistent, 0 mid-write.
+        seq: AtomicU64,
+        nanos: AtomicU64,
+        thread: AtomicU64,
+        kind: AtomicU64,
+        value: AtomicU64,
+        name: [AtomicU64; NAME_WORDS],
+    }
+
+    impl Slot {
+        const fn new() -> Slot {
+            Slot {
+                seq: AtomicU64::new(0),
+                nanos: AtomicU64::new(0),
+                thread: AtomicU64::new(0),
+                kind: AtomicU64::new(0),
+                value: AtomicU64::new(0),
+                name: [
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                ],
+            }
+        }
+    }
+
+    // `const` local: the array-repeat idiom for non-Copy elements.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY_SLOT: Slot = Slot::new();
+    static RING: [Slot; CAPACITY] = [EMPTY_SLOT; CAPACITY];
+    /// Next ticket; also the total number of events ever recorded.
+    static CURSOR: AtomicU64 = AtomicU64::new(0);
+
+    /// Records one event. Lock-free and allocation-free; safe from panic
+    /// hooks, allocator hooks, and `ossm-par` workers.
+    pub fn record_event(name: &str, kind: EventKind, value: u64) {
+        let ticket = CURSOR.fetch_add(1, Ordering::Relaxed);
+        let slot = &RING[(ticket % CAPACITY as u64) as usize];
+        slot.seq.store(0, Ordering::Release);
+        slot.nanos
+            .store(crate::live::epoch_nanos(), Ordering::Relaxed);
+        slot.thread
+            .store(crate::live::current_thread_id(), Ordering::Relaxed);
+        slot.kind.store(kind.code(), Ordering::Relaxed);
+        slot.value.store(value, Ordering::Relaxed);
+        let mut buf = [0u8; NAME_BYTES];
+        let n = name.len().min(NAME_BYTES);
+        buf[..n].copy_from_slice(&name.as_bytes()[..n]);
+        for (word, chunk) in slot.name.iter().zip(buf.chunks_exact(8)) {
+            word.store(
+                u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")),
+                Ordering::Relaxed,
+            );
+        }
+        slot.seq.store(ticket + 1, Ordering::Release);
+    }
+
+    /// Total events recorded since process start (including overwritten
+    /// ones).
+    pub fn total_recorded() -> u64 {
+        CURSOR.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first. Slots being overwritten while
+    /// we read are dropped (sequence mismatch), never misreported.
+    pub fn events() -> Vec<RecordedEvent> {
+        let cursor = CURSOR.load(Ordering::Acquire);
+        let start = cursor.saturating_sub(CAPACITY as u64);
+        let mut out = Vec::with_capacity((cursor - start) as usize);
+        for pos in start..cursor {
+            let slot = &RING[(pos % CAPACITY as u64) as usize];
+            if slot.seq.load(Ordering::Acquire) != pos + 1 {
+                continue;
+            }
+            let nanos = slot.nanos.load(Ordering::Relaxed);
+            let thread = slot.thread.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let value = slot.value.load(Ordering::Relaxed);
+            let mut buf = [0u8; NAME_BYTES];
+            for (chunk, word) in buf.chunks_exact_mut(8).zip(&slot.name) {
+                chunk.copy_from_slice(&word.load(Ordering::Relaxed).to_le_bytes());
+            }
+            if slot.seq.load(Ordering::Acquire) != pos + 1 {
+                continue;
+            }
+            let Some(kind) = EventKind::from_code(kind) else {
+                continue;
+            };
+            let name = String::from_utf8_lossy(&buf)
+                .trim_end_matches('\0')
+                .to_string();
+            out.push(RecordedEvent {
+                seq: pos,
+                nanos,
+                thread,
+                kind,
+                name,
+                value,
+            });
+        }
+        out
+    }
+
+    /// Writes the retained events to `path` as JSON lines: one header
+    /// object, then one `{"type":"event",…}` object per event.
+    pub fn dump_to(path: &Path) -> std::io::Result<()> {
+        let events = events();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"{MARKER}\",\"version\":1,\"total\":{},\"events\":{}}}",
+            total_recorded(),
+            events.len(),
+        );
+        for e in &events {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"event\",\"seq\":{},\"nanos\":{},\"thread\":{},\"kind\":\"{}\",\"name\":\"{}\",\"value\":{}}}",
+                e.seq,
+                e.nanos,
+                e.thread,
+                e.kind.as_str(),
+                crate::report::json_escape(&e.name),
+                e.value,
+            );
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Called from fault-injection sites as a fault fires: when the
+    /// `OSSM_FLIGHTREC` environment variable names a path, the ring is
+    /// dumped there. Errors are swallowed — the fault path must proceed.
+    pub fn dump_on_fault() {
+        if let Ok(path) = std::env::var("OSSM_FLIGHTREC") {
+            if !path.is_empty() {
+                let _ = dump_to(Path::new(&path));
+            }
+        }
+    }
+
+    /// Installs (once) a panic hook that dumps the ring — to
+    /// `$OSSM_FLIGHTREC`, or `ossm-flightrec.jsonl` in the working
+    /// directory — before delegating to the previous hook.
+    pub fn install_panic_hook() {
+        static INSTALLED: AtomicBool = AtomicBool::new(false);
+        if INSTALLED
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let path =
+                std::env::var("OSSM_FLIGHTREC").unwrap_or_else(|_| "ossm-flightrec.jsonl".into());
+            if !path.is_empty() {
+                let _ = dump_to(Path::new(&path));
+            }
+            prev(info);
+        }));
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use std::path::Path;
+
+    use super::{EventKind, RecordedEvent};
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn record_event(_name: &str, _kind: EventKind, _value: u64) {}
+
+    /// Always 0 (instrumentation disabled).
+    #[inline(always)]
+    pub fn total_recorded() -> u64 {
+        0
+    }
+
+    /// Always empty (instrumentation disabled).
+    #[inline(always)]
+    pub fn events() -> Vec<RecordedEvent> {
+        Vec::new()
+    }
+
+    /// Does nothing (instrumentation disabled): no file is written.
+    #[inline(always)]
+    pub fn dump_to(_path: &Path) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn dump_on_fault() {}
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn install_panic_hook() {}
+}
+
+pub use imp::{dump_on_fault, dump_to, events, install_panic_hook, record_event, total_recorded};
+
+/// Renders a JSONL flight-recorder dump as a human-readable timeline.
+///
+/// Lines whose `type` is not `"event"` (the header) are skipped; a line
+/// that is not valid JSON is an error.
+pub fn render_timeline(content: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+
+    let mut rows: Vec<RecordedEvent> = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(Json::as_str) != Some("event") {
+            continue;
+        }
+        let field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("line {}: missing numeric {key:?}", i + 1))
+        };
+        let kind_str = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"kind\"", i + 1))?;
+        let kind = EventKind::parse(kind_str)
+            .ok_or_else(|| format!("line {}: unknown event kind {kind_str:?}", i + 1))?;
+        rows.push(RecordedEvent {
+            seq: field("seq")?,
+            nanos: field("nanos")?,
+            thread: field("thread")?,
+            kind,
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            value: field("value")?,
+        });
+    }
+    let mut out = format!("flight recorder timeline ({} events)\n", rows.len());
+    for e in &rows {
+        let _ = write!(
+            out,
+            "{:>8}  +{:>12.6}s  t{:<3}  {:<10}  {}",
+            e.seq,
+            e.nanos as f64 / 1e9,
+            e.thread,
+            e.kind.as_str(),
+            e.name,
+        );
+        if e.value > 0 {
+            let _ = write!(out, "  value={}", e.value);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kind_wire_names_round_trip() {
+        for kind in [
+            EventKind::SpanEnter,
+            EventKind::SpanExit,
+            EventKind::Counter,
+            EventKind::WalAppend,
+            EventKind::Fault,
+            EventKind::Checksum,
+            EventKind::Worker,
+        ] {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn render_timeline_skips_header_and_orders_events() {
+        let dump = concat!(
+            "{\"type\":\"header\",\"version\":1}\n",
+            "{\"type\":\"event\",\"seq\":0,\"nanos\":1500,\"thread\":1,\"kind\":\"span-enter\",\"name\":\"cli.mine\",\"value\":0}\n",
+            "{\"type\":\"event\",\"seq\":1,\"nanos\":2500,\"thread\":2,\"kind\":\"fault\",\"name\":\"data.wal.append\",\"value\":3}\n",
+        );
+        let text = render_timeline(dump).expect("renders");
+        assert!(text.starts_with("flight recorder timeline (2 events)"));
+        assert!(text.contains("span-enter"));
+        assert!(text.contains("cli.mine"));
+        assert!(text.contains("fault"));
+        assert!(text.contains("data.wal.append"));
+        assert!(text.contains("value=3"));
+    }
+
+    #[test]
+    fn render_timeline_rejects_garbage() {
+        assert!(render_timeline("not json at all").is_err());
+        let bad_kind =
+            "{\"type\":\"event\",\"seq\":0,\"nanos\":0,\"thread\":1,\"kind\":\"eclipse\",\"name\":\"x\",\"value\":0}";
+        assert!(render_timeline(bad_kind).unwrap_err().contains("eclipse"));
+    }
+
+    #[test]
+    fn render_timeline_of_empty_dump_is_calm() {
+        let text = render_timeline("").expect("empty ok");
+        assert!(text.contains("(0 events)"));
+    }
+}

@@ -34,6 +34,16 @@ impl HistogramSnapshot {
     }
 }
 
+/// One gauge's state at snapshot time: the level it sits at now and the
+/// highest level it reached since the last reset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Current level (bytes, entries, …).
+    pub current: u64,
+    /// Peak level since process start or the last registry reset.
+    pub peak: u64,
+}
+
 /// One phase timer's accumulated state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PhaseSnapshot {
@@ -53,17 +63,29 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Phase name → accumulated time.
     pub phases: BTreeMap<String, PhaseSnapshot>,
+    /// Gauge name → current/peak level. Static gauges and the dynamic
+    /// `mem.alloc.*` / `mem.rss` rows injected by allocation accounting
+    /// share this namespace.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
 }
 
 impl Snapshot {
     /// True when nothing has been recorded (or instrumentation is
     /// compiled out).
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.phases.is_empty()
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.phases.is_empty()
+            && self.gauges.is_empty()
     }
 
     /// Convenience lookup for tests and assertions.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience lookup for tests and assertions.
+    pub fn gauge(&self, name: &str) -> GaugeSnapshot {
+        self.gauges.get(name).copied().unwrap_or_default()
     }
 }

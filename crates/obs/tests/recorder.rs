@@ -1,0 +1,148 @@
+//! Ring behavior of the flight recorder (live build only).
+//!
+//! Each integration-test file is its own binary, so the process-global
+//! ring here is written by these tests and nothing else. A mutex still
+//! serializes them, because they all reason about deltas of the single
+//! global event stream.
+#![cfg(feature = "enabled")]
+
+use std::sync::Mutex;
+
+use ossm_obs::recorder::{self, EventKind, RecordedEvent, CAPACITY};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn ring_wraps_and_keeps_the_newest_capacity_events() {
+    const EXTRA: usize = 50;
+    let _guard = SERIAL.lock().unwrap();
+    for i in 0..(CAPACITY + EXTRA) as u64 {
+        recorder::record_event("test.wrap", EventKind::Counter, i);
+    }
+    let total = recorder::total_recorded();
+    let events = recorder::events();
+
+    assert_eq!(
+        events.len(),
+        CAPACITY,
+        "once wrapped, the ring holds exactly CAPACITY events"
+    );
+    // The snapshot is the newest-CAPACITY window, contiguous and ordered
+    // oldest-first — nothing torn, nothing duplicated.
+    assert_eq!(events.first().unwrap().seq, total - CAPACITY as u64);
+    assert_eq!(events.last().unwrap().seq, total - 1);
+    for pair in events.windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "seqs are contiguous");
+    }
+    // We wrote the last CAPACITY + EXTRA events, so the whole window is
+    // ours and the first EXTRA payloads have been overwritten.
+    for e in &events {
+        assert_eq!(e.name, "test.wrap");
+        assert_eq!(e.kind, EventKind::Counter);
+    }
+    assert_eq!(events.first().unwrap().value, EXTRA as u64);
+    assert_eq!(events.last().unwrap().value, (CAPACITY + EXTRA - 1) as u64);
+}
+
+#[test]
+fn concurrent_writers_never_lose_or_duplicate_tickets() {
+    const PER_THREAD: usize = 600;
+    let _guard = SERIAL.lock().unwrap();
+    for threads in [1usize, 2, 8] {
+        let before = recorder::total_recorded();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let payload = (t * PER_THREAD + i) as u64;
+                        recorder::record_event("test.mt", EventKind::Worker, payload);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            recorder::total_recorded(),
+            before + (threads * PER_THREAD) as u64,
+            "every writer claimed a unique ticket ({threads} threads)"
+        );
+
+        let events = recorder::events();
+        for pair in events.windows(2) {
+            assert!(pair[1].seq > pair[0].seq, "snapshot seqs strictly increase");
+        }
+        // Every surviving event from this round is intact: payloads were
+        // globally unique per round, so any duplicate means a torn slot
+        // leaked through validation.
+        let survivors: Vec<&RecordedEvent> = events
+            .iter()
+            .filter(|e| e.seq >= before && e.name == "test.mt")
+            .collect();
+        assert!(!survivors.is_empty());
+        let mut payloads: Vec<u64> = survivors.iter().map(|e| e.value).collect();
+        payloads.sort_unstable();
+        payloads.dedup();
+        assert_eq!(payloads.len(), survivors.len(), "no duplicated payloads");
+        let writer_ids: std::collections::BTreeSet<u64> =
+            survivors.iter().map(|e| e.thread).collect();
+        assert!(
+            writer_ids.len() <= threads,
+            "at most {threads} distinct writer threads, saw {writer_ids:?}"
+        );
+    }
+}
+
+#[test]
+fn snapshots_taken_during_writes_stay_internally_consistent() {
+    let _guard = SERIAL.lock().unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                for i in 0..20_000u64 {
+                    recorder::record_event("test.race", EventKind::Counter, i);
+                }
+            });
+        }
+        // Read while the ring is being overwritten underneath us: slots
+        // caught mid-write must be skipped, never surfaced half-updated.
+        for _ in 0..100 {
+            let events = recorder::events();
+            assert!(events.len() <= CAPACITY);
+            for pair in events.windows(2) {
+                assert!(
+                    pair[1].seq > pair[0].seq,
+                    "a torn slot must be skipped, never decoded"
+                );
+            }
+            for e in &events {
+                assert!(e.seq < recorder::total_recorded());
+            }
+        }
+    });
+}
+
+#[test]
+fn dump_round_trips_through_the_timeline_renderer() {
+    let _guard = SERIAL.lock().unwrap();
+    recorder::record_event("test.dump", EventKind::WalAppend, 96);
+    let path = std::env::temp_dir()
+        .join("ossm-obs-tests")
+        .join("recorder-dump.jsonl");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    recorder::dump_to(&path).expect("dump");
+
+    let content = std::fs::read_to_string(&path).expect("read dump");
+    let header = content.lines().next().expect("header line");
+    assert!(header.contains("\"type\":\"ossm-flightrec\""), "{header}");
+    assert!(header.contains("\"version\":1"), "{header}");
+    let last = content.lines().last().expect("event lines");
+    assert!(
+        last.contains("\"kind\":\"wal-append\"") && last.contains("test.dump"),
+        "the dump ends on the newest event: {last}"
+    );
+
+    let timeline = recorder::render_timeline(&content).expect("dump parses");
+    assert!(timeline.starts_with("flight recorder timeline ("));
+    assert!(timeline.contains("test.dump"), "{timeline}");
+    assert!(timeline.contains("value=96"), "{timeline}");
+    std::fs::remove_file(&path).ok();
+}

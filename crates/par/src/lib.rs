@@ -128,6 +128,14 @@ where
                     let mut lane = ossm_obs::detail_span("par.worker");
                     lane.attach("chunk_start", r.start as u64);
                     lane.attach("chunk_len", r.len() as u64);
+                    // Per-worker event lane in the flight recorder: each
+                    // worker stamps its chunk start, tagged with its own
+                    // thread id, so postmortems show which workers ran.
+                    ossm_obs::recorder::record_event(
+                        "par.worker",
+                        ossm_obs::recorder::EventKind::Worker,
+                        r.start as u64,
+                    );
                     f(r)
                 })
             })

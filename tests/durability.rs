@@ -134,6 +134,67 @@ fn crash_between_snapshot_and_wal_reset_stays_sound() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Kill-and-recover with a postmortem: an injected WAL write fault fires
+/// mid-append with `OSSM_FLIGHTREC` set, so the flight recorder dumps its
+/// ring as JSONL. The dump must exist, parse, and end on the tagged fault
+/// site — and the store must still recover to sound bounds afterwards.
+#[cfg(all(feature = "faults", feature = "obs"))]
+#[test]
+fn injected_wal_fault_dumps_the_flight_recorder() {
+    let dir = tmp_dir("fault-dump");
+    let dump = std::env::temp_dir()
+        .join("ossm-durability-tests")
+        .join("fault-dump-flightrec.jsonl");
+    std::fs::create_dir_all(dump.parent().expect("parent")).expect("dump dir");
+    std::fs::remove_file(&dump).ok();
+    std::env::set_var("OSSM_FLIGHTREC", &dump);
+
+    let d = sample();
+    let batches: Vec<&[Itemset]> = d.transactions().chunks(BATCH).collect();
+    let (mut map, _) = open(&dir);
+    map.append_transactions(batches[0].iter()).expect("append");
+
+    // The next WAL append dies before any byte persists.
+    let mut plan = ossm_data::fault::FaultPlan::new();
+    plan.fail_write("data.wal.append", 1);
+    let guard = plan.arm();
+    let err = map
+        .append_transactions(batches[1].iter())
+        .expect_err("injected fault");
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert_eq!(guard.fired(), 1);
+    drop(guard);
+    drop(map);
+    std::env::remove_var("OSSM_FLIGHTREC");
+
+    // The dump was written at the fault site, parses, and its final
+    // event is the tagged fault.
+    let content = std::fs::read_to_string(&dump).expect("flight recorder dumped");
+    let timeline = ossm_obs::recorder::render_timeline(&content).expect("dump parses");
+    assert!(timeline.contains("fault"), "{timeline}");
+    assert!(timeline.contains("data.wal.append"), "{timeline}");
+    let last = content
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .expect("events");
+    assert!(
+        last.contains("\"kind\":\"fault\"") && last.contains("data.wal.append"),
+        "the dump ends on the fault site: {last}"
+    );
+
+    // Kill-and-recover: the acknowledged batch survives with sound bounds.
+    let (map, report) = open(&dir);
+    assert_eq!(report.replayed_appends, 1, "only the acknowledged batch");
+    let acknowledged = Dataset::new(M, batches[0].to_vec());
+    let snap = map.snapshot();
+    assert_eq!(snap.num_transactions(), acknowledged.len() as u64);
+    assert_all_pairs_sound(&snap, &acknowledged, "after injected-fault recovery");
+    // The dump file is left behind on purpose: CI uploads it as the
+    // postmortem artifact of this kill-and-recover scenario.
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn clean_shutdown_and_reopen_is_lossless() {
     let dir = tmp_dir("clean");
