@@ -51,8 +51,36 @@ pub struct ObsData {
 
 /// True for metrics measuring wall-clock time (nanosecond-valued), which
 /// vary run to run and are gated separately from deterministic counts.
+/// Latency-histogram sums (`histogram.*.latency.sum`) are accumulated
+/// nanoseconds too — their naming carries the unit in the metric name
+/// rather than the field suffix.
 pub fn is_timing(name: &str) -> bool {
-    name.ends_with("nanos")
+    name.ends_with("nanos") || name.ends_with(".latency.sum")
+}
+
+/// True for per-interval rates and derived latency quantiles (the
+/// `*.per_sec` / `*.p50` / `*.p95` / `*.p99` rows of the live-telemetry
+/// layer). Pure wall-clock artifacts: reported, never gated, and exempt
+/// from the missing-metric failure (a batch run records no intervals).
+pub fn is_rate_or_quantile(name: &str) -> bool {
+    name.ends_with(".per_sec")
+        || name.ends_with(".p50")
+        || name.ends_with(".p95")
+        || name.ends_with(".p99")
+}
+
+/// True for serving-workload metrics (the `live.*` / `req.*` families):
+/// how many batches the live ingest loop ran and how its request
+/// latencies distributed depends on wall clock and pacing, not on the
+/// computation. Reported, never gated, missing-exempt.
+pub fn is_serving(name: &str) -> bool {
+    let base = name
+        .strip_prefix("counter.")
+        .or_else(|| name.strip_prefix("phase."))
+        .or_else(|| name.strip_prefix("histogram."))
+        .or_else(|| name.strip_prefix("gauge."))
+        .unwrap_or(name);
+    base.starts_with("live.") || base.starts_with("req.")
 }
 
 /// True for scheduling-dependent metrics: the ossm-par fork-join telemetry
@@ -96,7 +124,12 @@ pub fn base_name(name: &str) -> Option<&str> {
         return rest.strip_suffix(".nanos").or(rest.strip_suffix(".calls"));
     }
     if let Some(rest) = name.strip_prefix("histogram.") {
-        return rest.strip_suffix(".count").or(rest.strip_suffix(".sum"));
+        return rest
+            .strip_suffix(".count")
+            .or(rest.strip_suffix(".sum"))
+            .or(rest.strip_suffix(".p50"))
+            .or(rest.strip_suffix(".p95"))
+            .or(rest.strip_suffix(".p99"));
     }
     if let Some(rest) = name.strip_prefix("gauge.") {
         return rest.strip_suffix(".current").or(rest.strip_suffix(".peak"));
@@ -195,6 +228,11 @@ pub fn parse_obs_lines(text: &str) -> Result<ObsData, String> {
                 }
                 if let Some(sum) = num_of("sum") {
                     out.metrics.insert(format!("histogram.{name}.sum"), sum);
+                }
+                for q in ["p50", "p95", "p99"] {
+                    if let Some(value) = num_of(q) {
+                        out.metrics.insert(format!("histogram.{name}.{q}"), value);
+                    }
                 }
             }
             "gauge" => {
@@ -477,10 +515,15 @@ pub fn compare(baseline: &ObsData, current: &ObsData, thresholds: &Thresholds) -
     };
     for (name, &base) in &baseline.metrics {
         let Some(&cur) = current.metrics.get(name) else {
-            if is_scheduling(name) || is_memory(name) {
+            if is_scheduling(name)
+                || is_memory(name)
+                || is_serving(name)
+                || is_rate_or_quantile(name)
+            {
                 // A different core count can drop a scheduling counter to
-                // zero, and a default-feature run records none of the
-                // obs-alloc memory rows (omitted from the snapshot);
+                // zero, a default-feature run records none of the
+                // obs-alloc memory rows, and a batch run records no
+                // serving/interval rows (all omitted from the snapshot);
                 // record the diff rather than a hard missing-metric
                 // failure.
                 report.diffs.push(Diff {
@@ -504,7 +547,7 @@ pub fn compare(baseline: &ObsData, current: &ObsData, thresholds: &Thresholds) -
         } else {
             (cur - base) / base
         };
-        let failed = if is_scheduling(name) {
+        let failed = if is_scheduling(name) || is_serving(name) || is_rate_or_quantile(name) {
             false
         } else if is_memory(name) {
             // Only the deterministic gauges' peaks gate; the allocator /
@@ -855,7 +898,80 @@ mod tests {
     fn timing_classifier_matches_the_naming_convention() {
         assert!(is_timing("phase.core.build.segment.nanos"));
         assert!(is_timing("speedup[Regular/Greedy/n6].mining_nanos"));
+        assert!(is_timing("histogram.req.insert.latency.sum"));
         assert!(!is_timing("phase.core.build.segment.calls"));
         assert!(!is_timing("counter.core.bound.evals"));
+    }
+
+    #[test]
+    fn rate_and_quantile_classifier_matches_derived_rows() {
+        assert!(is_rate_or_quantile("counter.live.ingest.batches.per_sec"));
+        assert!(is_rate_or_quantile("histogram.req.ub.latency.p50"));
+        assert!(is_rate_or_quantile("histogram.req.ub.latency.p95"));
+        assert!(is_rate_or_quantile("histogram.req.ub.latency.p99"));
+        assert!(!is_rate_or_quantile("histogram.req.ub.latency.count"));
+        assert!(!is_rate_or_quantile("counter.core.bound.evals"));
+    }
+
+    #[test]
+    fn serving_classifier_matches_live_and_req_families() {
+        assert!(is_serving("counter.live.ingest.batches"));
+        assert!(is_serving("counter.live.http.requests"));
+        assert!(is_serving("histogram.req.insert.latency.count"));
+        assert!(is_serving("histogram.req.ub.latency.sum"));
+        assert!(!is_serving("counter.core.bound.evals"));
+        assert!(!is_serving("gauge.mem.core.ossm.peak"));
+    }
+
+    #[test]
+    fn histogram_quantile_fields_flatten_and_strip() {
+        let d = parse_obs_lines(concat!(
+            r#"{"type":"histogram","name":"req.ub.latency","count":10,"sum":5000,"p50":400,"p95":900,"p99":1000,"buckets":[[256,10]]}"#,
+            "\n",
+        ))
+        .unwrap();
+        assert_eq!(d.metrics.get("histogram.req.ub.latency.p50"), Some(&400.0));
+        assert_eq!(d.metrics.get("histogram.req.ub.latency.p99"), Some(&1000.0));
+        assert_eq!(
+            base_name("histogram.req.ub.latency.p95"),
+            Some("req.ub.latency")
+        );
+    }
+
+    #[test]
+    fn serving_and_quantile_rows_report_but_never_gate_or_go_missing() {
+        let live = concat!(
+            r#"{"type":"counter","name":"live.ingest.batches","value":100}"#,
+            "\n",
+            r#"{"type":"histogram","name":"req.ub.latency","count":800,"sum":640000,"p50":700,"p95":1700,"p99":2000,"buckets":[[512,800]]}"#,
+            "\n",
+            r#"{"type":"counter","name":"core.bound.evals","value":128}"#,
+            "\n",
+        );
+        let base = parse_obs_lines(live).unwrap();
+        // A 5x swing in serving volume and quantiles is wall-clock noise.
+        let noisy = parse_obs_lines(
+            &live
+                .replace(r#""value":100"#, r#""value":500"#)
+                .replace(
+                    r#""count":800,"sum":640000"#,
+                    r#""count":4000,"sum":3200000"#,
+                )
+                .replace(r#""p50":700"#, r#""p50":3500"#),
+        )
+        .unwrap();
+        assert!(
+            !compare(&base, &noisy, &Thresholds::default()).failed(),
+            "serving drift must not gate"
+        );
+        // A batch run records no serving rows at all: missing-exempt.
+        let batch =
+            parse_obs_lines(r#"{"type":"counter","name":"core.bound.evals","value":128}"#).unwrap();
+        let report = compare(&base, &batch, &Thresholds::default());
+        assert!(!report.failed(), "serving rows are missing-exempt");
+        assert!(report.missing.is_empty(), "{:?}", report.missing);
+        // The deterministic counter alongside still gates normally.
+        let drifted = parse_obs_lines(&live.replace(r#""value":128"#, r#""value":300"#)).unwrap();
+        assert!(compare(&base, &drifted, &Thresholds::default()).failed());
     }
 }

@@ -67,6 +67,17 @@ commands:
   obs       dump FILE.jsonl       (render a flight-recorder dump — the
             JSONL file written on panic or injected fault — as a
             human-readable timeline)
+  obs       serve [ADDR] [--duration=SECS] [--port-file=PATH]
+            [--batch=64] [--pace-ms=2] [--items=100] [--queries=8]
+            (run a live ingest workload and expose the registry over
+            HTTP: Prometheus text at /metrics, JSON at /metrics.json,
+            with per-second rates and p50/p95/p99 latency quantiles;
+            default 127.0.0.1:9185, port 0 picks a free port,
+            --duration=0 serves until interrupted)
+  obs       top [--interval=SECS] [--intervals=N] [--batch=64]
+            [--pace-ms=2]   (watch mode: print interval-delta frames —
+            totals, deltas, rates, quantiles — while a live ingest
+            workload runs)
   help
 
 global flags:
@@ -641,7 +652,9 @@ fn repair(opts: &Options) -> Result<String, String> {
 fn obs(opts: &Options, positionals: &[String]) -> Result<(String, i32), String> {
     const OBS_USAGE: &str = "usage: ossm obs diff BASELINE.json CURRENT.json \
          [--count-drift=0.05] [--mem-drift=0.10] [--max-time-regress=F]\n       \
-         ossm obs dump FILE.jsonl";
+         ossm obs dump FILE.jsonl\n       \
+         ossm obs serve [ADDR] [--duration=SECS] [--port-file=PATH]\n       \
+         ossm obs top [--interval=SECS] [--intervals=N]";
     match positionals.split_first() {
         Some((sub, files)) if sub == "diff" => {
             let [baseline_path, current_path] = files else {
@@ -677,9 +690,220 @@ fn obs(opts: &Options, positionals: &[String]) -> Result<(String, i32), String> 
                 ossm_obs::recorder::render_timeline(&text).map_err(|e| format!("{path}: {e}"))?;
             Ok((timeline, 0))
         }
+        Some((sub, rest)) if sub == "serve" => obs_serve(opts, rest).map(|r| (r, 0)),
+        Some((sub, rest)) if sub == "top" => obs_top(opts, rest).map(|r| (r, 0)),
         Some((other, _)) => Err(format!("unknown obs subcommand {other:?}\n{OBS_USAGE}")),
         None => Err(format!("missing obs subcommand\n{OBS_USAGE}")),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry: `ossm obs serve` and `ossm obs top`
+// ---------------------------------------------------------------------------
+
+/// Batches appended by the synthetic live-ingest workload.
+static INGEST_BATCHES: ossm_obs::Counter = ossm_obs::Counter::new("live.ingest.batches");
+/// Transactions appended by the synthetic live-ingest workload.
+static INGEST_TRANSACTIONS: ossm_obs::Counter = ossm_obs::Counter::new("live.ingest.transactions");
+
+/// Configuration of the synthetic ingest-and-query workload that backs
+/// `ossm obs serve` / `ossm obs top`: durable appends into a
+/// [`DurableIncrementalOssm`] paced to look like a stream, each batch
+/// followed by timed `ub(X)` probes, so the `req.insert.*` /
+/// `req.ub.*` latency histograms populate under load.
+struct LiveLoad {
+    items: usize,
+    batch: usize,
+    pace: std::time::Duration,
+    queries: usize,
+    seed: u64,
+    dir: PathBuf,
+    /// Remove `dir` when the load finishes (set for the default
+    /// temp-dir location, not for a user-supplied `--dir`).
+    cleanup: bool,
+}
+
+/// What the workload did before it stopped.
+struct LiveLoadReport {
+    batches: u64,
+    transactions: u64,
+}
+
+fn live_load_config(opts: &Options) -> LiveLoad {
+    let dir_s: String = opts.get("dir", String::new());
+    let (dir, cleanup) = if dir_s.is_empty() {
+        let dir = std::env::temp_dir().join(format!("ossm-live-{}", std::process::id()));
+        (dir, true)
+    } else {
+        (PathBuf::from(dir_s), false)
+    };
+    LiveLoad {
+        items: opts.get("items", 100),
+        batch: opts.get("batch", 64),
+        pace: std::time::Duration::from_millis(opts.get("pace-ms", 2)),
+        queries: opts.get("queries", 8),
+        seed: opts.get("seed", 1),
+        dir,
+        cleanup,
+    }
+}
+
+/// Runs the ingest workload until `stop` is set or `deadline` passes.
+fn run_live_load(
+    cfg: &LiveLoad,
+    stop: &std::sync::atomic::AtomicBool,
+    deadline: Option<std::time::Instant>,
+) -> Result<LiveLoadReport, String> {
+    use std::sync::atomic::Ordering;
+
+    let (mut map, _report) = ossm_core::DurableIncrementalOssm::open(
+        &cfg.dir,
+        cfg.items,
+        16,
+        ossm_core::LossCalculator::all_items(),
+    )
+    .map_err(|e| format!("opening live map in {}: {e}", cfg.dir.display()))?;
+    // A fixed pool of paper-shaped transactions, cycled forever: the
+    // load is about latency under a steady stream, not data volume.
+    let dataset = SkewedConfig {
+        num_transactions: cfg.batch.max(1) * 8,
+        num_items: cfg.items,
+        seed: cfg.seed,
+        ..Default::default()
+    }
+    .generate();
+    let transactions = dataset.transactions();
+    let mut report = LiveLoadReport {
+        batches: 0,
+        transactions: 0,
+    };
+    // xorshift64: cheap deterministic query-pattern picks (no global
+    // RNG dependency, reproducible across runs with the same seed).
+    let mut rng = cfg.seed | 1;
+    let mut next_item = |m: usize| {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng % m as u64) as u32
+    };
+    let mut offset = 0usize;
+    loop {
+        if stop.load(Ordering::SeqCst) || deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        let end = (offset + cfg.batch.max(1)).min(transactions.len());
+        map.append_transactions(&transactions[offset..end])
+            .map_err(|e| format!("live append: {e}"))?;
+        INGEST_BATCHES.incr();
+        INGEST_TRANSACTIONS.add((end - offset) as u64);
+        report.batches += 1;
+        report.transactions += (end - offset) as u64;
+        offset = if end == transactions.len() { 0 } else { end };
+        if map.num_segments() > 0 {
+            // Serve a burst of ub(X) queries against the current map —
+            // the read side of the paper's time-for-memory trade, timed
+            // per probe so the latency quantiles mean something.
+            let served = map.snapshot();
+            for _ in 0..cfg.queries {
+                let a = next_item(cfg.items);
+                let b = next_item(cfg.items);
+                let pattern = ossm_data::Itemset::new([a, b]);
+                let _timer = ossm_core::durable::REQ_UB_LATENCY.time();
+                std::hint::black_box(served.upper_bound(&pattern));
+            }
+        }
+        if report.batches % 32 == 0 {
+            map.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+        }
+        if !cfg.pace.is_zero() {
+            std::thread::sleep(cfg.pace);
+        }
+    }
+    map.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+    drop(map);
+    if cfg.cleanup {
+        std::fs::remove_dir_all(&cfg.dir).ok();
+    }
+    Ok(report)
+}
+
+/// `ossm obs serve [ADDR]` — expose live metrics over HTTP while an
+/// ingest workload runs on the main thread. `--duration=SECS` bounds the
+/// run (0 = until interrupted); `--port-file=PATH` writes the bound
+/// address, which makes `ADDR` ending in `:0` usable from scripts.
+fn obs_serve(opts: &Options, positionals: &[String]) -> Result<String, String> {
+    if !ossm_obs::ENABLED {
+        return Err(
+            "obs serve needs instrumentation; rebuild with the default `obs` feature".into(),
+        );
+    }
+    let addr = positionals
+        .first()
+        .cloned()
+        .unwrap_or_else(|| opts.get("addr", "127.0.0.1:9185".to_owned()));
+    let server =
+        ossm_obs::MetricsServer::start(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr();
+    let port_file: String = opts.get("port-file", String::new());
+    if !port_file.is_empty() {
+        std::fs::write(&port_file, format!("{bound}\n"))
+            .map_err(|e| format!("writing {port_file}: {e}"))?;
+    }
+    let duration: f64 = opts.get("duration", 0.0);
+    let deadline = (duration > 0.0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_secs_f64(duration));
+    let cfg = live_load_config(opts);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let load = run_live_load(&cfg, &stop, deadline)?;
+    let scrapes = ossm_obs::registry()
+        .snapshot()
+        .counter("live.http.requests");
+    server.shutdown();
+    Ok(format!(
+        "served live metrics on {bound}: {} scrapes while ingesting {} batches \
+         ({} transactions)\n",
+        scrapes, load.batches, load.transactions,
+    ))
+}
+
+/// `ossm obs top` — watch mode: run the ingest workload on a background
+/// thread and print one interval-delta frame per `--interval` seconds,
+/// `--intervals` times.
+fn obs_top(opts: &Options, _positionals: &[String]) -> Result<String, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    if !ossm_obs::ENABLED {
+        return Err("obs top needs instrumentation; rebuild with the default `obs` feature".into());
+    }
+    let interval: f64 = opts.get("interval", 1.0);
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(format!("--interval={interval}: expected seconds > 0"));
+    }
+    let intervals: usize = opts.get("intervals", 5);
+    let cfg = live_load_config(opts);
+    let stop = Arc::new(AtomicBool::new(false));
+    let load_stop = Arc::clone(&stop);
+    let loader = std::thread::Builder::new()
+        .name("ossm-live-load".to_string())
+        .spawn(move || run_live_load(&cfg, &load_stop, None))
+        .map_err(|e| format!("spawning load thread: {e}"))?;
+    let mut tracker = ossm_obs::IntervalTracker::new();
+    let mut last_frame = String::new();
+    for _ in 0..intervals {
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+        last_frame = tracker.tick().render_watch();
+        print!("{last_frame}");
+    }
+    stop.store(true, Ordering::SeqCst);
+    let load = loader
+        .join()
+        .map_err(|_| "load thread panicked".to_string())??;
+    Ok(format!(
+        "{last_frame}watched {intervals} intervals of {interval}s while ingesting {} batches \
+         ({} transactions)\n",
+        load.batches, load.transactions,
+    ))
 }
 
 #[derive(PartialEq, Eq, Debug)]
@@ -1221,5 +1445,128 @@ mod tests {
         .is_err());
         assert!(run(&["obs".to_owned(), "dump".to_owned()]).is_err());
         std::fs::remove_file(dump).ok();
+    }
+
+    #[test]
+    fn obs_dump_rejects_empty_and_truncated_dumps() {
+        let dump = tmp("dump-bad.jsonl");
+        let dump_s = dump.to_str().unwrap().to_owned();
+        let run_dump = || run(&["obs".to_owned(), "dump".to_owned(), dump_s.clone()]).unwrap_err();
+        // A zero-event dump is a failed capture, not a calm success.
+        std::fs::write(&dump, "").unwrap();
+        let err = run_dump();
+        assert!(err.contains("empty flight-recorder dump"), "{err}");
+        // Fewer events than the header declares: truncated mid-write.
+        std::fs::write(
+            &dump,
+            concat!(
+                "{\"type\":\"header\",\"version\":1,\"total\":3,\"events\":3}\n",
+                "{\"type\":\"event\",\"seq\":0,\"nanos\":1,\"thread\":1,\
+                 \"kind\":\"fault\",\"name\":\"x\",\"value\":0}\n",
+            ),
+        )
+        .unwrap();
+        let err = run_dump();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains("declares 3"), "{err}");
+        // A final record cut mid-JSON gets the truncation hint.
+        std::fs::write(
+            &dump,
+            "{\"type\":\"event\",\"seq\":0,\"nanos\":1,\"thread\":1,\"kind\":\"fa",
+        )
+        .unwrap();
+        let err = run_dump();
+        assert!(err.contains("truncated mid-record"), "{err}");
+        std::fs::remove_file(dump).ok();
+    }
+
+    #[test]
+    fn obs_serve_round_trips_live_metrics_during_ingest() {
+        if !ossm_obs::ENABLED {
+            let err = run(&["obs".to_owned(), "serve".to_owned()]).unwrap_err();
+            assert!(
+                err.contains("rebuild with the default `obs` feature"),
+                "{err}"
+            );
+            return;
+        }
+        let port_file = tmp("serve.port");
+        let dir = tmp("serve-load");
+        std::fs::remove_file(&port_file).ok();
+        // The server binds before the workload starts, so a sibling
+        // thread can poll for the written address and scrape mid-run.
+        let pf = port_file.clone();
+        let fetcher = std::thread::spawn(move || -> String {
+            use std::io::{Read as _, Write as _};
+            // Keep scraping until the workload's counters show up — the
+            // first scrape can land before the first batch is ingested.
+            let mut last = String::new();
+            for _ in 0..400 {
+                let addr = std::fs::read_to_string(&pf).unwrap_or_default();
+                let addr = addr.trim().to_owned();
+                if !addr.is_empty() {
+                    let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+                    write!(conn, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+                    last.clear();
+                    conn.read_to_string(&mut last).expect("response");
+                    if last.contains("ossm_live_ingest_batches_total") {
+                        return last;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            panic!("no scrape showed ingest counters; last response:\n{last}");
+        });
+        let out = run_ok(&[
+            "obs",
+            "serve",
+            "127.0.0.1:0",
+            "--duration=1.2",
+            &format!("--port-file={}", port_file.to_str().unwrap()),
+            &format!("--dir={}", dir.to_str().unwrap()),
+            "--pace-ms=1",
+            "--items=40",
+        ]);
+        let body = fetcher.join().expect("fetcher thread");
+        assert!(body.contains("# ossm-livemetrics v1"), "{body}");
+        assert!(body.contains("ossm_live_ingest_batches_total"), "{body}");
+        assert!(body.contains("ossm_live_ingest_batches_per_sec"), "{body}");
+        assert!(out.contains("served live metrics"), "{out}");
+        assert!(!out.contains(" 0 scrapes"), "{out}");
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_top_prints_watch_frames() {
+        if !ossm_obs::ENABLED {
+            let err = run(&["obs".to_owned(), "top".to_owned()]).unwrap_err();
+            assert!(
+                err.contains("rebuild with the default `obs` feature"),
+                "{err}"
+            );
+            return;
+        }
+        let dir = tmp("top-load");
+        let out = run_ok(&[
+            "obs",
+            "top",
+            "--interval=0.2",
+            "--intervals=2",
+            &format!("--dir={}", dir.to_str().unwrap()),
+            "--pace-ms=1",
+            "--items=40",
+        ]);
+        assert!(out.contains("ossm-livetop"), "{out}");
+        assert!(out.contains("watched 2 intervals"), "{out}");
+        assert!(out.contains("live.ingest.batches"), "{out}");
+        // Bad intervals are input errors, not panics.
+        assert!(run(&[
+            "obs".to_owned(),
+            "top".to_owned(),
+            "--interval=0".to_owned()
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -47,6 +47,19 @@ const SNAPSHOT: &str = "snapshot.ossm";
 /// WAL file name inside the map directory.
 const WAL: &str = "wal.log";
 
+/// Wall-clock latency of durable appends (WAL fsync + in-memory apply),
+/// the insert-side half of live request telemetry.
+static REQ_INSERT_LATENCY: ossm_obs::Latency = ossm_obs::Latency::new("req.insert.latency");
+/// Transactions acknowledged through durable appends.
+static REQ_INSERT_TRANSACTIONS: ossm_obs::Counter =
+    ossm_obs::Counter::new("req.insert.transactions");
+/// Wall-clock latency of `ub(X)` upper-bound queries against the served
+/// map. Public and defined once so every layer issuing queries (the
+/// streaming miner's candidate filter, the CLI's live workload) feeds
+/// the same histogram — duplicate statics with one name would shadow
+/// each other in registry snapshots.
+pub static REQ_UB_LATENCY: ossm_obs::Latency = ossm_obs::Latency::new("req.ub.latency");
+
 /// What [`DurableIncrementalOssm::open`] found on disk.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -126,6 +139,7 @@ impl DurableIncrementalOssm {
     // ordering affects durability only; the in-memory supports are the
     // same `IncrementalOssm::append_aggregate` would produce alone.
     pub fn append_aggregate(&mut self, aggregate: Aggregate) -> io::Result<()> {
+        let _timer = REQ_INSERT_LATENCY.time();
         if aggregate.supports().len() != self.num_items {
             return Err(invalid(format!(
                 "aggregate over {} items, map over {}",
@@ -133,8 +147,10 @@ impl DurableIncrementalOssm {
                 self.num_items
             )));
         }
+        let transactions = aggregate.transactions();
         self.wal.append(&encode_aggregate(&aggregate))?;
         self.inner.append_aggregate(aggregate);
+        REQ_INSERT_TRANSACTIONS.add(transactions);
         Ok(())
     }
 

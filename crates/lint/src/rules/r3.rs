@@ -26,7 +26,7 @@ const NAME_FNS: &[&str] = &[
     "record_event",
 ];
 /// `Type::new("name")` constructors.
-const NAME_TYPES: &[&str] = &["Counter", "Histogram", "Gauge"];
+const NAME_TYPES: &[&str] = &["Counter", "Histogram", "Gauge", "Latency"];
 /// Tagged fault-injection I/O helpers; the tag is the first string
 /// literal in the call.
 const TAG_FNS: &[&str] = &["write_all_tagged", "read_exact_tagged"];
@@ -104,6 +104,20 @@ pub fn used_names(file: &FileModel) -> Vec<UsedName> {
     out
 }
 
+/// Whether registry `entry` admits the source literal `name`: exact
+/// match, or — for a `foo.*` dynamic-prefix entry — the prefix itself or
+/// any dotted name beneath it (same semantics as the regress coverage
+/// check in `ossm_bench::regress::registered`).
+fn matches_entry(entry: &str, name: &str) -> bool {
+    if let Some(prefix) = entry.strip_suffix(".*") {
+        return name == prefix
+            || name
+                .strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('.'));
+    }
+    entry == name
+}
+
 pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let mut all_used: Vec<UsedName> = Vec::new();
@@ -111,7 +125,11 @@ pub fn check(ctx: &Context<'_>) -> Vec<Diagnostic> {
         all_used.extend(used_names(file));
     }
     for used in &all_used {
-        if !ctx.registry.iter().any(|e| e.name == used.name) {
+        if !ctx
+            .registry
+            .iter()
+            .any(|e| matches_entry(&e.name, &used.name))
+        {
             out.push(Diagnostic {
                 rule: "R3",
                 path: used.path.clone(),

@@ -131,7 +131,13 @@ impl StreamingApriori {
             let candidates: Vec<Itemset> = match ossm {
                 Some(map) => generated
                     .into_iter()
-                    .filter(|c| map.upper_bound(c) >= min_support)
+                    .filter(|c| {
+                        // Each ub(X) probe is one served query: time it so
+                        // the live req.ub.latency quantiles reflect the
+                        // paper's time-for-memory trade under load.
+                        let _timer = ossm_core::durable::REQ_UB_LATENCY.time();
+                        map.upper_bound(c) >= min_support
+                    })
                     .collect(),
                 None => generated,
             };

@@ -85,15 +85,23 @@ pub const REGISTRY: &str = include_str!("../registry.txt");
 
 pub mod alloc;
 mod gauge;
+pub mod interval;
 pub mod json;
+pub mod quantile;
 pub mod recorder;
 mod report;
+mod serve;
 mod snapshot;
 mod trace;
 
 pub use alloc::{alloc_scope, AllocScope};
 pub use gauge::{Gauge, GaugeCharge};
+pub use interval::{
+    CounterDelta, GaugeDelta, HistogramDelta, IntervalDelta, IntervalTracker, PhaseDelta,
+};
+pub use quantile::{quantile, Quantiles};
 pub use report::{Reporter, StatsFormat};
+pub use serve::MetricsServer;
 pub use snapshot::{GaugeSnapshot, HistogramSnapshot, PhaseSnapshot, Snapshot};
 pub use trace::{SpanEvent, Trace, TraceFormat};
 
@@ -102,7 +110,7 @@ mod live;
 #[cfg(feature = "enabled")]
 pub use live::{
     detail_span, phase, registry, span, trace_active, trace_begin, trace_take, Counter, Histogram,
-    MetricsRegistry, PhaseGuard, Scope, SpanGuard,
+    Latency, LatencyTimer, MetricsRegistry, PhaseGuard, Scope, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
@@ -110,5 +118,5 @@ mod noop;
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
     detail_span, phase, registry, span, trace_active, trace_begin, trace_take, Counter, Histogram,
-    MetricsRegistry, PhaseGuard, Scope, SpanGuard,
+    Latency, LatencyTimer, MetricsRegistry, PhaseGuard, Scope, SpanGuard,
 };

@@ -149,6 +149,60 @@ impl Histogram {
     }
 }
 
+/// A latency recorder: a [`Histogram`] of elapsed nanoseconds fed by
+/// RAII [`LatencyTimer`]s, for per-request spans (insert acks, `ub(X)`
+/// queries) whose *distribution* matters — quantiles are derived from
+/// the log2 buckets (see [`crate::quantile`]).
+///
+/// ```
+/// static UB_LATENCY: ossm_obs::Latency = ossm_obs::Latency::new("req.ub.latency");
+/// let _timer = UB_LATENCY.time(); // records on drop
+/// ```
+pub struct Latency {
+    hist: Histogram,
+}
+
+impl Latency {
+    /// A latency recorder named `name`. `const`, so it can initialize a
+    /// `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Latency {
+            hist: Histogram::new(name),
+        }
+    }
+
+    /// Starts timing; the elapsed nanoseconds are recorded when the
+    /// returned guard drops.
+    #[inline]
+    pub fn time(&'static self) -> LatencyTimer {
+        LatencyTimer {
+            latency: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an already-measured duration in nanoseconds.
+    #[inline]
+    pub fn record_nanos(&'static self, nanos: u64) {
+        self.hist.record(nanos);
+    }
+}
+
+/// RAII guard from [`Latency::time`]: records the elapsed nanoseconds
+/// into the latency histogram on drop.
+#[must_use = "the measured span ends when the timer drops"]
+pub struct LatencyTimer {
+    latency: &'static Latency,
+    start: Instant,
+}
+
+impl Drop for LatencyTimer {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency.hist.record(nanos);
+    }
+}
+
 #[derive(Default)]
 struct Dynamic {
     counters: BTreeMap<String, u64>,

@@ -46,6 +46,30 @@ impl Histogram {
     pub fn record(&'static self, _value: u64) {}
 }
 
+/// Disabled stand-in for the live `Latency` recorder.
+pub struct Latency;
+
+impl Latency {
+    /// Does nothing (instrumentation disabled).
+    pub const fn new(_name: &'static str) -> Self {
+        Latency
+    }
+
+    /// A timer that measures nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn time(&'static self) -> LatencyTimer {
+        LatencyTimer
+    }
+
+    /// Does nothing (instrumentation disabled).
+    #[inline(always)]
+    pub fn record_nanos(&'static self, _nanos: u64) {}
+}
+
+/// Disabled stand-in for the live `LatencyTimer` (drop records nothing).
+#[must_use = "the measured span ends when the timer drops"]
+pub struct LatencyTimer;
+
 /// Disabled stand-in for the live `MetricsRegistry`.
 pub struct MetricsRegistry;
 

@@ -1,0 +1,148 @@
+//! Quantile derivation from log2-bucketed histograms.
+//!
+//! The histograms record only bucket occupancies, so exact quantiles are
+//! unrecoverable; what *is* recoverable is a value guaranteed to lie in
+//! the same bucket as the true quantile. Within the located bucket
+//! `[lo, 2·lo)` we interpolate linearly by rank, which bounds the error
+//! by the bucket width: the estimate is off by at most a factor of 2
+//! (one octave), and much less when occupancies are spread. That is the
+//! right trade for latency telemetry — p99 answers "which octave", not
+//! "which nanosecond" — and it costs nothing beyond the buckets the
+//! histograms already keep.
+//!
+//! This module is ungated: [`HistogramSnapshot`] exists in both feature
+//! configurations, and pure math on an empty snapshot is already free.
+
+use crate::snapshot::HistogramSnapshot;
+
+/// The three standard latency quantiles, derived via [`quantile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Quantiles {
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the values recorded in
+/// `h`, or `None` when the histogram is empty.
+///
+/// The rank `ceil(q · n)` (clamped to `1..=n`) is located in the bucket
+/// occupancy prefix sum; within bucket `[lo, 2·lo)` the estimate
+/// interpolates linearly by rank. Bucket 0 holds exact zeros, so any
+/// rank landing there returns `0.0` exactly. The top bucket
+/// (`lo = 2^63`) interpolates toward `2^64`, which f64 represents fine.
+pub fn quantile(h: &HistogramSnapshot, q: f64) -> Option<f64> {
+    let total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // SOUND: ceil + clamp keeps the rank in 1..=total, so the prefix-sum
+    // walk below always terminates inside a bucket.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for &(lo, n) in &h.buckets {
+        if seen + n >= rank {
+            if lo == 0 {
+                return Some(0.0);
+            }
+            // Fraction of this bucket's occupants at or below the rank,
+            // in (0, 1]; the log2 bucket [lo, 2·lo) has width lo.
+            let into = (rank - seen) as f64 / n as f64;
+            return Some(lo as f64 + into * lo as f64);
+        }
+        seen += n;
+    }
+    None
+}
+
+impl HistogramSnapshot {
+    /// p50/p95/p99 estimates, or `None` when the histogram is empty.
+    pub fn quantiles(&self) -> Option<Quantiles> {
+        Some(Quantiles {
+            p50: quantile(self, 0.50)?,
+            p95: quantile(self, 0.95)?,
+            p99: quantile(self, 0.99)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(buckets: Vec<(u64, u64)>) -> HistogramSnapshot {
+        let count = buckets.iter().map(|&(_, n)| n).sum();
+        HistogramSnapshot {
+            count,
+            sum: 0,
+            buckets,
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(quantile(&h, 0.5), None);
+        assert_eq!(h.quantiles(), None);
+    }
+
+    #[test]
+    fn single_bucket_interpolates_by_rank() {
+        // 10 values in [4, 8): p50 is rank 5 of 10 → halfway → 6.0.
+        let h = hist(vec![(4, 10)]);
+        assert_eq!(quantile(&h, 0.5), Some(6.0));
+        // p100 is the bucket's exclusive upper bound.
+        assert_eq!(quantile(&h, 1.0), Some(8.0));
+        // p0 clamps to rank 1: one tenth into the bucket.
+        assert_eq!(quantile(&h, 0.0), Some(4.4));
+    }
+
+    #[test]
+    fn zeros_bucket_is_exact() {
+        let h = hist(vec![(0, 7)]);
+        assert_eq!(quantile(&h, 0.5), Some(0.0));
+        assert_eq!(quantile(&h, 0.99), Some(0.0));
+        // Mixed: 7 zeros then 3 larger values — p50 is still a zero.
+        let m = hist(vec![(0, 7), (16, 3)]);
+        assert_eq!(quantile(&m, 0.5), Some(0.0));
+        assert!(quantile(&m, 0.99).unwrap() >= 16.0);
+    }
+
+    #[test]
+    fn all_in_overflow_bucket_stays_in_range() {
+        // Everything in the top bucket [2^63, 2^64).
+        let top = 1u64 << 63;
+        let h = hist(vec![(top, 4)]);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = quantile(&h, q).unwrap();
+            assert!(v >= top as f64, "q={q}: {v}");
+            assert!(v <= 2.0 * top as f64, "q={q}: {v}");
+        }
+    }
+
+    #[test]
+    fn estimate_lands_in_the_true_quantiles_bucket() {
+        // 90 fast values in [64,128), 10 slow in [1024,2048): the true
+        // p50 is in the fast bucket; ranks 91..=100 — so the true p95
+        // and p99 — are in the slow one.
+        let h = hist(vec![(64, 90), (1024, 10)]);
+        let q = h.quantiles().unwrap();
+        assert!(q.p50 >= 64.0 && q.p50 < 128.0, "{q:?}");
+        assert!(q.p95 >= 1024.0 && q.p95 < 2048.0, "{q:?}");
+        assert!(q.p99 >= 1024.0 && q.p99 < 2048.0, "{q:?}");
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99, "monotone: {q:?}");
+    }
+
+    #[test]
+    fn quantiles_ignore_stale_count_field() {
+        // The bucket occupancies are the ground truth; a `count` snapshot
+        // taken mid-record may disagree by one.
+        let mut h = hist(vec![(4, 10)]);
+        h.count = 11;
+        assert_eq!(quantile(&h, 0.5), Some(6.0));
+    }
+}

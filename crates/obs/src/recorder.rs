@@ -341,18 +341,36 @@ pub use imp::{dump_on_fault, dump_to, events, install_panic_hook, record_event, 
 
 /// Renders a JSONL flight-recorder dump as a human-readable timeline.
 ///
-/// Lines whose `type` is not `"event"` (the header) are skipped; a line
-/// that is not valid JSON is an error.
+/// Lines whose `type` is not `"event"` (the header) are skipped, but a
+/// header's `"events"` count, when present, must match the number of
+/// event lines actually found — a mismatch means the dump was truncated
+/// mid-write (a crash can lose the file's tail) and a partial timeline
+/// would silently misrepresent the crash. An empty file and a line that
+/// is not valid JSON are errors for the same reason.
 pub fn render_timeline(content: &str) -> Result<String, String> {
     use std::fmt::Write as _;
 
     let mut rows: Vec<RecordedEvent> = Vec::new();
+    let mut declared: Option<u64> = None;
+    let mut non_blank = 0usize;
+    let last_line = content.lines().filter(|l| !l.trim().is_empty()).count();
     for (i, line) in content.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        non_blank += 1;
+        let v = json::parse(line).map_err(|e| {
+            let hint = if non_blank == last_line {
+                " (file truncated mid-record?)"
+            } else {
+                ""
+            };
+            format!("line {}: {e}{hint}", i + 1)
+        })?;
         if v.get("type").and_then(Json::as_str) != Some("event") {
+            if let Some(n) = v.get("events").and_then(Json::as_f64) {
+                declared = Some(n as u64);
+            }
             continue;
         }
         let field = |key: &str| -> Result<u64, String> {
@@ -379,6 +397,21 @@ pub fn render_timeline(content: &str) -> Result<String, String> {
                 .to_string(),
             value: field("value")?,
         });
+    }
+    if non_blank == 0 {
+        return Err(
+            "empty flight-recorder dump: no events were written (crash before the \
+             recorder flushed, or the wrong file?)"
+                .to_string(),
+        );
+    }
+    if let Some(n) = declared {
+        if n != rows.len() as u64 {
+            return Err(format!(
+                "truncated flight-recorder dump: header declares {n} events, found {}",
+                rows.len(),
+            ));
+        }
     }
     let mut out = format!("flight recorder timeline ({} events)\n", rows.len());
     for e in &rows {
@@ -444,8 +477,40 @@ mod tests {
     }
 
     #[test]
-    fn render_timeline_of_empty_dump_is_calm() {
-        let text = render_timeline("").expect("empty ok");
-        assert!(text.contains("(0 events)"));
+    fn render_timeline_of_empty_dump_is_an_error() {
+        let err = render_timeline("").unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        let blank = render_timeline("\n   \n").unwrap_err();
+        assert!(blank.contains("empty"), "{blank}");
+    }
+
+    #[test]
+    fn render_timeline_rejects_truncated_dump() {
+        // Header declares 3 events but only 1 survived the crash.
+        let dump = concat!(
+            "{\"type\":\"ossm-flightrec\",\"version\":1,\"total\":3,\"events\":3}\n",
+            "{\"type\":\"event\",\"seq\":0,\"nanos\":1500,\"thread\":1,\"kind\":\"span-enter\",\"name\":\"cli.mine\",\"value\":0}\n",
+        );
+        let err = render_timeline(dump).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains("declares 3"), "{err}");
+        assert!(err.contains("found 1"), "{err}");
+        // A matching count renders fine.
+        let ok = concat!(
+            "{\"type\":\"ossm-flightrec\",\"version\":1,\"total\":1,\"events\":1}\n",
+            "{\"type\":\"event\",\"seq\":0,\"nanos\":1500,\"thread\":1,\"kind\":\"span-enter\",\"name\":\"cli.mine\",\"value\":0}\n",
+        );
+        assert!(render_timeline(ok).is_ok());
+    }
+
+    #[test]
+    fn render_timeline_hints_truncation_on_cut_final_record() {
+        // A record cut mid-write: the last line is not valid JSON.
+        let dump = concat!(
+            "{\"type\":\"event\",\"seq\":0,\"nanos\":1500,\"thread\":1,\"kind\":\"span-enter\",\"name\":\"cli.mine\",\"value\":0}\n",
+            "{\"type\":\"event\",\"seq\":1,\"nanos\":25",
+        );
+        let err = render_timeline(dump).unwrap_err();
+        assert!(err.contains("truncated mid-record"), "{err}");
     }
 }

@@ -107,9 +107,13 @@ fn render_table(snap: &Snapshot) -> String {
         }
         out.push_str("histograms\n");
         for (name, h) in &snap.histograms {
+            let quantiles = h
+                .quantiles()
+                .map(|q| format!(" p50={} p95={} p99={}", q.p50, q.p95, q.p99))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "  {name}  count={count} mean={mean:.1}",
+                "  {name}  count={count} mean={mean:.1}{quantiles}",
                 count = h.count,
                 mean = h.mean(),
             );
@@ -183,12 +187,17 @@ fn render_json_lines(snap: &Snapshot) -> String {
             .iter()
             .map(|&(lo, n)| format!("[{lo},{n}]"))
             .collect();
+        let quantiles = h
+            .quantiles()
+            .map(|q| format!("\"p50\":{},\"p95\":{},\"p99\":{},", q.p50, q.p95, q.p99))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},{}\"buckets\":[{}]}}",
             json_escape(name),
             h.count,
             h.sum,
+            quantiles,
             buckets.join(","),
         );
     }
@@ -280,7 +289,7 @@ phases
   core.build.segment      1.50ms  (2 calls)
 
 histograms
-  mining.bound.slack  count=3 mean=3.3
+  mining.bound.slack  count=3 mean=3.3 p50=6 p95=8 p99=8
     ≥0             1
     ≥4             2
 ";
@@ -299,7 +308,7 @@ histograms
             "\n",
             r#"{"type":"phase","name":"core.build.segment","nanos":1500000,"calls":2}"#,
             "\n",
-            r#"{"type":"histogram","name":"mining.bound.slack","count":3,"sum":10,"buckets":[[0,1],[4,2]]}"#,
+            r#"{"type":"histogram","name":"mining.bound.slack","count":3,"sum":10,"p50":6,"p95":8,"p99":8,"buckets":[[0,1],[4,2]]}"#,
             "\n",
         );
         let text = Reporter::new(StatsFormat::Json).render(&sample());

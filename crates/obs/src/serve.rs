@@ -1,0 +1,309 @@
+//! The metrics exposition endpoint: a std-only blocking TCP listener
+//! serving registry snapshots as Prometheus text format (default) or
+//! JSON lines (`/metrics.json`), with heartbeat/uptime/build-info rows.
+//!
+//! No HTTP library, no async runtime: one named thread accepts loopback
+//! connections, reads a single request line, and writes one response.
+//! That is all a scrape needs, and it keeps the crate dependency-free
+//! under `forbid(unsafe_code)`. Per-scrape rates come from an
+//! [`IntervalTracker`](crate::IntervalTracker) owned by the serve loop,
+//! so each fetch reports activity since the previous fetch.
+//!
+//! When the `enabled` feature is off, [`MetricsServer::start`] returns
+//! an error and none of the serving code — including its marker string —
+//! is compiled in.
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::io::{self, BufRead, BufReader, Read, Write};
+    use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    use crate::interval::{IntervalDelta, IntervalTracker};
+    use crate::live::Counter;
+    use crate::report::json_escape;
+
+    /// Marker literal identifying live-metrics output; compiled into
+    /// enabled binaries only, so CI can grep disabled binaries for its
+    /// absence.
+    pub(crate) const SERVE_MARKER: &str = "ossm-livemetrics";
+
+    /// Scrapes served since process start (exposed as
+    /// `ossm_live_http_requests_total` and `live.http.requests`).
+    static HTTP_REQUESTS: Counter = Counter::new("live.http.requests");
+
+    /// Handle to a running metrics endpoint; stops serving on
+    /// [`shutdown`](MetricsServer::shutdown) or drop.
+    pub struct MetricsServer {
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        handle: Option<JoinHandle<()>>,
+    }
+
+    impl MetricsServer {
+        /// Binds `addr` (e.g. `127.0.0.1:9185`; port 0 picks a free
+        /// port) and spawns the serving thread.
+        pub fn start(addr: &str) -> io::Result<MetricsServer> {
+            let listener = TcpListener::bind(addr)?;
+            let addr = listener.local_addr()?;
+            let stop = Arc::new(AtomicBool::new(false));
+            let thread_stop = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("ossm-obs-serve".to_string())
+                .spawn(move || serve_loop(&listener, &thread_stop))?;
+            Ok(MetricsServer {
+                addr,
+                stop,
+                handle: Some(handle),
+            })
+        }
+
+        /// The bound address (the actual port when bound with port 0).
+        pub fn local_addr(&self) -> SocketAddr {
+            self.addr
+        }
+
+        /// Stops the serving thread and waits for it to exit.
+        pub fn shutdown(mut self) {
+            self.stop_and_join();
+        }
+
+        fn stop_and_join(&mut self) {
+            let Some(handle) = self.handle.take() else {
+                return;
+            };
+            self.stop.store(true, Ordering::SeqCst);
+            // The accept loop blocks in `incoming()`; a throwaway
+            // connection wakes it so it can observe the stop flag.
+            let unblock = SocketAddr::from((Ipv4Addr::LOCALHOST, self.addr.port()));
+            drop(TcpStream::connect_timeout(
+                &unblock,
+                Duration::from_millis(500),
+            ));
+            drop(handle.join());
+        }
+    }
+
+    impl Drop for MetricsServer {
+        fn drop(&mut self) {
+            self.stop_and_join();
+        }
+    }
+
+    fn serve_loop(listener: &TcpListener, stop: &AtomicBool) {
+        let started = Instant::now();
+        let mut tracker = IntervalTracker::new();
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // A failed scrape is the scraper's problem; the endpoint
+            // keeps serving.
+            drop(handle_conn(stream, started, &mut tracker));
+        }
+    }
+
+    /// Reads one request, routes on its path, writes one response.
+    fn handle_conn(
+        stream: TcpStream,
+        started: Instant,
+        tracker: &mut IntervalTracker,
+    ) -> io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        reader.by_ref().take(4096).read_line(&mut request_line)?;
+        // Drain the headers (bounded) so well-behaved clients see a
+        // clean close, but never wait on bodies we don't use.
+        for _ in 0..64 {
+            let mut header = String::new();
+            if reader.by_ref().take(4096).read_line(&mut header)? == 0
+                || header.trim_end().is_empty()
+            {
+                break;
+            }
+        }
+        let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+        HTTP_REQUESTS.incr();
+        let delta = tracker.tick();
+        let uptime = started.elapsed().as_secs_f64();
+        let (status, content_type, body) = match path {
+            "/" | "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                render_prometheus(&delta, uptime),
+            ),
+            "/metrics.json" | "/json" => {
+                ("200 OK", "application/json", render_json(&delta, uptime))
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; version=0.0.4",
+                "try /metrics or /metrics.json\n".to_string(),
+            ),
+        };
+        let mut stream = reader.into_inner();
+        write!(
+            stream,
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        )?;
+        stream.flush()
+    }
+
+    /// `live.http.requests` → `ossm_live_http_requests`.
+    fn sanitize(name: &str) -> String {
+        let mut out = String::with_capacity(name.len() + 5);
+        out.push_str("ossm_");
+        for c in name.chars() {
+            out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+        }
+        out
+    }
+
+    fn render_prometheus(delta: &IntervalDelta, uptime: f64) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = format!("# {SERVE_MARKER} v1\n");
+        out.push_str("# TYPE ossm_up gauge\nossm_up 1\n");
+        let _ = writeln!(out, "ossm_uptime_seconds {uptime}");
+        let _ = writeln!(
+            out,
+            "ossm_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION"),
+        );
+        for (name, c) in &delta.counters {
+            let p = sanitize(name);
+            let _ = writeln!(out, "# TYPE {p}_total counter");
+            let _ = writeln!(out, "{p}_total {}", c.total);
+            let _ = writeln!(out, "{p}_per_sec {}", c.per_sec);
+        }
+        for (name, ph) in &delta.phases {
+            let p = sanitize(name);
+            let _ = writeln!(out, "# TYPE {p}_seconds_total counter");
+            let _ = writeln!(out, "{p}_seconds_total {}", ph.nanos_total as f64 / 1e9);
+            let _ = writeln!(out, "{p}_calls_total {}", ph.calls_total);
+            let _ = writeln!(out, "{p}_calls_per_sec {}", ph.calls_per_sec);
+        }
+        for (name, h) in &delta.histograms {
+            let p = sanitize(name);
+            let _ = writeln!(out, "# TYPE {p} summary");
+            if let Some(q) = h.quantiles {
+                let _ = writeln!(out, "{p}{{quantile=\"0.5\"}} {}", q.p50);
+                let _ = writeln!(out, "{p}{{quantile=\"0.95\"}} {}", q.p95);
+                let _ = writeln!(out, "{p}{{quantile=\"0.99\"}} {}", q.p99);
+            }
+            let _ = writeln!(out, "{p}_sum {}", h.sum_total);
+            let _ = writeln!(out, "{p}_count {}", h.count_total);
+            let _ = writeln!(out, "{p}_per_sec {}", h.per_sec);
+        }
+        for (name, g) in &delta.gauges {
+            let p = sanitize(name);
+            let _ = writeln!(out, "# TYPE {p}_current gauge");
+            let _ = writeln!(out, "{p}_current {}", g.current);
+            let _ = writeln!(out, "{p}_peak {}", g.peak);
+        }
+        out
+    }
+
+    fn render_json(delta: &IntervalDelta, uptime: f64) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = format!(
+            "{{\"type\":\"live\",\"marker\":\"{SERVE_MARKER}\",\"version\":\"{}\",\
+             \"uptime_seconds\":{uptime},\"interval_seconds\":{},\"resets\":{}}}\n",
+            env!("CARGO_PKG_VERSION"),
+            delta.elapsed_secs(),
+            delta.resets,
+        );
+        for (name, c) in &delta.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{},\"delta\":{},\"per_sec\":{}}}",
+                json_escape(name),
+                c.total,
+                c.delta,
+                c.per_sec,
+            );
+        }
+        for (name, p) in &delta.phases {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"phase\",\"name\":\"{}\",\"nanos\":{},\"calls\":{},\
+                 \"calls_delta\":{},\"calls_per_sec\":{}}}",
+                json_escape(name),
+                p.nanos_total,
+                p.calls_total,
+                p.calls_delta,
+                p.calls_per_sec,
+            );
+        }
+        for (name, h) in &delta.histograms {
+            let mut row = format!(
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\
+                 \"delta\":{},\"per_sec\":{}",
+                json_escape(name),
+                h.count_total,
+                h.sum_total,
+                h.count_delta,
+                h.per_sec,
+            );
+            if let Some(q) = h.quantiles {
+                let _ = write!(
+                    row,
+                    ",\"p50\":{},\"p95\":{},\"p99\":{}",
+                    q.p50, q.p95, q.p99
+                );
+            }
+            let _ = writeln!(out, "{row}}}");
+        }
+        for (name, g) in &delta.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"current\":{},\"delta\":{},\"peak\":{}}}",
+                json_escape(name),
+                g.current,
+                g.delta,
+                g.peak,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use std::io;
+    use std::net::{Ipv4Addr, SocketAddr};
+
+    /// Disabled stand-in for the live `MetricsServer`: a ZST that
+    /// refuses to start.
+    pub struct MetricsServer;
+
+    impl MetricsServer {
+        /// Always an error (instrumentation disabled): there is no
+        /// registry to expose.
+        pub fn start(_addr: &str) -> io::Result<MetricsServer> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "instrumentation compiled out (rebuild with the `obs` feature)",
+            ))
+        }
+
+        /// The unspecified address (instrumentation disabled).
+        pub fn local_addr(&self) -> SocketAddr {
+            SocketAddr::from((Ipv4Addr::UNSPECIFIED, 0))
+        }
+
+        /// Does nothing (instrumentation disabled).
+        #[inline(always)]
+        pub fn shutdown(self) {}
+    }
+}
+
+pub use imp::MetricsServer;

@@ -23,6 +23,10 @@ fn stubs_are_zero_sized() {
     assert_eq!(std::mem::size_of::<ossm_obs::Scope>(), 0);
     assert_eq!(std::mem::size_of::<ossm_obs::PhaseGuard>(), 0);
     assert_eq!(std::mem::size_of::<ossm_obs::SpanGuard>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::Latency>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::LatencyTimer>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::IntervalTracker>(), 0);
+    assert_eq!(std::mem::size_of::<ossm_obs::MetricsServer>(), 0);
 }
 
 #[test]
@@ -76,6 +80,31 @@ fn resource_accounting_is_compiled_away() {
     assert_eq!(ossm_obs::alloc::rss_bytes(), None);
     let snap = registry().snapshot();
     assert!(snap.is_empty(), "disabled builds carry no gauge rows");
+}
+
+#[test]
+fn live_telemetry_is_compiled_away() {
+    static LATENCY: ossm_obs::Latency = ossm_obs::Latency::new("noop.latency");
+    // The timing surface must be callable and record nothing…
+    drop(LATENCY.time());
+    LATENCY.record_nanos(1_000_000);
+    assert!(registry().snapshot().is_empty());
+    // …interval ticks are always empty, and watch frames render to
+    // nothing (the frame format would otherwise embed a marker literal
+    // that must not reach disabled binaries).
+    let mut tracker = ossm_obs::IntervalTracker::new();
+    let d = tracker.tick();
+    assert!(d.is_empty());
+    assert_eq!(d.resets, 0);
+    assert_eq!(d.render_watch(), "");
+    // The metrics endpoint refuses to start rather than serving blanks.
+    let err = ossm_obs::MetricsServer::start("127.0.0.1:0")
+        .err()
+        .expect("disabled builds cannot serve");
+    assert!(
+        err.to_string().contains("instrumentation compiled out"),
+        "{err}"
+    );
 }
 
 #[test]

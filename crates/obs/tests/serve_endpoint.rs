@@ -1,0 +1,111 @@
+//! Round-trip tests for the live metrics endpoint: start a real
+//! [`MetricsServer`] on a loopback port, speak minimal HTTP/1.1 at it,
+//! and check both exposition formats. Needs live instrumentation — the
+//! disabled build's `start` is tested in `noop_disabled.rs`.
+#![cfg(feature = "enabled")]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ossm_obs::{Counter, Histogram, MetricsServer};
+
+static HITS: Counter = Counter::new("test.serve.hits");
+static LAT: Histogram = Histogram::new("test.serve.latency");
+
+/// Value of a Prometheus `name value` sample line in `body`. Exact
+/// values are unknowable here — tests in this binary run in parallel
+/// against one shared registry — so callers compare before/after.
+fn sample(body: &str, name: &str) -> u64 {
+    let line = body
+        .lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .unwrap_or_else(|| panic!("no {name} sample in:\n{body}"));
+    line[name.len() + 1..]
+        .trim()
+        .parse()
+        .expect("integer sample")
+}
+
+/// One blocking HTTP exchange; returns (status line, body).
+fn fetch(server: &MetricsServer, path: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_owned();
+    (status, body.to_owned())
+}
+
+#[test]
+fn prometheus_endpoint_round_trips_and_rates_move_between_scrapes() {
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind loopback");
+    assert_ne!(server.local_addr().port(), 0, "a real port was bound");
+
+    HITS.add(10);
+    LAT.record(100);
+    LAT.record(100_000);
+    let (status, body) = fetch(&server, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("# ossm-livemetrics v1"), "{body}");
+    assert!(body.contains("ossm_up 1"), "{body}");
+    assert!(body.contains("ossm_uptime_seconds"), "{body}");
+    assert!(body.contains("ossm_build_info{"), "{body}");
+    // Names are sanitized (dots -> underscores) and counters expose both
+    // the cumulative total and the per-interval rate.
+    let first = sample(&body, "ossm_test_serve_hits_total");
+    assert!(first >= 10, "{body}");
+    assert!(body.contains("ossm_test_serve_hits_per_sec"), "{body}");
+    // Histograms surface as summaries with quantile labels.
+    assert!(
+        body.contains("ossm_test_serve_latency{quantile=\"0.99\"}"),
+        "{body}"
+    );
+    assert!(body.contains("ossm_test_serve_latency_count"), "{body}");
+    // The endpoint observes itself: its own scrape counter is live.
+    assert!(body.contains("ossm_live_http_requests_total"), "{body}");
+
+    // Second scrape after more traffic: totals move.
+    HITS.add(5);
+    let (_, body2) = fetch(&server, "/");
+    assert!(
+        sample(&body2, "ossm_test_serve_hits_total") >= first + 5,
+        "{body2}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn json_endpoint_emits_live_header_and_quantiles() {
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind loopback");
+    HITS.incr();
+    LAT.record(2048);
+    let (status, body) = fetch(&server, "/metrics.json");
+    assert!(status.contains("200"), "{status}");
+    let header = body.lines().next().expect("header line");
+    assert!(header.contains("\"type\":\"live\""), "{header}");
+    assert!(
+        header.contains("\"marker\":\"ossm-livemetrics\""),
+        "{header}"
+    );
+    assert!(header.contains("\"uptime_seconds\""), "{header}");
+    let hist = body
+        .lines()
+        .find(|l| l.contains("test.serve.latency"))
+        .expect("histogram row");
+    for key in ["\"p50\"", "\"p95\"", "\"p99\""] {
+        assert!(hist.contains(key), "{hist}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unknown_paths_get_a_404_and_shutdown_joins_cleanly() {
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind loopback");
+    let (status, _) = fetch(&server, "/nope");
+    assert!(status.contains("404"), "{status}");
+    // Both explicit shutdown (above tests) and Drop must not hang.
+    drop(server);
+}
